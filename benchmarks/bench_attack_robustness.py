@@ -1,0 +1,124 @@
+"""Robustness under adversarial traffic (paper §3.1 and §7).
+
+Three attacks, each with the defence the paper describes:
+
+* **SYN flood** — Dart(-SYN) creates no RT/PT state for handshake
+  packets, so table occupancy stays flat while a +SYN variant's RT
+  fills (the paper's reason for forgoing handshake RTTs);
+* **optimistic ACKs** — ACKs beyond the right edge are ignored, so a
+  misbehaving receiver cannot plant artificially deflated samples;
+* **unacknowledged-data pinning** — flows that never complete leave RT
+  entries forever (Dart favours old entries); the §7 large-timeout
+  mitigation reclaims them.
+"""
+
+from repro.analysis import render_table
+from repro.core import Dart, DartConfig
+from repro.core.range_tracker import AckVerdict
+from repro.net import tcp as tcpf
+from repro.net.packet import PacketRecord
+
+MS = 1_000_000
+SEC = 1_000_000_000
+SERVER = 0x10000001
+
+
+def pkt(t_ns, src, dst, sport, dport, seq, ack, flags, length):
+    return PacketRecord(timestamp_ns=t_ns, src_ip=src, dst_ip=dst,
+                        src_port=sport, dst_port=dport, seq=seq, ack=ack,
+                        flags=flags, payload_len=length)
+
+
+def syn_flood(count):
+    return [
+        pkt(i * 1000, 0x0B000000 + i, SERVER, 1024 + (i % 60000), 443,
+            i * 17, 0, tcpf.FLAG_SYN, 0)
+        for i in range(count)
+    ]
+
+
+def run_syn_flood():
+    flood = syn_flood(20_000)
+    minus = Dart(DartConfig(rt_slots=1 << 12, pt_slots=1 << 12,
+                            track_handshake=False))
+    plus = Dart(DartConfig(rt_slots=1 << 12, pt_slots=1 << 12,
+                           track_handshake=True))
+    for record in flood:
+        minus.process(record)
+        plus.process(record)
+    return minus.occupancy(), plus.occupancy()
+
+
+def run_optimistic_acks():
+    dart = Dart(DartConfig(rt_slots=1 << 10, pt_slots=1 << 10))
+    client = 0x0A000001
+    dart.process(pkt(0, client, SERVER, 40000, 443, 1000, 1,
+                     tcpf.FLAG_ACK, 1448))
+    deflated = []
+    # The receiver optimistically ACKs data it has not received, far
+    # ahead of the right edge, trying to plant tiny RTT samples.
+    for i in range(1, 50):
+        samples = dart.process(pkt(i * 100_000, SERVER, client, 443, 40000,
+                                   1, 2448 + i * 1448, tcpf.FLAG_ACK, 0))
+        deflated.extend(samples)
+    ignored = dart.stats.ack_verdicts.get(AckVerdict.OPTIMISTIC, 0)
+    return len(deflated), ignored
+
+
+def run_pinning(timeout_ns):
+    dart = Dart(DartConfig(rt_slots=64, pt_slots=1 << 10,
+                           rt_overwrite_collapsed=False,
+                           rt_timeout_ns=timeout_ns))
+    # 512 attacker flows each send one never-acknowledged segment.
+    for i in range(512):
+        dart.process(pkt(i * 1000, 0x0C000000 + i, SERVER, 2000 + i, 443,
+                         1000, 1, tcpf.FLAG_ACK, 1448))
+    # Legitimate traffic arrives two minutes later.
+    collected = 0
+    for i in range(64):
+        client = 0x0A000100 + i
+        t = 120 * SEC + i * MS
+        dart.process(pkt(t, client, SERVER, 40000 + i, 443, 5000, 1,
+                         tcpf.FLAG_ACK, 1448))
+        collected += len(dart.process(
+            pkt(t + 20 * MS, SERVER, client, 443, 40000 + i, 1, 6448,
+                tcpf.FLAG_ACK, 0)
+        ))
+    return collected
+
+
+def run_all():
+    (m_rt, m_pt), (p_rt, p_pt) = run_syn_flood()
+    deflated, ignored = run_optimistic_acks()
+    pinned = run_pinning(None)
+    mitigated = run_pinning(60 * SEC)
+    return {
+        "syn": (m_rt, m_pt, p_rt, p_pt),
+        "optimistic": (deflated, ignored),
+        "pinning": (pinned, mitigated),
+    }
+
+
+def test_attack_robustness(benchmark, report_sink):
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    m_rt, m_pt, p_rt, p_pt = results["syn"]
+    deflated, ignored = results["optimistic"]
+    pinned, mitigated = results["pinning"]
+    rows = [
+        ["SYN flood: -SYN RT/PT occupancy after 20k SYNs",
+         f"{m_rt}/{m_pt}"],
+        ["SYN flood: +SYN RT occupancy (for contrast)", f"{p_rt}"],
+        ["optimistic ACKs: deflated samples collected", deflated],
+        ["optimistic ACKs: ACKs ignored as optimistic", ignored],
+        ["pinning attack: legit samples, no timeout (of 64)", pinned],
+        ["pinning attack: legit samples, 60 s RT timeout", mitigated],
+    ]
+    report = render_table(
+        ["attack scenario", "result"], rows,
+        title="Attack robustness (paper §3.1 / §7)",
+    )
+    report_sink(report)
+    assert (m_rt, m_pt) == (0, 0)
+    assert p_rt > 0
+    assert deflated == 0 and ignored > 0
+    assert mitigated > pinned

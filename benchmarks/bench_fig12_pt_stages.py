@@ -1,0 +1,52 @@
+"""Figure 12: dividing a fixed-size PT into more stages hurts.
+
+Large RT, fixed total PT memory, max 1 recirculation; the stage count k
+is swept 1..8.  Paper finding: with only one recirculation allowed,
+splitting the same memory across more one-way-associative stages makes
+everything worse — old records are preferred and squat in stages the
+single recirculation pass can never clean, the fraction collected drops,
+and recirculation overhead *rises* (colliding fresh records must burn a
+recirculation just to gain eviction rights).
+"""
+
+from _sweeps import LARGE_RT, baseline_rtts, run_config, sweep_table
+
+from repro.core import DartConfig
+
+PT_SLOTS = 1 << 10
+STAGES = list(range(1, 9))
+
+
+def run_sweep(campus_trace, external_leg):
+    reference = baseline_rtts(campus_trace, external_leg)
+    performances = []
+    for k in STAGES:
+        config = DartConfig(rt_slots=LARGE_RT, pt_slots=PT_SLOTS,
+                            pt_stages=k, max_recirculations=1)
+        performances.append(
+            run_config(campus_trace, external_leg, config, reference)
+        )
+    return performances
+
+
+def test_fig12_pt_stages_sweep(benchmark, campus_trace, external_leg,
+                               report_sink):
+    performances = benchmark.pedantic(
+        run_sweep, args=(campus_trace, external_leg), rounds=1, iterations=1
+    )
+    table = sweep_table(
+        f"Figure 12: Dart with a large RT, fixed PT ({PT_SLOTS} slots), "
+        "varying stage count (max 1 recirculation)",
+        "stages",
+        STAGES,
+        performances,
+    )
+    report_sink(table)
+
+    fractions = [p.fraction_collected for p in performances]
+    recircs = [p.recirculations_per_packet for p in performances]
+    # Multi-stage at the same total memory collects fewer samples...
+    assert fractions[0] == max(fractions)
+    assert fractions[-1] < fractions[0] - 2.0
+    # ...and costs more recirculation bandwidth.
+    assert min(recircs[1:]) > recircs[0]

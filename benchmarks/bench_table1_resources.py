@@ -1,0 +1,41 @@
+"""Table 1: data-plane resource usage on Tofino 1 and Tofino 2.
+
+Regenerates the paper's resource table from the structural model in
+:mod:`repro.hw` and prints it next to the paper's reported numbers.
+"""
+
+from repro.analysis import render_table
+from repro.hw import PAPER_TABLE1, estimate_resources
+
+RESOURCES = ["TCAM", "SRAM", "Hash Units", "Logical Tables",
+             "Input Crossbars"]
+
+
+def build_table1() -> str:
+    usage1 = estimate_resources("tofino1")
+    usage2 = estimate_resources("tofino2")
+    rows = []
+    for resource in RESOURCES:
+        rows.append([
+            resource,
+            usage1[resource].percent,
+            PAPER_TABLE1["tofino1"][resource],
+            usage2[resource].percent,
+            PAPER_TABLE1["tofino2"][resource],
+        ])
+    return render_table(
+        ["Resource Type", "Tofino1 (model %)", "Tofino1 (paper %)",
+         "Tofino2 (model %)", "Tofino2 (paper %)"],
+        rows,
+        title="Table 1: Data Plane Resource Usage in the Tofino (1 and 2)",
+        float_format="{:.1f}",
+    )
+
+
+def test_table1_resources(benchmark, report_sink):
+    table = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    report_sink(table)
+    usage1 = estimate_resources("tofino1")
+    for resource in RESOURCES:
+        assert abs(usage1[resource].percent
+                   - PAPER_TABLE1["tofino1"][resource]) < 2.5

@@ -1,0 +1,56 @@
+"""Throughput microbenchmarks of the monitors themselves.
+
+Not a paper figure — the paper's throughput argument is that software
+monitors cap out at a few Mpps while the Tofino runs at line rate.
+These benchmarks measure *this simulator's* packets-per-second so that
+performance regressions in the hot path are caught, and to quantify the
+paper's point that per-packet software processing is the bottleneck
+(§1's DPDK comparison).
+"""
+
+import pytest
+
+from repro.baselines import Strawman, TcpTrace, tcptrace_const
+from repro.core import Dart, DartConfig
+
+
+@pytest.fixture(scope="module")
+def packet_block(campus_trace):
+    return campus_trace.records[:30_000]
+
+
+def _drive(monitor_factory, records):
+    monitor = monitor_factory()
+    process = monitor.process
+    for record in records:
+        process(record)
+    return monitor
+
+
+def test_throughput_dart_ideal(benchmark, packet_block):
+    benchmark(_drive, lambda: tcptrace_const(), packet_block)
+    benchmark.extra_info["packets"] = len(packet_block)
+
+
+def test_throughput_dart_constrained(benchmark, packet_block):
+    factory = lambda: Dart(DartConfig(rt_slots=1 << 16, pt_slots=1 << 12,
+                                      max_recirculations=1))
+    benchmark(_drive, factory, packet_block)
+    benchmark.extra_info["packets"] = len(packet_block)
+
+
+def test_throughput_dart_multistage(benchmark, packet_block):
+    factory = lambda: Dart(DartConfig(rt_slots=1 << 16, pt_slots=1 << 12,
+                                      pt_stages=8, max_recirculations=4))
+    benchmark(_drive, factory, packet_block)
+    benchmark.extra_info["packets"] = len(packet_block)
+
+
+def test_throughput_tcptrace(benchmark, packet_block):
+    benchmark(_drive, lambda: TcpTrace(), packet_block)
+    benchmark.extra_info["packets"] = len(packet_block)
+
+
+def test_throughput_strawman(benchmark, packet_block):
+    benchmark(_drive, lambda: Strawman(slots=1 << 12), packet_block)
+    benchmark.extra_info["packets"] = len(packet_block)

@@ -1,0 +1,30 @@
+"""Reproduction of "Continuous In-Network Round-Trip Time Monitoring"
+(Dart, SIGCOMM 2022).
+
+Subpackages:
+
+* :mod:`repro.core` — Dart itself: Range Tracker, Packet Tracker with
+  lazy eviction and recirculation, analytics.
+* :mod:`repro.net` — packet substrate: header codecs, pcap I/O.
+* :mod:`repro.simnet` — event-driven TCP network simulator.
+* :mod:`repro.traces` — synthetic campus / attack trace generators.
+* :mod:`repro.baselines` — tcptrace reimplementation and the strawman.
+* :mod:`repro.detection` — interception-attack change detection.
+* :mod:`repro.analysis` — distributions and the paper's §6.2 metrics.
+* :mod:`repro.hw` — Tofino resource model (Table 1).
+"""
+
+from .core import Dart, DartConfig, FlowKey, RttSample, ideal_config
+from .net import PacketRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Dart",
+    "DartConfig",
+    "FlowKey",
+    "PacketRecord",
+    "RttSample",
+    "ideal_config",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""Empirical distribution helpers (CDF, CCDF, percentiles).
+
+Used by the benchmark harness to regenerate the paper's distribution
+figures (Fig 6, Fig 9b/9c) and by the metrics module for percentile
+errors.  Percentiles use linear interpolation (numpy's default), which
+is what matters for comparing two distributions at the same p.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The p-th percentile (0..100) of a non-empty sample."""
+    if len(values) == 0:
+        raise ValueError("percentile of empty sample")
+    return float(np.percentile(np.asarray(values, dtype=float), p))
+
+
+def cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Empirical CDF as (sorted values, cumulative fractions]."""
+    if len(values) == 0:
+        return [], []
+    xs = np.sort(np.asarray(values, dtype=float))
+    ys = np.arange(1, len(xs) + 1) / len(xs)
+    return xs.tolist(), ys.tolist()
+
+def ccdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Complementary CDF, P[X > x], as (sorted values, tail fractions)."""
+    xs, ys = cdf(values)
+    return xs, [1.0 - y for y in ys]
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """P[X < threshold] of the empirical sample."""
+    if len(values) == 0:
+        raise ValueError("fraction of empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(arr < threshold) / arr.size)
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """P[X > threshold] of the empirical sample."""
+    if len(values) == 0:
+        raise ValueError("fraction of empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(arr > threshold) / arr.size)
+
+
+def fraction_between(
+    values: Sequence[float], low: float, high: float
+) -> float:
+    """P[low <= X <= high] of the empirical sample."""
+    if len(values) == 0:
+        raise ValueError("fraction of empty sample")
+    arr = np.asarray(values, dtype=float)
+    return float(np.count_nonzero((arr >= low) & (arr <= high)) / arr.size)
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Standard summary row used across the benches."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "p25": percentile(arr, 25),
+        "p50": percentile(arr, 50),
+        "p90": percentile(arr, 90),
+        "p95": percentile(arr, 95),
+        "p99": percentile(arr, 99),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+    }
+
+
+def quantile_series(
+    values: Sequence[float], points: Iterable[float]
+) -> List[Tuple[float, float]]:
+    """(p, percentile) pairs for plotting a distribution."""
+    return [(p, percentile(values, p)) for p in points]

@@ -1,0 +1,107 @@
+"""The paper's §6.2 performance metrics.
+
+Dart's accuracy against ``tcptrace_const`` is quantified by:
+
+* **RTT collection error** at the p-th percentile:
+  ``(pct(baseline, p) - pct(dart, p)) / pct(baseline, p)`` — positive
+  means Dart *under*-estimates; Fig 12's negative errors mean
+  over-estimation.  The worst case over p in [5, 95] supplements the
+  p = 50/95/99 points.
+* **Fraction of RTT samples collected**: Dart's sample count over the
+  baseline's, as a percentage.
+* **Recirculations incurred per packet**: total recirculations over
+  total packets processed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .distributions import percentile
+
+REPORTED_PERCENTILES = (50, 95, 99)
+WORST_CASE_RANGE = tuple(range(5, 96, 5))
+
+
+def collection_error_percent(
+    baseline_rtts: Sequence[float], dart_rtts: Sequence[float], p: float
+) -> float:
+    """RTT collection error at one percentile, in percent."""
+    base = percentile(baseline_rtts, p)
+    if base == 0:
+        raise ValueError(f"baseline percentile p{p} is zero")
+    return 100.0 * (base - percentile(dart_rtts, p)) / base
+
+
+def worst_case_error_percent(
+    baseline_rtts: Sequence[float],
+    dart_rtts: Sequence[float],
+    percentiles: Sequence[float] = WORST_CASE_RANGE,
+) -> float:
+    """Max-|error| over p in [5, 95] (signed value of the worst point)."""
+    worst = 0.0
+    for p in percentiles:
+        err = collection_error_percent(baseline_rtts, dart_rtts, p)
+        if abs(err) > abs(worst):
+            worst = err
+    return worst
+
+
+def fraction_collected_percent(
+    baseline_count: int, dart_count: int
+) -> float:
+    """Dart's sample count relative to the baseline's, in percent."""
+    if baseline_count <= 0:
+        raise ValueError("baseline collected no samples")
+    return 100.0 * dart_count / baseline_count
+
+
+@dataclass(frozen=True)
+class DartPerformance:
+    """The §6.2 metric bundle for one Dart configuration."""
+
+    error_p50: float
+    error_p95: float
+    error_p99: float
+    error_worst_5_95: float
+    fraction_collected: float
+    recirculations_per_packet: float
+    dart_samples: int
+    baseline_samples: int
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "err_p50_%": self.error_p50,
+            "err_p95_%": self.error_p95,
+            "err_p99_%": self.error_p99,
+            "err_worst_%": self.error_worst_5_95,
+            "fraction_%": self.fraction_collected,
+            "recirc_per_pkt": self.recirculations_per_packet,
+        }
+
+
+def evaluate_dart(
+    baseline_rtts: Sequence[float],
+    dart_rtts: Sequence[float],
+    *,
+    recirculations: int,
+    packets_processed: int,
+) -> DartPerformance:
+    """Compute the full metric bundle for one configuration."""
+    if len(dart_rtts) == 0:
+        raise ValueError("Dart collected no samples; nothing to evaluate")
+    return DartPerformance(
+        error_p50=collection_error_percent(baseline_rtts, dart_rtts, 50),
+        error_p95=collection_error_percent(baseline_rtts, dart_rtts, 95),
+        error_p99=collection_error_percent(baseline_rtts, dart_rtts, 99),
+        error_worst_5_95=worst_case_error_percent(baseline_rtts, dart_rtts),
+        fraction_collected=fraction_collected_percent(
+            len(baseline_rtts), len(dart_rtts)
+        ),
+        recirculations_per_packet=(
+            recirculations / packets_processed if packets_processed else 0.0
+        ),
+        dart_samples=len(dart_rtts),
+        baseline_samples=len(baseline_rtts),
+    )

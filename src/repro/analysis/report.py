@@ -1,0 +1,115 @@
+"""Plain-text tables and charts for the benchmark harness.
+
+Every bench prints the rows/series of the table or figure it reproduces;
+these helpers keep the output uniform and readable in a terminal, with
+no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width table."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def render_series(
+    points: Sequence[Tuple[float, float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render one (x, y) series as an ASCII scatter/line chart."""
+    if not points:
+        return "(empty series)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_x:
+        xs = [math.log10(x) if x > 0 else 0.0 for x in xs]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{y_label}  [{y_min:.3g} .. {y_max:.3g}]")
+    for line in grid:
+        out.append("|" + "".join(line))
+    out.append("+" + "-" * width)
+    left = f"{points[0][0]:.3g}"
+    right = f"{points[-1][0]:.3g}"
+    out.append(
+        f" {left}{' ' * max(1, width - len(left) - len(right))}{right}"
+        f"   ({x_label}{', log' if log_x else ''})"
+    )
+    return "\n".join(out)
+
+
+def render_cdf(
+    series: Dict[str, Sequence[float]],
+    *,
+    points: Sequence[float],
+    unit: str = "ms",
+    title: Optional[str] = None,
+) -> str:
+    """Tabulate CDFs of several distributions at fixed thresholds."""
+    from .distributions import fraction_below
+
+    headers = [f"P[X < x] at x ({unit})"] + [f"{p:g}" for p in points]
+    rows = []
+    for name, values in series.items():
+        rows.append(
+            [name] + [100.0 * fraction_below(values, p) for p in points]
+        )
+    return render_table(headers, rows, title=title, float_format="{:.1f}")
+
+
+def format_count(n: float) -> str:
+    """Human-scale counts like the paper's '7.53M'."""
+    if n >= 1_000_000:
+        return f"{n / 1_000_000:.2f}M"
+    if n >= 1_000:
+        return f"{n / 1_000:.1f}K"
+    return f"{n:.0f}"

@@ -1,0 +1,197 @@
+"""Streaming quantile sketches for RTT distributions.
+
+The analytics module (§3.3) is the customization point for operators;
+beyond minima, operators typically want percentiles (the paper reports
+p50/p95/p99 throughout §6).  Holding every sample is exactly what a
+data plane cannot do, so this module provides a DDSketch-style
+log-bucketed quantile estimator: constant-size state, one multiply/
+compare per insert (feasible as a register array plus a lookup table on
+a switch), and a guaranteed *relative* accuracy.
+
+Guarantee: for relative accuracy ``alpha``, a returned quantile ``q̂``
+satisfies ``|q̂ - q| <= alpha * q`` for the true sample quantile ``q``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class QuantileSketch:
+    """A DDSketch-style relative-error quantile sketch."""
+
+    def __init__(self, *, alpha: float = 0.01,
+                 max_buckets: Optional[int] = 4096) -> None:
+        if not 0 < alpha < 1:
+            raise ValueError(f"alpha out of range: {alpha}")
+        self.alpha = alpha
+        self._gamma = (1 + alpha) / (1 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._max_buckets = max_buckets
+        self._buckets: Dict[int, int] = {}
+        self._zero_count = 0
+        self.count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- insertion -----------------------------------------------------------
+
+    def _bucket_of(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Insert a non-negative value."""
+        if value < 0:
+            raise ValueError("sketch accepts non-negative values only")
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self.count += weight
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if value == 0:
+            self._zero_count += weight
+            return
+        index = self._bucket_of(value)
+        self._buckets[index] = self._buckets.get(index, 0) + weight
+        if (self._max_buckets is not None
+                and len(self._buckets) > self._max_buckets):
+            self._collapse_smallest()
+
+    def _collapse_smallest(self) -> None:
+        """Merge the two smallest buckets (bounded-memory fallback).
+
+        Collapsing low buckets preserves accuracy at the high quantiles
+        operators alarm on (p95/p99) at the cost of the extreme low end.
+        """
+        low, second = sorted(self._buckets)[:2]
+        self._buckets[second] = self._buckets.get(second, 0) + self._buckets.pop(low)
+
+    # -- queries ----------------------------------------------------------------
+
+    def quantile(self, p: float) -> float:
+        """The p-th (0..100) quantile estimate."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"quantile out of range: {p}")
+        if self.count == 0:
+            raise ValueError("quantile of an empty sketch")
+        rank = p / 100 * (self.count - 1)
+        if rank < self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen > rank:
+                upper = self._gamma ** index
+                estimate = 2 * upper / (1 + self._gamma)
+                return min(max(estimate, self._min or 0.0),
+                           self._max or estimate)
+        return self._max if self._max is not None else 0.0
+
+    @property
+    def min(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        return self._max
+
+    def bucket_count(self) -> int:
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    # -- composition ----------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch (same alpha) into this one."""
+        if abs(other.alpha - self.alpha) > 1e-12:
+            raise ValueError("cannot merge sketches with different alpha")
+        for index, weight in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + weight
+        self._zero_count += other._zero_count
+        self.count += other.count
+        for bound in (other._min, other._max):
+            if bound is None:
+                continue
+            self._min = bound if self._min is None else min(self._min, bound)
+            self._max = bound if self._max is None else max(self._max, bound)
+        while (self._max_buckets is not None
+               and len(self._buckets) > self._max_buckets):
+            self._collapse_smallest()
+
+
+@dataclass(frozen=True)
+class SketchWindow:
+    """Per-window percentile digest emitted by the sketch analytics."""
+
+    key: object
+    window_index: int
+    closed_at_ns: int
+    count: int
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    min_ns: float
+    max_ns: float
+
+
+class QuantileSketchAnalytics:
+    """Windowed percentile tracking on constant per-key state.
+
+    A drop-in alternative to :class:`~repro.core.analytics.MinFilterAnalytics`
+    when the operator wants distribution shape, not just minima —
+    while keeping state a switch could plausibly hold.
+    """
+
+    def __init__(self, *, window_ns: int, alpha: float = 0.02,
+                 key_fn=None, on_window=None) -> None:
+        if window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self._window_ns = window_ns
+        self._alpha = alpha
+        self._key_fn = key_fn or (lambda sample: sample.flow)
+        self._on_window = on_window
+        self._open: Dict[object, Tuple[int, int, QuantileSketch]] = {}
+        self.history: List[SketchWindow] = []
+
+    def add(self, sample) -> None:
+        key = self._key_fn(sample)
+        state = self._open.get(key)
+        if state is None:
+            state = (0, sample.timestamp_ns, QuantileSketch(alpha=self._alpha))
+            self._open[key] = state
+        index, started, sketch = state
+        while sample.timestamp_ns - started >= self._window_ns:
+            self._close(key, index, started, sketch)
+            index += 1
+            started += self._window_ns
+            sketch = QuantileSketch(alpha=self._alpha)
+            self._open[key] = (index, started, sketch)
+        sketch.add(sample.rtt_ns)
+
+    def _close(self, key, index, started, sketch) -> None:
+        if sketch.count == 0:
+            return
+        window = SketchWindow(
+            key=key,
+            window_index=index,
+            closed_at_ns=started + self._window_ns,
+            count=sketch.count,
+            p50_ns=sketch.quantile(50),
+            p95_ns=sketch.quantile(95),
+            p99_ns=sketch.quantile(99),
+            min_ns=sketch.min or 0.0,
+            max_ns=sketch.max or 0.0,
+        )
+        self.history.append(window)
+        if self._on_window is not None:
+            self._on_window(window)
+
+    def flush(self, now_ns: int) -> None:
+        for key, (index, started, sketch) in list(self._open.items()):
+            self._close(key, index, started, sketch)
+        self._open.clear()
+
+    def worth_recirculating(self, flow, timestamp_ns: int,
+                            now_ns: int) -> bool:
+        return True  # percentile tracking wants every sample

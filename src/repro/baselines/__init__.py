@@ -1,0 +1,36 @@
+"""Baseline monitors the paper compares against.
+
+* :class:`TcpTrace` — the offline software oracle (§6.1), including its
+  quadrant double-counting flaw.
+* :func:`tcptrace_const` — the paper's name for Dart with unlimited,
+  fully-associative memory and no handshake tracking (§6.2 baseline).
+* :class:`Strawman` — the §2.1 hash-table-with-timeout design.
+* :class:`DapperMonitor` — one in-flight measurement per flow (§8).
+"""
+
+from ..core import Dart, DartConfig
+from .dapper import DapperMonitor, DapperStats
+from .strawman import Strawman, StrawmanStats
+from .tcptrace import TcpTrace, TcpTraceStats
+
+
+def tcptrace_const(*, leg_filter=None, analytics=None) -> Dart:
+    """Dart(-SYN) with unlimited fully-associative memory (§6.2).
+
+    The paper treats this configuration as "a variant of tcptrace with
+    constant [per-flow] space" and uses it as the baseline for every
+    table-configuration experiment.
+    """
+    config = DartConfig(rt_slots=None, pt_slots=None, track_handshake=False)
+    return Dart(config, leg_filter=leg_filter, analytics=analytics)
+
+
+__all__ = [
+    "DapperMonitor",
+    "DapperStats",
+    "Strawman",
+    "StrawmanStats",
+    "TcpTrace",
+    "TcpTraceStats",
+    "tcptrace_const",
+]

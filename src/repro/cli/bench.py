@@ -1,0 +1,105 @@
+"""``dart-bench``: quick table-configuration sweeps from the command line.
+
+A lightweight version of the §6.2 benchmark harness: generates a
+synthetic campus trace and sweeps one knob (PT size, stage count, or the
+recirculation budget), printing the paper's three metrics per point.
+
+Example::
+
+    dart-bench --sweep pt-size --connections 1500
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..analysis import evaluate_dart, render_table
+from ..baselines import tcptrace_const
+from ..core import Dart, DartConfig, make_leg_filter
+from ..traces import CampusTraceConfig, generate_campus_trace, replay
+
+LARGE_RT = 1 << 18
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dart-bench",
+        description="Sweep one Dart table knob over a synthetic trace.",
+    )
+    parser.add_argument("--sweep", choices=["pt-size", "stages", "recirc"],
+                        default="pt-size")
+    parser.add_argument("--connections", type=int, default=1000,
+                        help="synthetic trace size (default 1000)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--pt-slots", type=int, default=1 << 10,
+                        help="fixed PT size for stages/recirc sweeps")
+    return parser
+
+
+def sweep_points(args):
+    if args.sweep == "pt-size":
+        return [
+            (f"2^{n}", DartConfig(rt_slots=LARGE_RT, pt_slots=1 << n,
+                                  max_recirculations=1))
+            for n in range(6, 15)
+        ]
+    if args.sweep == "stages":
+        return [
+            (str(k), DartConfig(rt_slots=LARGE_RT, pt_slots=args.pt_slots,
+                                pt_stages=k, max_recirculations=1))
+            for k in range(1, 9)
+        ]
+    return [
+        (str(r), DartConfig(rt_slots=LARGE_RT, pt_slots=args.pt_slots,
+                            pt_stages=8, max_recirculations=r))
+        for r in range(1, 9)
+    ]
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    print(f"generating campus trace ({args.connections} connections, "
+          f"seed {args.seed})...", file=sys.stderr)
+    trace = generate_campus_trace(
+        CampusTraceConfig(connections=args.connections, seed=args.seed)
+    )
+
+    def leg():
+        return make_leg_filter(trace.internal.is_internal,
+                               legs=("external",))
+
+    baseline = tcptrace_const(leg_filter=leg())
+    replay(trace.records, baseline)
+    reference = [s.rtt_ns for s in baseline.samples]
+    print(f"trace: {trace.packets} packets; baseline samples: "
+          f"{len(reference)}", file=sys.stderr)
+
+    rows = []
+    for label, config in sweep_points(args):
+        dart = Dart(config, leg_filter=leg())
+        replay(trace.records, dart)
+        perf = evaluate_dart(
+            reference,
+            [s.rtt_ns for s in dart.samples],
+            recirculations=dart.stats.recirculations,
+            packets_processed=dart.stats.packets_processed,
+        )
+        rows.append([
+            label, perf.error_p50, perf.error_p95, perf.error_p99,
+            perf.error_worst_5_95, perf.fraction_collected,
+            perf.recirculations_per_packet,
+        ])
+    print(render_table(
+        [args.sweep, "err p50 (%)", "err p95 (%)", "err p99 (%)",
+         "worst [5,95] (%)", "fraction (%)", "recirc/pkt"],
+        rows,
+        title=f"dart-bench sweep: {args.sweep}",
+        float_format="{:.3f}",
+    ))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

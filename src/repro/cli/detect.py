@@ -1,0 +1,113 @@
+"""``dart-detect``: run the event detectors over a capture file.
+
+Replays a pcap/pcapng through Dart and feeds the sample stream to the
+interception detector (per destination /24, windowed-min change
+detection, paper §5.2) and the bufferbloat detector (§7), printing every
+event with its timestamp.
+
+Example::
+
+    dart-detect capture.pcap --internal 10.0.0.0/8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..core import Dart, DartConfig, dst_prefix_key, make_leg_filter
+from ..detection import (
+    BufferbloatConfig,
+    BufferbloatDetector,
+    DetectorConfig,
+    InterceptionDetector,
+)
+from ..net.inet import format_prefix, int_to_ipv4, ipv4_to_int, prefix_of
+from ..net.pcapng import read_any_capture
+
+SEC = 1_000_000_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dart-detect",
+        description="Detect interception/bufferbloat events in a capture.",
+    )
+    parser.add_argument("pcap", help="capture file (pcap or pcapng)")
+    parser.add_argument("--internal", metavar="PREFIX", required=True,
+                        help="internal network as a.b.c.d/len")
+    parser.add_argument("--prefix-len", type=int, default=24,
+                        help="aggregation prefix for detection (default 24)")
+    parser.add_argument("--window", type=int, default=8,
+                        help="min-RTT window size in samples (default 8)")
+    parser.add_argument("--rise-factor", type=float, default=2.0,
+                        help="abrupt-rise threshold (default 2.0x)")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    network_text, _, length_text = args.internal.partition("/")
+    network = ipv4_to_int(network_text)
+    length = int(length_text) if length_text else 32
+    network = prefix_of(network, length)
+
+    dart = Dart(
+        DartConfig(),
+        leg_filter=make_leg_filter(
+            lambda addr: addr < (1 << 32)
+            and prefix_of(addr, length) == network,
+            legs=("external",),
+        ),
+    )
+    key_fn = dst_prefix_key(args.prefix_len)
+    interception: dict = {}
+    bloat = BufferbloatDetector(BufferbloatConfig(), key_fn=key_fn)
+
+    events = 0
+    for record in read_any_capture(args.pcap):
+        for sample in dart.process(record):
+            key = key_fn(sample)
+            detector = interception.get(key)
+            if detector is None:
+                detector = InterceptionDetector(
+                    DetectorConfig(window_samples=args.window,
+                                   rise_factor=args.rise_factor)
+                )
+                interception[key] = detector
+            seen = len(detector.events)
+            detector.add(sample)
+            for event in detector.events[seen:]:
+                events += 1
+                print(f"t={event.timestamp_ns / SEC:10.3f}s  "
+                      f"{format_prefix(key, args.prefix_len):>20s}  "
+                      f"interception:{event.state.value:<10s} "
+                      f"min={event.min_rtt_ns / 1e6:.1f}ms "
+                      f"baseline={event.baseline_ns / 1e6:.1f}ms")
+            episode = bloat.add(sample)
+            if episode is not None:
+                events += 1
+                print(f"t={episode.confirmed_at_ns / SEC:10.3f}s  "
+                      f"{format_prefix(key, args.prefix_len):>20s}  "
+                      f"bufferbloat confirmed: p90 "
+                      f"{episode.inflation:.1f}x over "
+                      f"{episode.baseline_min_ns / 1e6:.1f}ms floor")
+
+    print(f"\n{dart.stats.packets_processed} packets, "
+          f"{dart.stats.samples} samples, "
+          f"{len(interception)} prefixes monitored, {events} events",
+          file=sys.stderr)
+    confirmed = [
+        format_prefix(key, args.prefix_len)
+        for key, detector in interception.items()
+        if detector.confirmed_at_ns is not None
+    ]
+    if confirmed:
+        print(f"interception CONFIRMED on: {', '.join(confirmed)}")
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""``dart-replay``: analyze a pcap file with Dart from the command line.
+
+Example::
+
+    dart-replay capture.pcap --internal 10.0.0.0/8 --leg external \\
+        --pt-slots 4096 --recirc 2
+
+Prints a summary (sample count, percentiles, overhead counters) or, with
+``--dump``, one line per RTT sample.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from ..analysis import percentile, render_table
+from ..core import Dart, DartConfig, make_leg_filter
+from ..net.inet import ipv4_to_int, prefix_of
+from ..traces import replay_pcap
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dart-replay",
+        description="Replay a pcap through Dart and report RTT samples.",
+    )
+    parser.add_argument("pcap", help="capture file to analyze")
+    parser.add_argument(
+        "--internal", metavar="PREFIX",
+        help="internal network as a.b.c.d/len; enables leg separation",
+    )
+    parser.add_argument(
+        "--leg", choices=["external", "internal", "both"], default="both",
+        help="which leg(s) to measure (requires --internal)",
+    )
+    parser.add_argument("--rt-slots", type=int, default=None,
+                        help="Range Tracker slots (default: unlimited)")
+    parser.add_argument("--pt-slots", type=int, default=None,
+                        help="Packet Tracker slots (default: unlimited)")
+    parser.add_argument("--stages", type=int, default=1,
+                        help="PT stage count (default 1)")
+    parser.add_argument("--recirc", type=int, default=1,
+                        help="max recirculations per record (default 1)")
+    parser.add_argument("--handshake", action="store_true",
+                        help="track SYN/SYN-ACK packets (+SYN mode)")
+    parser.add_argument("--dump", action="store_true",
+                        help="print one line per RTT sample")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="also stream samples to a CSV file")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="also stream samples to a JSONL file")
+    parser.add_argument("--reports", metavar="PATH",
+                        help="also stream binary report records (the "
+                             "switch-to-collector format)")
+    parser.add_argument("--flows", type=int, metavar="N", default=0,
+                        help="print per-flow summaries for the N busiest "
+                             "flows")
+    return parser
+
+
+def parse_prefix(text: str):
+    network_text, _, length_text = text.partition("/")
+    network = ipv4_to_int(network_text)
+    length = int(length_text) if length_text else 32
+    return prefix_of(network, length), length
+
+
+def build_dart(args) -> Dart:
+    config = DartConfig(
+        rt_slots=args.rt_slots,
+        pt_slots=args.pt_slots,
+        pt_stages=args.stages,
+        max_recirculations=args.recirc,
+        track_handshake=args.handshake,
+    )
+    leg_filter = None
+    if args.internal:
+        network, length = parse_prefix(args.internal)
+        legs = (("external", "internal") if args.leg == "both"
+                else (args.leg,))
+        leg_filter = make_leg_filter(
+            lambda addr: prefix_of(addr, length) == network, legs=legs
+        )
+    elif args.leg != "both":
+        raise SystemExit("--leg requires --internal to orient the path")
+    return Dart(config, leg_filter=leg_filter)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    dart = build_dart(args)
+
+    from ..export import CsvSink, FlowSummarySink, JsonlSink, ReportFileSink
+
+    extra_sinks = []
+    if args.csv:
+        extra_sinks.append(CsvSink(args.csv))
+    if args.jsonl:
+        extra_sinks.append(JsonlSink(args.jsonl))
+    if args.reports:
+        extra_sinks.append(ReportFileSink(args.reports))
+    summaries = FlowSummarySink() if args.flows else None
+    if summaries is not None:
+        extra_sinks.append(summaries)
+    collector = dart.analytics
+    if extra_sinks:
+        from ..core import TeeSink
+
+        dart.analytics = TeeSink([collector] + extra_sinks)
+
+    report = replay_pcap(args.pcap, dart)
+    for sink in extra_sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
+
+    if args.dump:
+        for sample in collector.samples:
+            leg = sample.leg or "-"
+            print(f"{sample.timestamp_ns / 1e9:.6f} "
+                  f"{sample.flow.describe()} rtt_ms={sample.rtt_ms:.3f} "
+                  f"leg={leg}{' handshake' if sample.handshake else ''}")
+        return 0
+
+    rtts = [s.rtt_ms for s in collector.samples]
+    stats = dart.stats
+    rows = [
+        ["packets replayed", report.packets],
+        ["replay rate (pkts/s)", f"{report.packets_per_second:,.0f}"],
+        ["RTT samples", len(rtts)],
+    ]
+    if rtts:
+        rows += [
+            ["median RTT (ms)", f"{percentile(rtts, 50):.3f}"],
+            ["p95 RTT (ms)", f"{percentile(rtts, 95):.3f}"],
+            ["p99 RTT (ms)", f"{percentile(rtts, 99):.3f}"],
+            ["max RTT (ms)", f"{max(rtts):.3f}"],
+        ]
+    rows += [
+        ["recirculations/pkt", f"{stats.recirculations_per_packet():.4f}"],
+        ["range collapses", dart.range_tracker.stats.total_collapses],
+        ["SYNs ignored", stats.ignored_syn],
+    ]
+    print(render_table(["quantity", "value"], rows, title="dart-replay"))
+    if summaries is not None:
+        print()
+        print(f"busiest {args.flows} flows:")
+        for summary in summaries.top_by_samples(args.flows):
+            print("  " + summary.describe())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Dart core: the paper's primary contribution.
+
+The public surface:
+
+* :class:`Dart` — the monitor pipeline (Fig 3).
+* :class:`DartConfig` — table sizing / behaviour knobs (§6.2 sweeps).
+* :class:`RangeTracker` — per-flow measurement ranges (§3.1).
+* The Packet Tracker backends — per-packet state with lazy eviction and
+  recirculation (§3.2).
+* Analytics — min-filtering and prefix aggregation (§3.3).
+"""
+
+from .analytics import (
+    CollectAllAnalytics,
+    MinFilterAnalytics,
+    PrefixMinAnalytics,
+    WindowMinimum,
+    dst_prefix_key,
+)
+from .config import DartConfig, ideal_config, paper_default_config
+from .flow import FlowKey, ack_target_flow, flow_of
+from .packet_tracker import (
+    AssociativePacketTable,
+    InsertStatus,
+    PtRecord,
+    StagedPacketTable,
+)
+from .payload import PayloadSizeTable, arithmetic_payload_size
+from .pipeline import (
+    EXTERNAL_LEG,
+    INTERNAL_LEG,
+    Dart,
+    DartStats,
+    make_leg_filter,
+)
+from .range_tracker import (
+    AckVerdict,
+    RangeEntry,
+    RangeTracker,
+    SeqVerdict,
+)
+from .samples import (
+    CountingSink,
+    NullSink,
+    RttSample,
+    SampleCollector,
+    TeeSink,
+)
+from .targets import TargetFlowTable, TargetRule
+
+__all__ = [
+    "AckVerdict",
+    "AssociativePacketTable",
+    "CollectAllAnalytics",
+    "CountingSink",
+    "Dart",
+    "DartConfig",
+    "DartStats",
+    "EXTERNAL_LEG",
+    "FlowKey",
+    "INTERNAL_LEG",
+    "InsertStatus",
+    "MinFilterAnalytics",
+    "NullSink",
+    "PayloadSizeTable",
+    "PrefixMinAnalytics",
+    "PtRecord",
+    "RangeEntry",
+    "RangeTracker",
+    "RttSample",
+    "SampleCollector",
+    "SeqVerdict",
+    "StagedPacketTable",
+    "TargetFlowTable",
+    "TargetRule",
+    "TeeSink",
+    "WindowMinimum",
+    "ack_target_flow",
+    "arithmetic_payload_size",
+    "dst_prefix_key",
+    "flow_of",
+    "ideal_config",
+    "make_leg_filter",
+    "paper_default_config",
+]

@@ -1,0 +1,215 @@
+"""The analytics module — paper §3.3.
+
+Analytics components consume the RTT sample stream.  Beyond aggregation,
+an analytics module can *reduce* data-plane resource usage: its
+``worth_recirculating`` hook lets the pipeline drop evicted PT records
+that can no longer produce a sample the analytics would care about
+(e.g. a sample that cannot beat the current windowed minimum).
+
+Provided components:
+
+* :class:`CollectAllAnalytics` — keep everything (evaluation default).
+* :class:`MinFilterAnalytics` — track the minimum RTT per key per window
+  (the paper's propagation-delay monitoring example), with windows by
+  sample count or by time.
+* :class:`PrefixMinAnalytics` — minimum RTT aggregated per destination
+  prefix (the paper's /24 aggregation suggestion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional
+
+from ..net.inet import prefix_of
+from .flow import FlowKey
+from .samples import RttSample, SampleCollector
+
+
+class CollectAllAnalytics:
+    """Stores every sample; never purges recirculating records."""
+
+    def __init__(self) -> None:
+        self.collector = SampleCollector()
+
+    def add(self, sample: RttSample) -> None:
+        self.collector.add(sample)
+
+    def worth_recirculating(self, flow: FlowKey, timestamp_ns: int,
+                            now_ns: int) -> bool:
+        return True
+
+    @property
+    def samples(self) -> List[RttSample]:
+        return self.collector.samples
+
+
+@dataclass(frozen=True, slots=True)
+class WindowMinimum:
+    """One closed window's minimum RTT for a key."""
+
+    key: Hashable
+    window_index: int
+    min_rtt_ns: int
+    sample_count: int
+    closed_at_ns: int
+
+
+class _WindowState:
+    __slots__ = ("window_index", "min_rtt_ns", "sample_count", "started_at_ns")
+
+    def __init__(self, window_index: int, started_at_ns: int) -> None:
+        self.window_index = window_index
+        self.min_rtt_ns: Optional[int] = None
+        self.sample_count = 0
+        self.started_at_ns = started_at_ns
+
+
+class MinFilterAnalytics:
+    """Windowed minimum-RTT tracking (the paper's min-filtering example).
+
+    Windows can close after a fixed number of samples (paper §5.2 uses 8
+    consecutive samples) or after a fixed time span — give exactly one of
+    ``window_samples`` / ``window_ns``.
+
+    ``key_fn`` maps each sample to its aggregation key (default: the
+    flow 4-tuple).  Closed windows are appended to :attr:`history` and
+    handed to ``on_window`` if provided, which is how the interception
+    detector (:mod:`repro.detection`) consumes Dart output in real time.
+    """
+
+    def __init__(
+        self,
+        *,
+        window_samples: Optional[int] = None,
+        window_ns: Optional[int] = None,
+        key_fn: Optional[Callable[[RttSample], Hashable]] = None,
+        on_window: Optional[Callable[[WindowMinimum], None]] = None,
+    ) -> None:
+        if (window_samples is None) == (window_ns is None):
+            raise ValueError("give exactly one of window_samples / window_ns")
+        if window_samples is not None and window_samples <= 0:
+            raise ValueError("window_samples must be positive")
+        if window_ns is not None and window_ns <= 0:
+            raise ValueError("window_ns must be positive")
+        self._window_samples = window_samples
+        self._window_ns = window_ns
+        self._key_fn = key_fn or (lambda sample: sample.flow)
+        self._on_window = on_window
+        self._state: Dict[Hashable, _WindowState] = {}
+        self.history: List[WindowMinimum] = []
+        self.sample_count = 0
+
+    def add(self, sample: RttSample) -> None:
+        self.sample_count += 1
+        key = self._key_fn(sample)
+        state = self._state.get(key)
+        if state is None:
+            state = _WindowState(0, sample.timestamp_ns)
+            self._state[key] = state
+        if self._window_ns is not None:
+            # Close any windows the clock has already passed (time-based
+            # windows can close without a sample arriving in them).
+            while sample.timestamp_ns - state.started_at_ns >= self._window_ns:
+                self._close(key, state, sample.timestamp_ns)
+                state.window_index += 1
+                state.started_at_ns += self._window_ns
+        if state.min_rtt_ns is None or sample.rtt_ns < state.min_rtt_ns:
+            state.min_rtt_ns = sample.rtt_ns
+        state.sample_count += 1
+        if (
+            self._window_samples is not None
+            and state.sample_count >= self._window_samples
+        ):
+            self._close(key, state, sample.timestamp_ns)
+            state.window_index += 1
+            state.started_at_ns = sample.timestamp_ns
+
+    def _close(self, key: Hashable, state: _WindowState, now_ns: int) -> None:
+        if state.min_rtt_ns is None:
+            # An empty time window carries no information; skip it.
+            state.sample_count = 0
+            return
+        window = WindowMinimum(
+            key=key,
+            window_index=state.window_index,
+            min_rtt_ns=state.min_rtt_ns,
+            sample_count=state.sample_count,
+            closed_at_ns=now_ns,
+        )
+        self.history.append(window)
+        if self._on_window is not None:
+            self._on_window(window)
+        state.min_rtt_ns = None
+        state.sample_count = 0
+
+    def flush(self, now_ns: int) -> None:
+        """Close all open windows (end of trace)."""
+        for key, state in self._state.items():
+            self._close(key, state, now_ns)
+
+    def current_min(self, key: Hashable) -> Optional[int]:
+        """Minimum RTT observed so far in the key's open window."""
+        state = self._state.get(key)
+        return state.min_rtt_ns if state is not None else None
+
+    def minima_for(self, key: Hashable) -> List[WindowMinimum]:
+        """Closed-window minima for one key, in window order."""
+        return [w for w in self.history if w.key == key]
+
+    # -- Preemptive discard (paper §3.3) -----------------------------------
+
+    def worth_recirculating(self, flow: FlowKey, timestamp_ns: int,
+                            now_ns: int) -> bool:
+        """Is an evicted record still able to produce a *useful* sample?
+
+        The best-case sample from a record inserted at ``timestamp_ns``
+        is ``now - timestamp``; if that already exceeds the current
+        window's minimum for the record's key, recirculating it can only
+        waste bandwidth (paper §3.3, "preemptively discard useless
+        samples").
+        """
+        key = self._key_fn(_probe_sample(flow, now_ns))
+        current = self.current_min(key)
+        if current is None:
+            return True
+        return now_ns - timestamp_ns < current
+
+
+def _probe_sample(flow: FlowKey, now_ns: int) -> RttSample:
+    """A throwaway sample used only to evaluate ``key_fn`` for a flow."""
+    return RttSample(flow=flow, rtt_ns=0, timestamp_ns=now_ns, eack=0)
+
+
+def dst_prefix_key(prefix_len: int = 24) -> Callable[[RttSample], Hashable]:
+    """Key function aggregating samples by the data receiver's prefix.
+
+    For external-leg measurement the SEQ-direction flow's destination is
+    the remote (Internet) host, so this aggregates per remote /24 — the
+    paper's suggested congestion view (§3.1).
+    """
+
+    def key_fn(sample: RttSample) -> Hashable:
+        return prefix_of(sample.flow.dst_ip, prefix_len)
+
+    return key_fn
+
+
+class PrefixMinAnalytics(MinFilterAnalytics):
+    """Minimum-RTT windows aggregated per destination /N prefix."""
+
+    def __init__(
+        self,
+        *,
+        prefix_len: int = 24,
+        window_samples: Optional[int] = None,
+        window_ns: Optional[int] = None,
+        on_window: Optional[Callable[[WindowMinimum], None]] = None,
+    ) -> None:
+        super().__init__(
+            window_samples=window_samples,
+            window_ns=window_ns,
+            key_fn=dst_prefix_key(prefix_len),
+            on_window=on_window,
+        )
+        self.prefix_len = prefix_len

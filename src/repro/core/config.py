@@ -1,0 +1,123 @@
+"""Dart configuration.
+
+One :class:`DartConfig` captures every knob the paper's evaluation sweeps
+(§6.2): table sizes and associativity, the recirculation budget, and
+whether handshake (SYN/SYN-ACK) packets are tracked.
+
+``rt_slots=None`` / ``pt_slots=None`` selects the *ideal* fully
+associative, unlimited-memory mode used in §6.1 — with
+``track_handshake=False`` that configuration is exactly the paper's
+``tcptrace_const`` baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .hashing import MAX_STAGES
+
+
+@dataclass(frozen=True)
+class DartConfig:
+    """Configuration for one Dart instance.
+
+    Attributes:
+        rt_slots: Range Tracker slot count (power of two), or None for
+            an unlimited fully-associative table.
+        pt_slots: Packet Tracker total slot count across all stages, or
+            None for an unlimited fully-associative table.
+        pt_stages: number of one-way-associative PT stages the slots are
+            divided across (paper Fig 12; each stage gets
+            ``pt_slots // pt_stages`` slots).
+        max_recirculations: recirculation budget per tracked record
+            (paper Fig 13).
+        track_handshake: when True, SYN/SYN-ACK packets are tracked and
+            produce handshake RTT samples (the paper's "+SYN" setting);
+            when False they are ignored entirely (the "-SYN" setting,
+            Dart's deployment default — robust to SYN floods).
+        rt_overwrite_collapsed: allow a new flow to claim an RT slot whose
+            occupant's measurement range has collapsed (paper §3.1: a
+            collapsed entry "can be safely deleted or overwritten").
+        analytics_purge: consult the analytics module before recirculating
+            an evicted record and drop records that can no longer produce
+            a useful sample (paper §3.3).
+        handle_wraparound: reset the measurement range's left edge to zero
+            on sequence-number wraparound (paper §4); disabling this
+            models the naive design for ablation.
+        recirculation_delay_packets: number of subsequent packets that are
+            processed before a recirculated record re-enters the pipeline
+            (0 = immediate, the idealized simulator; >0 models the
+            hardware's recirculation latency and the reordering-of-
+            recirculated-records hazard of paper §4).
+        shadow_rt: enable the §7 approximation that trades memory for
+            recirculation bandwidth — a *copy* of the Range Tracker
+            placed after the Packet Tracker lets evicted records be
+            staleness-checked at the end of the pipeline, so stale
+            records self-destruct without consuming a recirculation.
+            The copy is approximate: it lags the original by
+            ``shadow_rt_lag_packets`` packets (the pipeline cannot keep
+            two sequential tables perfectly consistent), so it sometimes
+            discards a still-valid record (a lost sample) or passes a
+            stale one (a wasted recirculation); both are counted.
+        shadow_rt_lag_packets: staleness of the RT copy, in packets.
+    """
+
+    rt_slots: Optional[int] = None
+    pt_slots: Optional[int] = None
+    pt_stages: int = 1
+    max_recirculations: int = 1
+    track_handshake: bool = False
+    rt_overwrite_collapsed: bool = True
+    analytics_purge: bool = False
+    handle_wraparound: bool = True
+    recirculation_delay_packets: int = 0
+    shadow_rt: bool = False
+    shadow_rt_lag_packets: int = 8
+    #: §7 mitigation: a very large RT entry timeout (in ns) reclaims
+    #: entries pinned forever by flows that leave data unacknowledged
+    #: (e.g. adversarial traffic).  None disables (the paper's default).
+    rt_timeout_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.rt_slots is not None and self.rt_slots <= 0:
+            raise ValueError("rt_slots must be positive or None")
+        if self.pt_slots is not None and self.pt_slots <= 0:
+            raise ValueError("pt_slots must be positive or None")
+        if not 1 <= self.pt_stages <= MAX_STAGES:
+            raise ValueError(f"pt_stages must be in [1, {MAX_STAGES}]")
+        if self.pt_slots is not None and self.pt_slots < self.pt_stages:
+            raise ValueError("pt_slots must be at least pt_stages")
+        if self.max_recirculations < 0:
+            raise ValueError("max_recirculations must be non-negative")
+        if self.recirculation_delay_packets < 0:
+            raise ValueError("recirculation_delay_packets must be non-negative")
+        if self.shadow_rt_lag_packets < 0:
+            raise ValueError("shadow_rt_lag_packets must be non-negative")
+        if self.rt_timeout_ns is not None and self.rt_timeout_ns <= 0:
+            raise ValueError("rt_timeout_ns must be positive or None")
+
+    @property
+    def ideal(self) -> bool:
+        """True when both tables are unlimited and fully associative."""
+        return self.rt_slots is None and self.pt_slots is None
+
+    @property
+    def pt_stage_slots(self) -> Optional[int]:
+        """Slots per PT stage, or None in ideal mode."""
+        if self.pt_slots is None:
+            return None
+        return max(1, self.pt_slots // self.pt_stages)
+
+
+def ideal_config(*, track_handshake: bool = False) -> DartConfig:
+    """The §6.1 unlimited-memory configuration (``tcptrace_const`` when
+    ``track_handshake`` is False)."""
+    return DartConfig(rt_slots=None, pt_slots=None, track_handshake=track_handshake)
+
+
+def paper_default_config() -> DartConfig:
+    """The operating point §6.2 settles on: a large RT, a 2**17-slot
+    single-stage PT, and one allowed recirculation."""
+    return DartConfig(rt_slots=1 << 20, pt_slots=1 << 17, pt_stages=1,
+                      max_recirculations=1)

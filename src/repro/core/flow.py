@@ -1,0 +1,101 @@
+"""Flow identification: 4-tuples, direction, and compact signatures.
+
+A *flow* here is a unidirectional TCP 4-tuple as seen from the data
+sender: the SEQ direction's packets carry the tuple as-is, and the ACK
+direction's packets carry it reversed (paper Fig 1/Fig 2).  The Range
+Tracker and Packet Tracker are keyed by the SEQ-direction tuple, so an
+arriving ACK is matched after reversing its tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..net.inet import int_to_ipv4, int_to_ipv6
+from ..net.packet import PacketRecord
+from .hashing import signature32
+
+
+@dataclass(frozen=True, slots=True)
+class FlowKey:
+    """A unidirectional TCP flow 4-tuple."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    ipv6: bool = False
+
+    def reversed(self) -> "FlowKey":
+        """The same connection seen from the opposite direction."""
+        return FlowKey(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            ipv6=self.ipv6,
+        )
+
+    def canonical(self) -> "FlowKey":
+        """Direction-independent form (smaller endpoint first).
+
+        Used when counting *connections* rather than unidirectional flows,
+        e.g. for the handshake statistics behind Fig 10.
+        """
+        mine = (self.src_ip, self.src_port)
+        theirs = (self.dst_ip, self.dst_port)
+        return self if mine <= theirs else self.reversed()
+
+    def key_bytes(self) -> bytes:
+        """Raw bytes hashed into table indices and signatures.
+
+        IPv4 uses the paper's 12-byte layout; IPv6 concatenates the full
+        16-byte addresses (paper §7 notes the larger key raises collision
+        rates, which the simulator therefore reproduces faithfully).
+        """
+        addr_len = 16 if self.ipv6 else 4
+        return (
+            self.src_ip.to_bytes(addr_len, "big")
+            + self.dst_ip.to_bytes(addr_len, "big")
+            + self.src_port.to_bytes(2, "big")
+            + self.dst_port.to_bytes(2, "big")
+        )
+
+    @property
+    def signature(self) -> int:
+        """The compact 4-byte signature stored in table records."""
+        return _signature_cached(self)
+
+    def describe(self) -> str:
+        """Render as ``src:port > dst:port``."""
+        fmt = int_to_ipv6 if self.ipv6 else int_to_ipv4
+        return (
+            f"{fmt(self.src_ip)}:{self.src_port} > "
+            f"{fmt(self.dst_ip)}:{self.dst_port}"
+        )
+
+
+@lru_cache(maxsize=1 << 20)
+def _signature_cached(key: FlowKey) -> int:
+    return signature32(key.key_bytes())
+
+
+def flow_of(record: PacketRecord) -> FlowKey:
+    """The flow 4-tuple of a packet, in its own direction of travel."""
+    return FlowKey(
+        src_ip=record.src_ip,
+        dst_ip=record.dst_ip,
+        src_port=record.src_port,
+        dst_port=record.dst_port,
+        ipv6=record.ipv6,
+    )
+
+
+def ack_target_flow(record: PacketRecord) -> FlowKey:
+    """The SEQ-direction flow an ACK packet acknowledges.
+
+    This is the packet's 4-tuple reversed (paper §2.1: "with the source
+    and destination fields of the 4-tuple reversed").
+    """
+    return flow_of(record).reversed()

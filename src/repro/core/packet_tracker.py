@@ -1,0 +1,258 @@
+"""The Packet Tracker (PT) table — paper §3.2.
+
+The PT stores one record per tracked SEQ packet, keyed by
+``(flow signature, expected ACK)``, holding the packet's arrival
+timestamp.  A matching ACK deletes the record and yields an RTT sample.
+
+Memory contention is resolved by *lazy eviction with a second chance*:
+
+* Records are only considered for eviction when a new record hash-collides
+  with them — no timeouts, no garbage collection.
+* An evicted record is *recirculated*: it re-consults the Range Tracker,
+  self-destructs if stale, and otherwise re-enters PT insertion, where
+  older valid records win contention (no bias against long RTTs).
+* *Cycle detection* stops A-evicts-B-evicts-A ping-pong: each record
+  remembers the record it last evicted and self-destructs rather than
+  evicting it a second time.  A per-record recirculation budget is the
+  final backstop.
+
+Multi-stage layout (paper §6.2, Figs 12–13): ``pt_slots`` are divided
+across ``stages`` one-way-associative stages with independent hash
+functions.  A record visits stages sequentially (hardware memory cannot
+be revisited within a pass):
+
+* any pass may claim an **empty** slot at any stage;
+* a **fresh** record in a *single-stage* table force-evicts the occupant
+  of its only slot (the paper's explicit §3.2 mechanism);
+* a fresh record in a *multi-stage* table cannot evict on its first pass
+  (at stage *s* the hardware cannot yet know whether a later stage is
+  free, so eviction rights are deferred); an unplaced record recirculates;
+* recirculation pass *p* may force-evict at stage ``(p - 1) mod k``, so
+  allowing more recirculations rotates eviction rights across all stages
+  (this is what lets Fig 13 recover the performance Fig 12 loses).
+
+The module only implements table mechanics; the recirculation *loop*
+(RT re-validation, budget, analytics purge) lives in
+:mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .flow import FlowKey
+from .hashing import pack_u32, stage_index
+
+
+@dataclass(slots=True)
+class PtRecord:
+    """One tracked SEQ packet awaiting its ACK."""
+
+    record_id: int
+    flow: FlowKey
+    signature: int
+    eack: int
+    timestamp_ns: int
+    handshake: bool = False
+    leg: Optional[str] = None
+    recirc_count: int = 0
+    last_evicted_id: Optional[int] = None
+
+    def key_bytes(self) -> bytes:
+        """Bytes hashed into stage indices."""
+        return pack_u32(self.signature, self.eack)
+
+    def matches(self, signature: int, eack: int) -> bool:
+        """Constrained-mode match: 4-byte signature plus expected ACK."""
+        return self.signature == signature and self.eack == eack
+
+
+class InsertStatus(enum.Enum):
+    """Outcome of one insertion pass through the PT stages."""
+
+    PLACED = "placed"              # found an empty slot
+    PLACED_EVICTING = "evicting"   # force-evicted an occupant
+    DUPLICATE = "duplicate"        # same key already present (older kept)
+    CYCLE = "cycle"                # would re-evict its own victim
+    UNPLACED = "unplaced"          # no slot available this pass
+
+
+@dataclass
+class InsertOutcome:
+    status: InsertStatus
+    evicted: Optional[PtRecord] = None
+
+
+@dataclass
+class PacketTrackerStats:
+    """PT-side counters for the §6.2 metrics."""
+
+    insert_passes: int = 0
+    placed_empty: int = 0
+    placed_evicting: int = 0
+    duplicates: int = 0
+    cycle_self_destructs: int = 0
+    unplaced: int = 0
+    matches: int = 0
+    lookup_misses: int = 0
+
+
+class AssociativePacketTable:
+    """Unlimited fully-associative PT backend (§6.1 ideal mode).
+
+    Keys are exact ``(flow, eack)`` pairs — an infinite, collision-free
+    memory never needs signatures, eviction, or recirculation.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[Tuple[FlowKey, int], PtRecord] = {}
+        self.stats = PacketTrackerStats()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def insert(self, record: PtRecord) -> InsertOutcome:
+        self.stats.insert_passes += 1
+        key = (record.flow, record.eack)
+        if key in self._records:
+            # A same-key insert can only be a retransmission that slipped
+            # past range tracking; the older record is kept (paper: older
+            # records are preferred).
+            self.stats.duplicates += 1
+            return InsertOutcome(InsertStatus.DUPLICATE)
+        self._records[key] = record
+        self.stats.placed_empty += 1
+        return InsertOutcome(InsertStatus.PLACED)
+
+    def match_ack(self, flow: FlowKey, ack: int) -> Optional[PtRecord]:
+        """Find-and-delete the record acknowledged by ``ack``."""
+        record = self._records.pop((flow, ack), None)
+        if record is None:
+            self.stats.lookup_misses += 1
+        else:
+            self.stats.matches += 1
+        return record
+
+    def discard_flow(self, flow: FlowKey) -> int:
+        """Drop all records of one flow (operator/test helper)."""
+        keys = [k for k in self._records if k[0] == flow]
+        for key in keys:
+            del self._records[key]
+        return len(keys)
+
+    def occupancy(self) -> int:
+        return len(self._records)
+
+
+class StagedPacketTable:
+    """Fixed-size k-stage PT backend with the contention policy above."""
+
+    def __init__(self, total_slots: int, stages: int = 1) -> None:
+        if stages < 1:
+            raise ValueError("PT needs at least one stage")
+        if total_slots < stages:
+            raise ValueError("PT needs at least one slot per stage")
+        self._stage_count = stages
+        self._stage_slots = total_slots // stages
+        self._stages: List[List[Optional[PtRecord]]] = [
+            [None] * self._stage_slots for _ in range(stages)
+        ]
+        self.stats = PacketTrackerStats()
+
+    def __len__(self) -> int:
+        return self._stage_count * self._stage_slots
+
+    @property
+    def stage_count(self) -> int:
+        return self._stage_count
+
+    @property
+    def stage_slots(self) -> int:
+        return self._stage_slots
+
+    def _force_stage(self, record: PtRecord) -> Optional[int]:
+        """Stage at which this pass holds eviction rights (None = none)."""
+        if record.recirc_count == 0:
+            # A fresh record in a single-stage table knows its only slot is
+            # its last chance, so it evicts immediately (paper §3.2).  In a
+            # multi-stage table it must first look for empty slots.
+            return 0 if self._stage_count == 1 else None
+        return (record.recirc_count - 1) % self._stage_count
+
+    def insert(self, record: PtRecord) -> InsertOutcome:
+        """One insertion pass; never recirculates by itself."""
+        self.stats.insert_passes += 1
+        key = record.key_bytes()
+        force_stage = self._force_stage(record)
+        for stage in range(self._stage_count):
+            index = stage_index(key, stage, self._stage_slots)
+            occupant = self._stages[stage][index]
+            if occupant is None:
+                self._stages[stage][index] = record
+                self.stats.placed_empty += 1
+                return InsertOutcome(InsertStatus.PLACED)
+            if occupant.matches(record.signature, record.eack):
+                self.stats.duplicates += 1
+                return InsertOutcome(InsertStatus.DUPLICATE)
+            if stage == force_stage:
+                if record.last_evicted_id == occupant.record_id:
+                    # About to evict the record we already evicted once:
+                    # an eviction loop.  Self-destruct instead (paper §3.2).
+                    self.stats.cycle_self_destructs += 1
+                    return InsertOutcome(InsertStatus.CYCLE)
+                self._stages[stage][index] = record
+                record.last_evicted_id = occupant.record_id
+                self.stats.placed_evicting += 1
+                return InsertOutcome(InsertStatus.PLACED_EVICTING, evicted=occupant)
+        self.stats.unplaced += 1
+        return InsertOutcome(InsertStatus.UNPLACED)
+
+    def match_ack(self, flow: FlowKey, ack: int) -> Optional[PtRecord]:
+        """Find-and-delete the record acknowledged by ``ack``.
+
+        Matching uses the constrained 4-byte signature, so a signature
+        collision between distinct flows can (rarely) yield a mismatched
+        sample — faithfully reproducing the hardware (paper §4).
+        """
+        signature = flow.signature
+        key = pack_u32(signature, ack)
+        for stage in range(self._stage_count):
+            index = stage_index(key, stage, self._stage_slots)
+            occupant = self._stages[stage][index]
+            if occupant is not None and occupant.matches(signature, ack):
+                self._stages[stage][index] = None
+                self.stats.matches += 1
+                return occupant
+        self.stats.lookup_misses += 1
+        return None
+
+    def discard_flow(self, flow: FlowKey) -> int:
+        """Drop all records whose signature matches ``flow`` (helper)."""
+        signature = flow.signature
+        dropped = 0
+        for stage in self._stages:
+            for index, occupant in enumerate(stage):
+                if occupant is not None and occupant.signature == signature:
+                    stage[index] = None
+                    dropped += 1
+        return dropped
+
+    def occupancy(self) -> int:
+        return sum(
+            1 for stage in self._stages for slot in stage if slot is not None
+        )
+
+    def records(self) -> List[PtRecord]:
+        """All live records (introspection for tests and examples)."""
+        return [
+            slot for stage in self._stages for slot in stage if slot is not None
+        ]
+
+
+def make_packet_table(total_slots: Optional[int], stages: int = 1):
+    """Build the PT backend matching a :class:`~repro.core.config.DartConfig`."""
+    if total_slots is None:
+        return AssociativePacketTable()
+    return StagedPacketTable(total_slots, stages)

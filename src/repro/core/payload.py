@@ -1,0 +1,77 @@
+"""TCP payload-size computation, including the paper's lookup-table trick.
+
+Computing ``payload = ip_total_length - 4*ihl - 4*data_offset`` needs two
+32-bit subtractions, which costs pipeline stages on the Tofino.  The
+paper (§4) instead precomputes the result for the common header shapes —
+IHL of 5 words, total length 40–1480 bytes, TCP data offset 5–15 words —
+and stores them in a lookup table, saving two stages.
+
+This module models that optimization so that (a) the resource estimator
+(:mod:`repro.hw`) can account for the saved stages, and (b) the hit/miss
+behaviour on uncommon header shapes is testable.  The Python data path
+itself always knows the payload length; the model verifies agreement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+MIN_TOTAL_LENGTH = 40
+MAX_TOTAL_LENGTH = 1480
+COMMON_IHL = 5
+MIN_DATA_OFFSET = 5
+MAX_DATA_OFFSET = 15
+
+
+def arithmetic_payload_size(total_length: int, ihl: int, data_offset: int) -> int:
+    """The naive (stage-expensive on hardware) payload computation."""
+    payload = total_length - 4 * ihl - 4 * data_offset
+    if payload < 0:
+        raise ValueError(
+            f"inconsistent lengths: total={total_length} ihl={ihl} "
+            f"data_offset={data_offset}"
+        )
+    return payload
+
+
+@dataclass
+class PayloadTableStats:
+    hits: int = 0
+    fallbacks: int = 0
+
+
+class PayloadSizeTable:
+    """The precomputed (total_length, data_offset) -> payload table.
+
+    Entries exist for IHL == 5, total length 40..1480, data offset 5..15
+    (the paper's chosen ranges).  Anything else falls back to arithmetic
+    and is counted, mirroring the note that the optimization "can be
+    easily reversed to support any values".
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[int, int], int] = {}
+        for total_length in range(MIN_TOTAL_LENGTH, MAX_TOTAL_LENGTH + 1):
+            for data_offset in range(MIN_DATA_OFFSET, MAX_DATA_OFFSET + 1):
+                payload = total_length - 4 * COMMON_IHL - 4 * data_offset
+                if payload >= 0:
+                    self._table[(total_length, data_offset)] = payload
+        self.stats = PayloadTableStats()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, total_length: int, ihl: int, data_offset: int) -> int:
+        """Payload size via table hit or arithmetic fallback."""
+        if ihl == COMMON_IHL:
+            payload = self._table.get((total_length, data_offset))
+            if payload is not None:
+                self.stats.hits += 1
+                return payload
+        self.stats.fallbacks += 1
+        return arithmetic_payload_size(total_length, ihl, data_offset)
+
+    def covers(self, total_length: int, ihl: int, data_offset: int) -> bool:
+        """True when the fast path (no fallback) would be taken."""
+        return ihl == COMMON_IHL and (total_length, data_offset) in self._table

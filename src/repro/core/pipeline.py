@@ -1,0 +1,397 @@
+"""The Dart pipeline: classification, RT, PT, recirculation, analytics.
+
+This is the top-level monitor (paper Fig 3).  Each observed packet is
+processed first on its SEQ role (if it carries data) and then on its ACK
+role (if it carries an acknowledgment), mirroring the hardware's
+process-then-recirculate handling of dual-role packets (§5.1).
+
+The recirculation loop implemented here (paper §3.2):
+
+1. A PT insertion that evicts a record — or leaves the inserted record
+   unplaced — produces a *candidate* for recirculation.
+2. Cycle detection: a candidate about to chase the record that it itself
+   evicted earlier self-destructs.
+3. The per-record recirculation budget is enforced.
+4. With ``analytics_purge`` on, the analytics module may veto the
+   recirculation when the record can no longer produce a useful sample
+   (§3.3).
+5. A surviving candidate re-consults the Range Tracker; stale records
+   self-destruct, valid ones re-enter PT insertion.
+
+With ``recirculation_delay_packets == 0`` recirculated records re-enter
+immediately (the idealized simulator the paper evaluates with); a
+positive delay makes them re-enter after that many subsequent packets,
+modelling recirculation latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Optional, Tuple
+
+from ..net.packet import PacketRecord
+from .analytics import CollectAllAnalytics
+from .config import DartConfig
+from .flow import FlowKey, ack_target_flow, flow_of
+from .packet_tracker import (
+    InsertStatus,
+    PtRecord,
+    make_packet_table,
+)
+from .range_tracker import AckVerdict, RangeTracker, SeqVerdict
+from .samples import RttSample
+
+LegFilter = Callable[[PacketRecord], Optional[str]]
+TargetFilter = Callable[[PacketRecord], bool]
+
+EXTERNAL_LEG = "external"
+INTERNAL_LEG = "internal"
+
+
+@dataclass
+class DartStats:
+    """Pipeline-level counters behind the §6.2 metrics."""
+
+    packets_processed: int = 0
+    seq_packets: int = 0
+    ack_packets: int = 0
+    ignored_syn: int = 0
+    ignored_rst: int = 0
+    filtered_out: int = 0
+    tracked_inserts: int = 0
+    samples: int = 0
+    handshake_samples: int = 0
+    evictions: int = 0
+    recirculations: int = 0
+    stale_self_destructs: int = 0
+    cycle_self_destructs: int = 0
+    budget_drops: int = 0
+    analytics_purges: int = 0
+    shadow_discards: int = 0
+    shadow_false_discards: int = 0
+    shadow_false_keeps: int = 0
+    seq_verdicts: dict = field(default_factory=dict)
+    ack_verdicts: dict = field(default_factory=dict)
+
+    def recirculations_per_packet(self) -> float:
+        """The paper's recirculation-overhead metric (Figs 11c/12c/13c)."""
+        if self.packets_processed == 0:
+            return 0.0
+        return self.recirculations / self.packets_processed
+
+
+class Dart:
+    """A Dart monitor instance.
+
+    Args:
+        config: table sizing and behaviour knobs (default: ideal mode).
+        analytics: sample consumer with optional ``worth_recirculating``;
+            defaults to :class:`CollectAllAnalytics`.
+        leg_filter: maps a *data* packet to the leg it measures
+            ("external"/"internal"), or None to skip tracking it.  When
+            omitted, every data packet is tracked (both legs, unlabeled).
+        target_filter: operator flow-selection rules (paper §4,
+            "specifying target flows"); packets rejected by the filter are
+            not processed at all.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DartConfig] = None,
+        *,
+        analytics=None,
+        leg_filter: Optional[LegFilter] = None,
+        target_filter: Optional[TargetFilter] = None,
+    ) -> None:
+        self.config = config or DartConfig()
+        self.analytics = analytics if analytics is not None else CollectAllAnalytics()
+        self._leg_filter = leg_filter
+        self._target_filter = target_filter
+        self.range_tracker = RangeTracker(
+            self.config.rt_slots,
+            overwrite_collapsed=self.config.rt_overwrite_collapsed,
+            handle_wraparound=self.config.handle_wraparound,
+            timeout_ns=self.config.rt_timeout_ns,
+        )
+        self.packet_tracker = make_packet_table(
+            self.config.pt_slots, self.config.pt_stages
+        )
+        self.stats = DartStats()
+        self._next_record_id = 0
+        self._now_ns = 0
+        self._recirc_queue: Deque[Tuple[int, PtRecord]] = deque()
+        # §7 shadow RT: a lagging copy of the Range Tracker placed after
+        # the PT, letting stale evicted records die without recirculating.
+        self._shadow_tracker: Optional[RangeTracker] = None
+        self._shadow_queue: Deque[Tuple[int, str, FlowKey, int, int]] = deque()
+        if self.config.shadow_rt:
+            self._shadow_tracker = RangeTracker(
+                self.config.rt_slots,
+                overwrite_collapsed=self.config.rt_overwrite_collapsed,
+                handle_wraparound=self.config.handle_wraparound,
+            )
+
+    # -- Packet entry point -------------------------------------------------
+
+    def process(self, record: PacketRecord) -> List[RttSample]:
+        """Process one observed packet; returns samples it produced."""
+        self.stats.packets_processed += 1
+        self._now_ns = record.timestamp_ns
+        self._drain_due_recirculations()
+        if self._shadow_tracker is not None:
+            self._drain_shadow_updates()
+
+        if self._target_filter is not None and not self._target_filter(record):
+            self.stats.filtered_out += 1
+            return []
+
+        if record.syn and not self.config.track_handshake:
+            # -SYN mode ignores SYN and SYN-ACK entirely (robust to SYN
+            # floods; no RT/PT state until the handshake completes).
+            self.stats.ignored_syn += 1
+            return []
+
+        if record.rst:
+            self.stats.ignored_rst += 1
+            return []
+
+        samples: List[RttSample] = []
+        if record.carries_data:
+            self._process_data(record)
+        if record.has_ack and not record.syn:
+            sample = self._process_ack(record)
+            if sample is not None:
+                samples.append(sample)
+        elif record.has_ack and record.syn and self.config.track_handshake:
+            # A SYN-ACK acknowledges the client's SYN (+SYN mode).
+            sample = self._process_ack(record)
+            if sample is not None:
+                samples.append(sample)
+        return samples
+
+    def process_trace(self, records) -> "Dart":
+        """Process an iterable of packets; returns self for chaining."""
+        for record in records:
+            self.process(record)
+        return self
+
+    def finalize(self) -> None:
+        """Signal end-of-trace to the analytics (flush open windows)."""
+        flush = getattr(self.analytics, "flush", None)
+        if flush is not None:
+            flush(self._now_ns)
+
+    # -- SEQ side ------------------------------------------------------------
+
+    def _process_data(self, record: PacketRecord) -> None:
+        leg: Optional[str] = None
+        if self._leg_filter is not None:
+            leg = self._leg_filter(record)
+            if leg is None:
+                return
+        self.stats.seq_packets += 1
+        flow = flow_of(record)
+        self._enqueue_shadow_update("data", flow, record.seq, record.eack)
+        verdict = self.range_tracker.on_data(
+            flow, record.seq, record.eack, now_ns=record.timestamp_ns
+        )
+        self.stats.seq_verdicts[verdict] = self.stats.seq_verdicts.get(verdict, 0) + 1
+        if not verdict.trackable:
+            return
+        pt_record = PtRecord(
+            record_id=self._next_record_id,
+            flow=flow,
+            signature=flow.signature,
+            eack=record.eack,
+            timestamp_ns=record.timestamp_ns,
+            handshake=record.syn,
+            leg=leg,
+        )
+        self._next_record_id += 1
+        self.stats.tracked_inserts += 1
+        self._submit(pt_record)
+
+    # -- ACK side ------------------------------------------------------------
+
+    def _process_ack(self, record: PacketRecord) -> Optional[RttSample]:
+        self.stats.ack_packets += 1
+        flow = ack_target_flow(record)
+        self._enqueue_shadow_update("ack", flow, record.ack, 0)
+        verdict = self.range_tracker.on_ack(
+            flow, record.ack, now_ns=record.timestamp_ns
+        )
+        self.stats.ack_verdicts[verdict] = self.stats.ack_verdicts.get(verdict, 0) + 1
+        if verdict is not AckVerdict.VALID:
+            return None
+        pt_record = self.packet_tracker.match_ack(flow, record.ack)
+        if pt_record is None:
+            return None
+        sample = RttSample(
+            flow=pt_record.flow,
+            rtt_ns=record.timestamp_ns - pt_record.timestamp_ns,
+            timestamp_ns=record.timestamp_ns,
+            eack=record.ack,
+            handshake=pt_record.handshake,
+            leg=pt_record.leg,
+        )
+        self.stats.samples += 1
+        if sample.handshake:
+            self.stats.handshake_samples += 1
+        self.analytics.add(sample)
+        return sample
+
+    # -- PT insertion and the recirculation loop -----------------------------
+
+    def _submit(self, pt_record: PtRecord) -> None:
+        """Run insertion passes until every displaced record settles."""
+        self._insertion_loop([(pt_record, None)])
+
+    def _insertion_loop(
+        self, pending: List[Tuple[PtRecord, Optional[int]]]
+    ) -> None:
+        while pending:
+            candidate, evictor_id = pending.pop()
+            outcome = self.packet_tracker.insert(candidate)
+            if outcome.status is InsertStatus.PLACED:
+                continue
+            if outcome.status is InsertStatus.DUPLICATE:
+                continue
+            if outcome.status is InsertStatus.CYCLE:
+                self.stats.cycle_self_destructs += 1
+                continue
+            if outcome.status is InsertStatus.PLACED_EVICTING:
+                self.stats.evictions += 1
+                follow = self._consider_recirculation(
+                    outcome.evicted, evictor_id=candidate.record_id
+                )
+            else:  # UNPLACED: the candidate itself needs another pass
+                follow = self._consider_recirculation(
+                    candidate, evictor_id=evictor_id
+                )
+            if follow is not None:
+                pending.append(follow)
+
+    def _consider_recirculation(
+        self, candidate: PtRecord, *, evictor_id: Optional[int]
+    ) -> Optional[Tuple[PtRecord, Optional[int]]]:
+        """Apply the §3.2 safeguards; returns work for an immediate pass.
+
+        Returns ``(record, evictor_id)`` when the record should re-enter
+        insertion right away, or None when it self-destructed or was
+        queued for delayed re-entry.
+        """
+        if (
+            evictor_id is not None
+            and candidate.last_evicted_id is not None
+            and candidate.last_evicted_id == evictor_id
+        ):
+            # Cycle: evicted by the very record it evicted earlier.
+            self.stats.cycle_self_destructs += 1
+            return None
+        if candidate.recirc_count >= self.config.max_recirculations:
+            self.stats.budget_drops += 1
+            return None
+        if self._shadow_tracker is not None:
+            # §7: end-of-pipeline staleness check against the RT copy —
+            # a stale record dies here without consuming recirculation
+            # bandwidth.  The copy lags, so track its mistakes.
+            shadow_valid = self._shadow_tracker.revalidate(
+                candidate.flow, candidate.eack
+            )
+            true_valid = self.range_tracker.revalidate(
+                candidate.flow, candidate.eack, now_ns=self._now_ns
+            )
+            if not shadow_valid:
+                self.stats.shadow_discards += 1
+                if true_valid:
+                    self.stats.shadow_false_discards += 1  # lost sample
+                return None
+            if not true_valid:
+                self.stats.shadow_false_keeps += 1  # wasted recirculation
+        if self.config.analytics_purge:
+            worth = getattr(self.analytics, "worth_recirculating", None)
+            if worth is not None and not worth(
+                candidate.flow, candidate.timestamp_ns, self._now_ns
+            ):
+                self.stats.analytics_purges += 1
+                return None
+        candidate.recirc_count += 1
+        self.stats.recirculations += 1
+        if self.config.recirculation_delay_packets > 0:
+            due = (
+                self.stats.packets_processed
+                + self.config.recirculation_delay_packets
+            )
+            self._recirc_queue.append((due, candidate))
+            return None
+        return self._revalidate(candidate)
+
+    def _revalidate(
+        self, candidate: PtRecord
+    ) -> Optional[Tuple[PtRecord, Optional[int]]]:
+        """RT second-chance check for a recirculated record."""
+        if not self.range_tracker.revalidate(
+            candidate.flow, candidate.eack, now_ns=self._now_ns
+        ):
+            self.stats.stale_self_destructs += 1
+            return None
+        return (candidate, None)
+
+    def _enqueue_shadow_update(self, kind: str, flow: FlowKey, a: int,
+                               b: int) -> None:
+        if self._shadow_tracker is None:
+            return
+        due = self.stats.packets_processed + self.config.shadow_rt_lag_packets
+        self._shadow_queue.append((due, kind, flow, a, b))
+
+    def _drain_shadow_updates(self) -> None:
+        while (self._shadow_queue
+               and self._shadow_queue[0][0] <= self.stats.packets_processed):
+            _, kind, flow, a, b = self._shadow_queue.popleft()
+            if kind == "data":
+                self._shadow_tracker.on_data(flow, a, b)
+            else:
+                self._shadow_tracker.on_ack(flow, a)
+
+    def _drain_due_recirculations(self) -> None:
+        """Re-enter recirculated records whose delay has elapsed."""
+        while (
+            self._recirc_queue
+            and self._recirc_queue[0][0] <= self.stats.packets_processed
+        ):
+            _, candidate = self._recirc_queue.popleft()
+            follow = self._revalidate(candidate)
+            if follow is not None:
+                self._insertion_loop([follow])
+
+    # -- Introspection ---------------------------------------------------------
+
+    @property
+    def samples(self) -> List[RttSample]:
+        """Samples retained by the analytics (if it keeps any)."""
+        return getattr(self.analytics, "samples", [])
+
+    def occupancy(self) -> Tuple[int, int]:
+        """Current (RT, PT) occupied-slot counts."""
+        return self.range_tracker.occupancy(), self.packet_tracker.occupancy()
+
+
+def make_leg_filter(
+    is_internal: Callable[[int], bool],
+    *,
+    legs: Tuple[str, ...] = (EXTERNAL_LEG, INTERNAL_LEG),
+) -> LegFilter:
+    """Build a leg filter from an "is this address inside?" predicate.
+
+    A data packet leaving the network (internal source) is matched by an
+    ACK returning from the Internet — the *external* leg; a data packet
+    entering (external source) is matched by the client's ACK — the
+    *internal* leg (paper §2.1, Fig 1).
+    """
+
+    def leg_filter(record: PacketRecord) -> Optional[str]:
+        leg = EXTERNAL_LEG if is_internal(record.src_ip) else INTERNAL_LEG
+        return leg if leg in legs else None
+
+    return leg_filter

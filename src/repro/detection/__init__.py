@@ -1,0 +1,25 @@
+"""Real-time network-event detection on Dart's sample stream."""
+
+from .bufferbloat import (
+    BloatEpisode,
+    BufferbloatConfig,
+    BufferbloatDetector,
+)
+from .change import (
+    DetectionEvent,
+    DetectionState,
+    DetectorConfig,
+    InterceptionDetector,
+    packets_between,
+)
+
+__all__ = [
+    "BloatEpisode",
+    "BufferbloatConfig",
+    "BufferbloatDetector",
+    "DetectionEvent",
+    "DetectionState",
+    "DetectorConfig",
+    "InterceptionDetector",
+    "packets_between",
+]

@@ -1,0 +1,132 @@
+"""Bufferbloat detection from continuous RTT samples (paper §7).
+
+The paper observes campus connections to remote cellular hosts whose
+RTTs swing by hundreds of milliseconds — the signature of bufferbloat:
+the *minimum* RTT (propagation) stays put while the upper percentiles
+inflate as queues fill.  Because Dart samples continuously, an on-path
+monitor can detect these episodes in real time.
+
+:class:`BufferbloatDetector` windows the sample stream per key and flags
+an episode when the window's p90 exceeds ``inflation_factor`` times the
+baseline minimum for ``sustain_windows`` consecutive windows.  (Contrast
+with the interception detector: there the *minimum* itself shifts; here
+the minimum holds and the spread explodes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.samples import RttSample
+
+SEC = 1_000_000_000
+
+
+@dataclass
+class BufferbloatConfig:
+    window_ns: int = 1 * SEC
+    inflation_factor: float = 4.0
+    sustain_windows: int = 2
+    min_samples_per_window: int = 5
+    #: The distinguishing fingerprint: queueing creates *spread* within
+    #: a window (the queue oscillates, so some samples still ride near
+    #: the floor while the p90 inflates).  A clean path change or an
+    #: interception shifts the whole distribution — p90 and window
+    #: minimum move together — and is therefore NOT flagged as bloat.
+    spread_factor: float = 2.0
+
+
+@dataclass(frozen=True)
+class BloatEpisode:
+    """One detected bufferbloat episode."""
+
+    key: Hashable
+    started_at_ns: int
+    confirmed_at_ns: int
+    baseline_min_ns: int
+    peak_p90_ns: int
+
+    @property
+    def inflation(self) -> float:
+        return self.peak_p90_ns / max(self.baseline_min_ns, 1)
+
+
+class _KeyState:
+    __slots__ = ("window_start_ns", "rtts", "baseline_min_ns",
+                 "elevated_windows", "elevated_since_ns", "peak_p90_ns",
+                 "in_episode")
+
+    def __init__(self, now_ns: int) -> None:
+        self.window_start_ns = now_ns
+        self.rtts: List[int] = []
+        self.baseline_min_ns: Optional[int] = None
+        self.elevated_windows = 0
+        self.elevated_since_ns = 0
+        self.peak_p90_ns = 0
+        self.in_episode = False
+
+
+class BufferbloatDetector:
+    """Streaming per-key bufferbloat detection."""
+
+    def __init__(self, config: Optional[BufferbloatConfig] = None,
+                 *, key_fn=None) -> None:
+        self.config = config or BufferbloatConfig()
+        self._key_fn = key_fn or (lambda sample: sample.flow)
+        self._state: Dict[Hashable, _KeyState] = {}
+        self.episodes: List[BloatEpisode] = []
+
+    def add(self, sample: RttSample) -> Optional[BloatEpisode]:
+        """Feed one sample; returns an episode iff one was confirmed."""
+        key = self._key_fn(sample)
+        state = self._state.get(key)
+        if state is None:
+            state = _KeyState(sample.timestamp_ns)
+            self._state[key] = state
+        episode = None
+        while (sample.timestamp_ns - state.window_start_ns
+               >= self.config.window_ns):
+            episode = self._close_window(key, state) or episode
+            state.window_start_ns += self.config.window_ns
+        state.rtts.append(sample.rtt_ns)
+        return episode
+
+    def _close_window(self, key: Hashable,
+                      state: _KeyState) -> Optional[BloatEpisode]:
+        rtts = state.rtts
+        state.rtts = []
+        if len(rtts) < self.config.min_samples_per_window:
+            return None
+        rtts.sort()
+        window_min = rtts[0]
+        p90 = rtts[min(len(rtts) - 1, int(0.9 * len(rtts)))]
+        if state.baseline_min_ns is None:
+            state.baseline_min_ns = window_min
+        else:
+            state.baseline_min_ns = min(state.baseline_min_ns, window_min)
+        threshold = state.baseline_min_ns * self.config.inflation_factor
+        spread = p90 >= window_min * self.config.spread_factor
+        if p90 >= threshold and spread:
+            if state.elevated_windows == 0:
+                state.elevated_since_ns = state.window_start_ns
+                state.peak_p90_ns = p90
+            state.elevated_windows += 1
+            state.peak_p90_ns = max(state.peak_p90_ns, p90)
+            if (state.elevated_windows == self.config.sustain_windows
+                    and not state.in_episode):
+                state.in_episode = True
+                episode = BloatEpisode(
+                    key=key,
+                    started_at_ns=state.elevated_since_ns,
+                    confirmed_at_ns=(state.window_start_ns
+                                     + self.config.window_ns),
+                    baseline_min_ns=state.baseline_min_ns,
+                    peak_p90_ns=state.peak_p90_ns,
+                )
+                self.episodes.append(episode)
+                return episode
+        else:
+            state.elevated_windows = 0
+            state.in_episode = False
+        return None

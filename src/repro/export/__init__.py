@@ -1,0 +1,33 @@
+"""Exporting Dart's sample stream: report records, CSV/JSONL, summaries.
+
+The deployment path of paper §5: the switch emits compact RTT reports
+to a collection server.  :mod:`repro.export.records` is that wire
+format; the sinks stream samples to disk live, and
+:class:`FlowSummarySink` reproduces tcptrace-style per-connection
+summaries with constant per-flow state.
+"""
+
+from .records import (
+    RECORD_LEN,
+    ReportFormatError,
+    decode_sample,
+    encode_sample,
+    read_reports,
+    write_reports,
+)
+from .sinks import CsvSink, JsonlSink, ReportFileSink
+from .summaries import FlowSummary, FlowSummarySink
+
+__all__ = [
+    "CsvSink",
+    "FlowSummary",
+    "FlowSummarySink",
+    "JsonlSink",
+    "RECORD_LEN",
+    "ReportFileSink",
+    "ReportFormatError",
+    "decode_sample",
+    "encode_sample",
+    "read_reports",
+    "write_reports",
+]

@@ -1,0 +1,131 @@
+"""The RTT report wire format (switch -> collection server).
+
+In the deployment (paper §5), Dart "collects raw RTT samples and sends
+them to a collection server" — each report is a small fixed-layout
+record the data plane can emit without serialization logic.  This
+module defines that record:
+
+====== ===== =====================================================
+offset bytes field
+====== ===== =====================================================
+0      1     version (currently 1)
+1      1     flags: bit0 handshake, bit1 ipv6, bits 2-3 leg
+2      2     source port
+4      2     destination port
+6      8     sample timestamp (ns since epoch/trace start)
+14     8     RTT (ns)
+22     4     expected ACK number
+26     16    source IP (IPv4 left-padded with zeros)
+42     16    destination IP
+====== ===== =====================================================
+
+58 bytes per report; a batch file is just concatenated records (the
+collector can start reading mid-stream at any 58-byte boundary).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Iterator, Optional
+
+from ..core.flow import FlowKey
+from ..core.samples import RttSample
+
+VERSION = 1
+RECORD_LEN = 58
+
+_HEADER = struct.Struct("!BBHHQQI")
+
+_FLAG_HANDSHAKE = 0x01
+_FLAG_IPV6 = 0x02
+_LEG_SHIFT = 2
+_LEG_MASK = 0x03
+_LEGS = (None, "external", "internal")
+
+
+class ReportFormatError(ValueError):
+    """Raised for malformed report records."""
+
+
+def _leg_bits(leg: Optional[str]) -> int:
+    try:
+        return _LEGS.index(leg)
+    except ValueError:
+        raise ReportFormatError(f"unencodable leg {leg!r}") from None
+
+
+def encode_sample(sample: RttSample) -> bytes:
+    """Serialize one sample to its 58-byte report record."""
+    flags = 0
+    if sample.handshake:
+        flags |= _FLAG_HANDSHAKE
+    if sample.flow.ipv6:
+        flags |= _FLAG_IPV6
+    flags |= _leg_bits(sample.leg) << _LEG_SHIFT
+    header = _HEADER.pack(
+        VERSION,
+        flags,
+        sample.flow.src_port,
+        sample.flow.dst_port,
+        sample.timestamp_ns,
+        sample.rtt_ns,
+        sample.eack,
+    )
+    return (
+        header
+        + sample.flow.src_ip.to_bytes(16, "big")
+        + sample.flow.dst_ip.to_bytes(16, "big")
+    )
+
+
+def decode_sample(data: bytes) -> RttSample:
+    """Parse one 58-byte report record back into a sample."""
+    if len(data) != RECORD_LEN:
+        raise ReportFormatError(
+            f"report record must be {RECORD_LEN} bytes, got {len(data)}"
+        )
+    version, flags, sport, dport, timestamp_ns, rtt_ns, eack = (
+        _HEADER.unpack_from(data, 0)
+    )
+    if version != VERSION:
+        raise ReportFormatError(f"unsupported report version {version}")
+    leg_index = (flags >> _LEG_SHIFT) & _LEG_MASK
+    if leg_index >= len(_LEGS):
+        raise ReportFormatError(f"bad leg bits {leg_index}")
+    src_ip = int.from_bytes(data[26:42], "big")
+    dst_ip = int.from_bytes(data[42:58], "big")
+    flow = FlowKey(
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=sport,
+        dst_port=dport,
+        ipv6=bool(flags & _FLAG_IPV6),
+    )
+    return RttSample(
+        flow=flow,
+        rtt_ns=rtt_ns,
+        timestamp_ns=timestamp_ns,
+        eack=eack,
+        handshake=bool(flags & _FLAG_HANDSHAKE),
+        leg=_LEGS[leg_index],
+    )
+
+
+def write_reports(stream: BinaryIO, samples) -> int:
+    """Append report records for ``samples``; returns the count."""
+    count = 0
+    for sample in samples:
+        stream.write(encode_sample(sample))
+        count += 1
+    return count
+
+
+def read_reports(stream: BinaryIO) -> Iterator[RttSample]:
+    """Yield samples from a stream of concatenated report records."""
+    while True:
+        chunk = stream.read(RECORD_LEN)
+        if not chunk:
+            return
+        if len(chunk) < RECORD_LEN:
+            raise ReportFormatError("truncated report record at end of stream")
+        yield decode_sample(chunk)

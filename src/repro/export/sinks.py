@@ -1,0 +1,116 @@
+"""Sample sinks that export to files: binary reports, CSV, JSONL.
+
+These plug directly into Dart as (or alongside) the analytics module:
+anything with an ``add(sample)`` method can consume the live sample
+stream, so a monitor can simultaneously run min-filter analytics and
+stream reports to disk for the collection server.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.samples import RttSample
+from ..net.inet import int_to_ipv4, int_to_ipv6
+from .records import encode_sample
+
+PathLike = Union[str, Path]
+
+
+class ReportFileSink:
+    """Streams binary report records to a file (see records.py)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._stream = open(path, "wb")
+        self.count = 0
+
+    def add(self, sample: RttSample) -> None:
+        self._stream.write(encode_sample(sample))
+        self.count += 1
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "ReportFileSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _flow_strings(sample: RttSample):
+    fmt = int_to_ipv6 if sample.flow.ipv6 else int_to_ipv4
+    return fmt(sample.flow.src_ip), fmt(sample.flow.dst_ip)
+
+
+CSV_FIELDS = ("timestamp_ns", "rtt_ns", "src", "sport", "dst", "dport",
+              "eack", "leg", "handshake")
+
+
+class CsvSink:
+    """Streams samples as CSV rows (header written up front)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._stream = open(path, "w", newline="")
+        self._writer = csv.writer(self._stream)
+        self._writer.writerow(CSV_FIELDS)
+        self.count = 0
+
+    def add(self, sample: RttSample) -> None:
+        src, dst = _flow_strings(sample)
+        self._writer.writerow([
+            sample.timestamp_ns,
+            sample.rtt_ns,
+            src,
+            sample.flow.src_port,
+            dst,
+            sample.flow.dst_port,
+            sample.eack,
+            sample.leg or "",
+            int(sample.handshake),
+        ])
+        self.count += 1
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "CsvSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class JsonlSink:
+    """Streams samples as JSON lines (one object per sample)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._stream = open(path, "w")
+        self.count = 0
+
+    def add(self, sample: RttSample) -> None:
+        src, dst = _flow_strings(sample)
+        self._stream.write(json.dumps({
+            "ts_ns": sample.timestamp_ns,
+            "rtt_ns": sample.rtt_ns,
+            "src": src,
+            "sport": sample.flow.src_port,
+            "dst": dst,
+            "dport": sample.flow.dst_port,
+            "eack": sample.eack,
+            "leg": sample.leg,
+            "handshake": sample.handshake,
+        }) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

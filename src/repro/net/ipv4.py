@@ -1,0 +1,117 @@
+"""IPv4 header encoding/decoding (RFC 791)."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum, verify_checksum
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+MIN_HEADER_LEN = 20
+
+
+@dataclass
+class IPv4Packet:
+    """An IPv4 packet with an opaque payload.
+
+    Addresses are integers (see :mod:`repro.net.inet`).  ``ihl`` is in
+    32-bit words; ``options`` must be pre-padded to a multiple of 4 bytes.
+    """
+
+    src: int = 0
+    dst: int = 0
+    proto: int = PROTO_TCP
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    ecn: int = 0
+    flags: int = 2  # don't-fragment, the common case
+    frag_offset: int = 0
+    options: bytes = b""
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.options) % 4:
+            raise ValueError("IPv4 options must be padded to 4-byte multiple")
+        if len(self.options) > 40:
+            raise ValueError("IPv4 options exceed 40 bytes")
+
+    @property
+    def ihl(self) -> int:
+        """Header length in 32-bit words (5 when no options)."""
+        return (MIN_HEADER_LEN + len(self.options)) // 4
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes."""
+        return MIN_HEADER_LEN + len(self.options)
+
+    @property
+    def total_length(self) -> int:
+        """Total packet length in bytes (header + payload)."""
+        return self.header_len + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        ver_ihl = (4 << 4) | self.ihl
+        dscp_ecn = (self.dscp << 2) | self.ecn
+        flags_frag = (self.flags << 13) | self.frag_offset
+        header = struct.pack(
+            "!BBHHHBBH4s4s",
+            ver_ihl,
+            dscp_ecn,
+            self.total_length,
+            self.identification,
+            flags_frag,
+            self.ttl,
+            self.proto,
+            0,
+            self.src.to_bytes(4, "big"),
+            self.dst.to_bytes(4, "big"),
+        ) + self.options
+        checksum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", checksum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, *, verify: bool = False) -> "IPv4Packet":
+        """Parse a wire-format IPv4 packet.
+
+        Raises ValueError on truncation, version mismatch, or (when
+        ``verify`` is set) a bad header checksum.
+        """
+        if len(data) < MIN_HEADER_LEN:
+            raise ValueError(f"IPv4 packet too short: {len(data)} bytes")
+        ver_ihl, dscp_ecn, total_length, ident, flags_frag, ttl, proto = (
+            struct.unpack_from("!BBHHHBB", data, 0)
+        )
+        version = ver_ihl >> 4
+        if version != 4:
+            raise ValueError(f"not an IPv4 packet (version={version})")
+        ihl = ver_ihl & 0x0F
+        header_len = ihl * 4
+        if header_len < MIN_HEADER_LEN or len(data) < header_len:
+            raise ValueError(f"bad IPv4 header length: {header_len}")
+        if total_length < header_len or total_length > len(data):
+            raise ValueError(f"bad IPv4 total length: {total_length}")
+        if verify and not verify_checksum(data[:header_len]):
+            raise ValueError("IPv4 header checksum mismatch")
+        src = int.from_bytes(data[12:16], "big")
+        dst = int.from_bytes(data[16:20], "big")
+        return cls(
+            src=src,
+            dst=dst,
+            proto=proto,
+            ttl=ttl,
+            identification=ident,
+            dscp=dscp_ecn >> 2,
+            ecn=dscp_ecn & 0x03,
+            flags=flags_frag >> 13,
+            frag_offset=flags_frag & 0x1FFF,
+            options=data[MIN_HEADER_LEN:header_len],
+            payload=data[header_len:total_length],
+        )

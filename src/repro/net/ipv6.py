@@ -1,0 +1,76 @@
+"""IPv6 base header encoding/decoding (RFC 8200).
+
+Dart's discussion section (§7) notes the system extends to IPv6 with a
+larger flow signature; the simulator supports IPv6 packets through this
+codec and the flow-key abstraction in :mod:`repro.core.flow`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+HEADER_LEN = 40
+
+
+@dataclass
+class IPv6Packet:
+    """An IPv6 packet (base header only, no extension-header chain)."""
+
+    src: int = 0
+    dst: int = 0
+    next_header: int = 6  # TCP
+    hop_limit: int = 64
+    traffic_class: int = 0
+    flow_label: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.flow_label < (1 << 20):
+            raise ValueError(f"flow label out of range: {self.flow_label}")
+        if not 0 <= self.traffic_class <= 0xFF:
+            raise ValueError(f"traffic class out of range: {self.traffic_class}")
+
+    @property
+    def payload_length(self) -> int:
+        """Length of everything after the base header."""
+        return len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialize to wire format."""
+        ver_tc_fl = (6 << 28) | (self.traffic_class << 20) | self.flow_label
+        return (
+            struct.pack(
+                "!IHBB",
+                ver_tc_fl,
+                self.payload_length,
+                self.next_header,
+                self.hop_limit,
+            )
+            + self.src.to_bytes(16, "big")
+            + self.dst.to_bytes(16, "big")
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "IPv6Packet":
+        """Parse a wire-format IPv6 packet; raises ValueError on errors."""
+        if len(data) < HEADER_LEN:
+            raise ValueError(f"IPv6 packet too short: {len(data)} bytes")
+        ver_tc_fl, payload_length, next_header, hop_limit = struct.unpack_from(
+            "!IHBB", data, 0
+        )
+        version = ver_tc_fl >> 28
+        if version != 6:
+            raise ValueError(f"not an IPv6 packet (version={version})")
+        if len(data) < HEADER_LEN + payload_length:
+            raise ValueError("IPv6 payload truncated")
+        return cls(
+            src=int.from_bytes(data[8:24], "big"),
+            dst=int.from_bytes(data[24:40], "big"),
+            next_header=next_header,
+            hop_limit=hop_limit,
+            traffic_class=(ver_tc_fl >> 20) & 0xFF,
+            flow_label=ver_tc_fl & 0xFFFFF,
+            payload=data[HEADER_LEN : HEADER_LEN + payload_length],
+        )

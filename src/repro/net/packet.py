@@ -1,0 +1,214 @@
+"""The packet record consumed by every monitor in this library.
+
+``PacketRecord`` is the single, codec-independent view of one TCP packet
+as seen at the monitoring vantage point: a nanosecond timestamp plus the
+handful of header fields RTT matching needs.  Both the synthetic trace
+generators (:mod:`repro.traces`) and the pcap decoder
+(:func:`from_wire_bytes`) produce this type; Dart, tcptrace, and the
+strawman all consume it.
+
+Timestamps are integer nanoseconds throughout the library — the Tofino
+reports RTTs at nanosecond granularity (paper §8) and integers keep the
+simulation deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from . import tcp as tcp_mod
+from .ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6, EthernetFrame
+from .inet import int_to_ipv4, int_to_ipv6
+from .ipv4 import PROTO_TCP, IPv4Packet
+from .ipv6 import IPv6Packet
+from .tcp import TcpSegment, flag_names
+
+NS_PER_SEC = 1_000_000_000
+NS_PER_MS = 1_000_000
+NS_PER_US = 1_000
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRecord:
+    """One observed TCP packet.
+
+    ``payload_len`` counts TCP payload bytes only; SYN and FIN flags each
+    consume one unit of sequence space, which :attr:`seq_consumed` and
+    :attr:`eack` account for.
+    """
+
+    timestamp_ns: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload_len: int
+    ipv6: bool = False
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & tcp_mod.FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & tcp_mod.FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & tcp_mod.FLAG_RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & tcp_mod.FLAG_ACK)
+
+    @property
+    def seq_consumed(self) -> int:
+        """Sequence space consumed: payload bytes plus SYN/FIN flags."""
+        return self.payload_len + (1 if self.syn else 0) + (1 if self.fin else 0)
+
+    @property
+    def carries_data(self) -> bool:
+        """True when the packet advances the sender's sequence space,
+        i.e. it can be the SEQ side of an RTT sample."""
+        return self.seq_consumed > 0
+
+    @property
+    def eack(self) -> int:
+        """The expected ACK number for this packet (paper Fig 2)."""
+        return (self.seq + self.seq_consumed) & 0xFFFFFFFF
+
+    def describe(self) -> str:
+        """One-line human-readable rendering for logs and examples."""
+        fmt = int_to_ipv6 if self.ipv6 else int_to_ipv4
+        return (
+            f"{self.timestamp_ns / NS_PER_SEC:.6f} "
+            f"{fmt(self.src_ip)}:{self.src_port} > "
+            f"{fmt(self.dst_ip)}:{self.dst_port} "
+            f"[{flag_names(self.flags)}] seq={self.seq} ack={self.ack} "
+            f"len={self.payload_len}"
+        )
+
+
+def from_tcp_segment(
+    segment: TcpSegment,
+    *,
+    timestamp_ns: int,
+    src_ip: int,
+    dst_ip: int,
+    ipv6: bool = False,
+) -> PacketRecord:
+    """Build a record from a decoded TCP segment plus IP-layer context."""
+    return PacketRecord(
+        timestamp_ns=timestamp_ns,
+        src_ip=src_ip,
+        dst_ip=dst_ip,
+        src_port=segment.src_port,
+        dst_port=segment.dst_port,
+        seq=segment.seq,
+        ack=segment.ack,
+        flags=segment.flags,
+        payload_len=len(segment.payload),
+        ipv6=ipv6,
+    )
+
+
+def from_wire_bytes(
+    data: bytes, timestamp_ns: int, *, linktype_ethernet: bool = True
+) -> Optional[PacketRecord]:
+    """Decode a raw captured frame into a record.
+
+    Returns None for non-TCP traffic (the monitor ignores it), and raises
+    ValueError for frames that claim to be TCP but are malformed.
+    """
+    if linktype_ethernet:
+        frame = EthernetFrame.decode(data)
+        if frame.ethertype == ETHERTYPE_IPV4:
+            ip_bytes = frame.payload
+            ipv6 = False
+        elif frame.ethertype == ETHERTYPE_IPV6:
+            ip_bytes = frame.payload
+            ipv6 = True
+        else:
+            return None
+    else:
+        if not data:
+            return None
+        version = data[0] >> 4
+        if version == 4:
+            ip_bytes, ipv6 = data, False
+        elif version == 6:
+            ip_bytes, ipv6 = data, True
+        else:
+            return None
+
+    if ipv6:
+        ip6 = IPv6Packet.decode(ip_bytes)
+        if ip6.next_header != PROTO_TCP:
+            return None
+        segment = TcpSegment.decode(ip6.payload)
+        return from_tcp_segment(
+            segment,
+            timestamp_ns=timestamp_ns,
+            src_ip=ip6.src,
+            dst_ip=ip6.dst,
+            ipv6=True,
+        )
+
+    ip4 = IPv4Packet.decode(ip_bytes)
+    if ip4.proto != PROTO_TCP:
+        return None
+    segment = TcpSegment.decode(ip4.payload)
+    return from_tcp_segment(
+        segment,
+        timestamp_ns=timestamp_ns,
+        src_ip=ip4.src,
+        dst_ip=ip4.dst,
+    )
+
+
+def to_wire_bytes(record: PacketRecord, *, payload_byte: bytes = b"\x00") -> bytes:
+    """Serialize a record to an Ethernet frame (synthetic payload).
+
+    The inverse of :func:`from_wire_bytes` up to payload contents; used to
+    write synthetic traces out as real pcap files.
+    """
+    segment = TcpSegment(
+        src_port=record.src_port,
+        dst_port=record.dst_port,
+        seq=record.seq,
+        ack=record.ack,
+        flags=record.flags,
+        payload=payload_byte * record.payload_len,
+    )
+    if record.ipv6:
+        ip6 = IPv6Packet(
+            src=record.src_ip,
+            dst=record.dst_ip,
+            next_header=PROTO_TCP,
+            payload=segment.encode(
+                src_addr=record.src_ip.to_bytes(16, "big"),
+                dst_addr=record.dst_ip.to_bytes(16, "big"),
+            ),
+        )
+        frame = EthernetFrame(ethertype=ETHERTYPE_IPV6, payload=ip6.encode())
+    else:
+        ip4 = IPv4Packet(
+            src=record.src_ip,
+            dst=record.dst_ip,
+            proto=PROTO_TCP,
+            payload=segment.encode(
+                src_addr=record.src_ip.to_bytes(4, "big"),
+                dst_addr=record.dst_ip.to_bytes(4, "big"),
+            ),
+        )
+        frame = EthernetFrame(ethertype=ETHERTYPE_IPV4, payload=ip4.encode())
+    return frame.encode()
+
+
+def sorted_by_time(records: Iterator[PacketRecord]) -> list:
+    """Return records sorted by timestamp (stable for equal stamps)."""
+    return sorted(records, key=lambda r: r.timestamp_ns)

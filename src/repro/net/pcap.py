@@ -1,0 +1,167 @@
+"""Classic libpcap file reading and writing, implemented from scratch.
+
+Supports the microsecond (0xA1B2C3D4) and nanosecond (0xA1B23C4D) magic
+variants in either byte order, with the two linktypes this library emits:
+Ethernet (DLT_EN10MB) and raw IP (DLT_RAW).  This replaces the paper's
+tcpreplay/tcpdump tooling: synthetic traces can be written to disk as
+real captures and real captures can be replayed into any monitor.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, Optional, Tuple, Union
+
+from .packet import NS_PER_US, PacketRecord, from_wire_bytes, to_wire_bytes
+
+MAGIC_MICRO = 0xA1B2C3D4
+MAGIC_NANO = 0xA1B23C4D
+
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+
+_GLOBAL_HEADER = struct.Struct("IHHiIII")
+_RECORD_HEADER = struct.Struct("IIII")
+
+PathLike = Union[str, Path]
+
+
+class PcapFormatError(ValueError):
+    """Raised for malformed pcap files."""
+
+
+@dataclass(frozen=True)
+class PcapHeader:
+    """Parsed pcap global header."""
+
+    byte_order: str  # '<' or '>'
+    nanosecond: bool
+    version: Tuple[int, int]
+    snaplen: int
+    linktype: int
+
+
+def _parse_global_header(data: bytes) -> PcapHeader:
+    if len(data) < _GLOBAL_HEADER.size:
+        raise PcapFormatError("pcap file shorter than global header")
+    (magic,) = struct.unpack_from("<I", data, 0)
+    for order in ("<", ">"):
+        (m,) = struct.unpack_from(order + "I", data, 0)
+        if m in (MAGIC_MICRO, MAGIC_NANO):
+            magic, byte_order = m, order
+            break
+    else:
+        raise PcapFormatError(f"bad pcap magic: {magic:#x}")
+    _, major, minor, _tz, _sig, snaplen, linktype = struct.unpack_from(
+        byte_order + "IHHiIII", data, 0
+    )
+    return PcapHeader(
+        byte_order=byte_order,
+        nanosecond=(magic == MAGIC_NANO),
+        version=(major, minor),
+        snaplen=snaplen,
+        linktype=linktype,
+    )
+
+
+class PcapReader:
+    """Iterates ``(timestamp_ns, frame_bytes)`` pairs from a pcap file."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header_bytes = stream.read(24)
+        self.header = _parse_global_header(header_bytes)
+        self._rec = struct.Struct(self.header.byte_order + "IIII")
+
+    def __iter__(self) -> Iterator[Tuple[int, bytes]]:
+        return self
+
+    def __next__(self) -> Tuple[int, bytes]:
+        header = self._stream.read(16)
+        if not header:
+            raise StopIteration
+        if len(header) < 16:
+            raise PcapFormatError("truncated pcap record header")
+        ts_sec, ts_frac, incl_len, orig_len = self._rec.unpack(header)
+        if incl_len > orig_len and orig_len != 0:
+            raise PcapFormatError(
+                f"pcap record incl_len {incl_len} exceeds orig_len {orig_len}"
+            )
+        data = self._stream.read(incl_len)
+        if len(data) < incl_len:
+            raise PcapFormatError("truncated pcap record body")
+        if self.header.nanosecond:
+            timestamp_ns = ts_sec * 1_000_000_000 + ts_frac
+        else:
+            timestamp_ns = ts_sec * 1_000_000_000 + ts_frac * NS_PER_US
+        return timestamp_ns, data
+
+
+class PcapWriter:
+    """Writes frames to a nanosecond-resolution pcap file."""
+
+    def __init__(
+        self,
+        stream: BinaryIO,
+        *,
+        linktype: int = LINKTYPE_ETHERNET,
+        snaplen: int = 262144,
+        nanosecond: bool = True,
+    ):
+        self._stream = stream
+        self._nanosecond = nanosecond
+        magic = MAGIC_NANO if nanosecond else MAGIC_MICRO
+        stream.write(struct.pack("<IHHiIII", magic, 2, 4, 0, 0, snaplen, linktype))
+
+    def write(self, timestamp_ns: int, frame: bytes) -> None:
+        """Append one captured frame."""
+        sec, rem_ns = divmod(timestamp_ns, 1_000_000_000)
+        frac = rem_ns if self._nanosecond else rem_ns // NS_PER_US
+        self._stream.write(struct.pack("<IIII", sec, frac, len(frame), len(frame)))
+        self._stream.write(frame)
+
+
+def read_frames(path: PathLike) -> Iterator[Tuple[int, bytes]]:
+    """Yield ``(timestamp_ns, frame_bytes)`` from a pcap file on disk."""
+    with open(path, "rb") as stream:
+        reader = PcapReader(stream)
+        yield from reader
+
+
+def read_packets(path: PathLike) -> Iterator[PacketRecord]:
+    """Yield TCP :class:`PacketRecord` objects from a pcap file.
+
+    Non-TCP frames are silently skipped, matching the behaviour of the
+    hardware prototype (Dart only inspects TCP traffic).
+    """
+    with open(path, "rb") as stream:
+        reader = PcapReader(stream)
+        ethernet = reader.header.linktype == LINKTYPE_ETHERNET
+        if not ethernet and reader.header.linktype != LINKTYPE_RAW:
+            raise PcapFormatError(
+                f"unsupported linktype {reader.header.linktype}"
+            )
+        for timestamp_ns, frame in reader:
+            record = from_wire_bytes(
+                frame, timestamp_ns, linktype_ethernet=ethernet
+            )
+            if record is not None:
+                yield record
+
+
+def write_packets(
+    path: PathLike,
+    records: Iterable[PacketRecord],
+    *,
+    nanosecond: bool = True,
+) -> int:
+    """Write packet records to a pcap file; returns the packet count."""
+    count = 0
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream, nanosecond=nanosecond)
+        for record in records:
+            writer.write(record.timestamp_ns, to_wire_bytes(record))
+            count += 1
+    return count

@@ -1,0 +1,229 @@
+"""pcapng (next-generation capture) file reading, from scratch.
+
+Modern tcpdump/wireshark default to pcapng, so the offline tooling
+accepts it alongside classic pcap.  Supported blocks:
+
+* Section Header Block (0x0A0D0D0A) — byte order, section boundaries;
+* Interface Description Block (0x00000001) — linktype and the
+  ``if_tsresol`` option (timestamp resolution, default 10^-6);
+* Enhanced Packet Block (0x00000006) — timestamped packets;
+* Simple Packet Block (0x00000003) — packets without timestamps
+  (reported at t=0, in file order);
+* all other blocks are skipped.
+
+Only reading is implemented; captures are *written* as classic pcap
+(:mod:`repro.net.pcap`), which every tool reads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+
+from .packet import PacketRecord, from_wire_bytes
+from .pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW, PathLike, PcapFormatError
+
+BLOCK_SHB = 0x0A0D0D0A
+BLOCK_IDB = 0x00000001
+BLOCK_SPB = 0x00000003
+BLOCK_EPB = 0x00000006
+
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+OPT_ENDOFOPT = 0
+OPT_IF_TSRESOL = 9
+
+
+@dataclass
+class _Interface:
+    linktype: int
+    ticks_per_second: int
+
+
+def _parse_options(data: bytes, order: str):
+    """Yield (code, value) pairs from an options region."""
+    i = 0
+    while i + 4 <= len(data):
+        code, length = struct.unpack_from(order + "HH", data, i)
+        i += 4
+        if code == OPT_ENDOFOPT:
+            return
+        value = data[i : i + length]
+        yield code, value
+        i += (length + 3) & ~3  # options are padded to 32 bits
+
+
+def _tsresol_to_ticks(value: bytes) -> int:
+    """Decode if_tsresol: ticks of the interface clock per second."""
+    if not value:
+        return 1_000_000
+    raw = value[0]
+    if raw & 0x80:
+        return 1 << (raw & 0x7F)
+    return 10 ** raw
+
+
+class PcapngReader:
+    """Iterates ``(timestamp_ns, linktype, frame_bytes)`` tuples."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self._order = "<"
+        self._interfaces: List[_Interface] = []
+        first = self._read_block_header()
+        if first is None or first[0] != BLOCK_SHB:
+            raise PcapFormatError("not a pcapng file (no section header)")
+        self._handle_shb(self._read_block_body(first[1]))
+
+    # -- low-level block framing ------------------------------------------------
+
+    def _read_block_header(self) -> Optional[Tuple[int, int]]:
+        header = self._stream.read(8)
+        if not header:
+            return None
+        if len(header) < 8:
+            raise PcapFormatError("truncated pcapng block header")
+        block_type = struct.unpack_from(self._order + "I", header, 0)[0]
+        if block_type == BLOCK_SHB:
+            # Byte order may change at a section boundary; peek at the
+            # byte-order magic to decide how to read the length.
+            magic_bytes = self._stream.read(4)
+            if len(magic_bytes) < 4:
+                raise PcapFormatError("truncated section header")
+            (magic_le,) = struct.unpack("<I", magic_bytes)
+            self._order = "<" if magic_le == BYTE_ORDER_MAGIC else ">"
+            (length,) = struct.unpack_from(self._order + "I", header, 4)
+            # Re-read length in the (possibly new) byte order.
+            length = struct.unpack(self._order + "I", header[4:8])[0]
+            # The body we return excludes the 4 magic bytes already read.
+            return BLOCK_SHB, length - 4
+        (length,) = struct.unpack_from(self._order + "I", header, 4)
+        return block_type, length
+
+    def _read_block_body(self, total_length: int) -> bytes:
+        # total_length covers: type(4) + length(4) + body + trailing length(4)
+        body_length = total_length - 12
+        if body_length < 0:
+            raise PcapFormatError(f"bad pcapng block length {total_length}")
+        body = self._stream.read(body_length)
+        if len(body) < body_length:
+            raise PcapFormatError("truncated pcapng block body")
+        trailer = self._stream.read(4)
+        if len(trailer) < 4:
+            raise PcapFormatError("missing pcapng block trailer")
+        return body
+
+    # -- block handlers -----------------------------------------------------------
+
+    def _handle_shb(self, body: bytes) -> None:
+        self._interfaces = []  # interfaces are per-section
+
+    def _handle_idb(self, body: bytes) -> None:
+        if len(body) < 8:
+            raise PcapFormatError("short interface description block")
+        (linktype,) = struct.unpack_from(self._order + "H", body, 0)
+        ticks = 1_000_000
+        for code, value in _parse_options(body[8:], self._order):
+            if code == OPT_IF_TSRESOL:
+                ticks = _tsresol_to_ticks(value)
+        self._interfaces.append(_Interface(linktype, ticks))
+
+    def _interface(self, index: int) -> _Interface:
+        if index >= len(self._interfaces):
+            raise PcapFormatError(
+                f"packet references undeclared interface {index}"
+            )
+        return self._interfaces[index]
+
+    # -- iteration ------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[int, int, bytes]]:
+        return self
+
+    def __next__(self) -> Tuple[int, int, bytes]:
+        while True:
+            header = self._read_block_header()
+            if header is None:
+                raise StopIteration
+            block_type, length = header
+            body = self._read_block_body(length)
+            if block_type == BLOCK_SHB:
+                self._handle_shb(body)
+            elif block_type == BLOCK_IDB:
+                self._handle_idb(body)
+            elif block_type == BLOCK_EPB:
+                return self._parse_epb(body)
+            elif block_type == BLOCK_SPB:
+                return self._parse_spb(body)
+            # anything else: skip
+
+    def _parse_epb(self, body: bytes) -> Tuple[int, int, bytes]:
+        if len(body) < 20:
+            raise PcapFormatError("short enhanced packet block")
+        if_index, ts_high, ts_low, captured, _original = struct.unpack_from(
+            self._order + "IIIII", body, 0
+        )
+        interface = self._interface(if_index)
+        ticks = (ts_high << 32) | ts_low
+        timestamp_ns = ticks * 1_000_000_000 // interface.ticks_per_second
+        frame = body[20 : 20 + captured]
+        if len(frame) < captured:
+            raise PcapFormatError("truncated enhanced packet data")
+        return timestamp_ns, interface.linktype, frame
+
+    def _parse_spb(self, body: bytes) -> Tuple[int, int, bytes]:
+        if len(body) < 4:
+            raise PcapFormatError("short simple packet block")
+        if not self._interfaces:
+            raise PcapFormatError("simple packet block before any interface")
+        (original,) = struct.unpack_from(self._order + "I", body, 0)
+        interface = self._interfaces[0]
+        # The captured length is bounded by the block body.
+        frame = body[4 : 4 + original]
+        return 0, interface.linktype, frame
+
+
+def read_pcapng_packets(path: PathLike) -> Iterator[PacketRecord]:
+    """Yield TCP :class:`PacketRecord` objects from a pcapng file."""
+    with open(path, "rb") as stream:
+        reader = PcapngReader(stream)
+        for timestamp_ns, linktype, frame in reader:
+            if linktype == LINKTYPE_ETHERNET:
+                ethernet = True
+            elif linktype == LINKTYPE_RAW:
+                ethernet = False
+            else:
+                continue
+            record = from_wire_bytes(frame, timestamp_ns,
+                                     linktype_ethernet=ethernet)
+            if record is not None:
+                yield record
+
+
+def sniff_format(path: PathLike) -> str:
+    """Return ``"pcap"``, ``"pcapng"``, or raise for anything else."""
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+    if len(magic) < 4:
+        raise PcapFormatError("file too short to be a capture")
+    (value_le,) = struct.unpack("<I", magic)
+    (value_be,) = struct.unpack(">I", magic)
+    if value_le == BLOCK_SHB:
+        return "pcapng"
+    from .pcap import MAGIC_MICRO, MAGIC_NANO
+
+    if value_le in (MAGIC_MICRO, MAGIC_NANO) or value_be in (
+        MAGIC_MICRO, MAGIC_NANO
+    ):
+        return "pcap"
+    raise PcapFormatError(f"unrecognized capture magic {magic!r}")
+
+
+def read_any_capture(path: PathLike) -> Iterator[PacketRecord]:
+    """Read TCP packets from either a pcap or a pcapng file."""
+    from .pcap import read_packets
+
+    if sniff_format(path) == "pcapng":
+        return read_pcapng_packets(path)
+    return read_packets(path)

@@ -1,0 +1,224 @@
+"""TCP segment encoding/decoding (RFC 793), including common options.
+
+The codec round-trips the fields Dart cares about (sequence/ack numbers,
+flags, payload length) plus enough option support (MSS, window scale,
+SACK-permitted, SACK blocks, timestamps) to emit realistic traffic in the
+examples and to parse real pcaps.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .checksum import tcp_checksum_v4, tcp_checksum_v6
+
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+FLAG_URG = 0x20
+FLAG_ECE = 0x40
+FLAG_CWR = 0x80
+
+MIN_HEADER_LEN = 20
+MAX_HEADER_LEN = 60
+
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+OPT_WSCALE = 3
+OPT_SACK_PERMITTED = 4
+OPT_SACK = 5
+OPT_TIMESTAMP = 8
+
+
+@dataclass
+class TcpOptions:
+    """Parsed TCP options; any field may be absent (None/empty)."""
+
+    mss: Optional[int] = None
+    window_scale: Optional[int] = None
+    sack_permitted: bool = False
+    sack_blocks: List[Tuple[int, int]] = field(default_factory=list)
+    timestamp: Optional[Tuple[int, int]] = None  # (TSval, TSecr)
+
+    def encode(self) -> bytes:
+        """Serialize the options, padded with NOPs to a 4-byte multiple."""
+        out = bytearray()
+        if self.mss is not None:
+            out += struct.pack("!BBH", OPT_MSS, 4, self.mss)
+        if self.window_scale is not None:
+            out += struct.pack("!BBB", OPT_WSCALE, 3, self.window_scale)
+        if self.sack_permitted:
+            out += struct.pack("!BB", OPT_SACK_PERMITTED, 2)
+        if self.timestamp is not None:
+            tsval, tsecr = self.timestamp
+            out += struct.pack("!BBII", OPT_TIMESTAMP, 10, tsval, tsecr)
+        if self.sack_blocks:
+            if len(self.sack_blocks) > 4:
+                raise ValueError("at most 4 SACK blocks fit in a TCP header")
+            length = 2 + 8 * len(self.sack_blocks)
+            out += struct.pack("!BB", OPT_SACK, length)
+            for left, right in self.sack_blocks:
+                out += struct.pack("!II", left, right)
+        while len(out) % 4:
+            out += bytes([OPT_NOP])
+        if len(out) > MAX_HEADER_LEN - MIN_HEADER_LEN:
+            raise ValueError("TCP options exceed 40 bytes")
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TcpOptions":
+        """Parse raw option bytes; unknown options are skipped."""
+        opts = cls()
+        i = 0
+        while i < len(data):
+            kind = data[i]
+            if kind == OPT_END:
+                break
+            if kind == OPT_NOP:
+                i += 1
+                continue
+            if i + 1 >= len(data):
+                raise ValueError("truncated TCP option")
+            length = data[i + 1]
+            if length < 2 or i + length > len(data):
+                raise ValueError(f"bad TCP option length {length}")
+            body = data[i + 2 : i + length]
+            if kind == OPT_MSS and length == 4:
+                (opts.mss,) = struct.unpack("!H", body)
+            elif kind == OPT_WSCALE and length == 3:
+                opts.window_scale = body[0]
+            elif kind == OPT_SACK_PERMITTED and length == 2:
+                opts.sack_permitted = True
+            elif kind == OPT_TIMESTAMP and length == 10:
+                opts.timestamp = struct.unpack("!II", body)
+            elif kind == OPT_SACK and (length - 2) % 8 == 0:
+                for j in range(0, length - 2, 8):
+                    left, right = struct.unpack_from("!II", body, j)
+                    opts.sack_blocks.append((left, right))
+            i += length
+        return opts
+
+
+@dataclass
+class TcpSegment:
+    """A TCP segment with an opaque payload."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_ACK
+    window: int = 65535
+    urgent: int = 0
+    options: TcpOptions = field(default_factory=TcpOptions)
+    payload: bytes = field(default=b"", repr=False)
+
+    def __post_init__(self) -> None:
+        for name in ("src_port", "dst_port"):
+            port = getattr(self, name)
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"{name} out of range: {port}")
+        for name in ("seq", "ack"):
+            value = getattr(self, name)
+            if not 0 <= value < (1 << 32):
+                raise ValueError(f"{name} out of range: {value}")
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def has_ack(self) -> bool:
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def data_offset(self) -> int:
+        """Header length in 32-bit words."""
+        return (MIN_HEADER_LEN + len(self.options.encode())) // 4
+
+    @property
+    def header_len(self) -> int:
+        """Header length in bytes."""
+        return self.data_offset * 4
+
+    def encode(
+        self,
+        *,
+        src_addr: Optional[bytes] = None,
+        dst_addr: Optional[bytes] = None,
+    ) -> bytes:
+        """Serialize; computes a real checksum when addresses are given."""
+        opt_bytes = self.options.encode()
+        offset_flags = ((MIN_HEADER_LEN + len(opt_bytes)) // 4) << 12 | self.flags
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,
+            self.urgent,
+        ) + opt_bytes
+        segment = header + self.payload
+        if src_addr is not None and dst_addr is not None:
+            if len(src_addr) == 4:
+                checksum = tcp_checksum_v4(src_addr, dst_addr, segment)
+            else:
+                checksum = tcp_checksum_v6(src_addr, dst_addr, segment)
+            segment = segment[:16] + struct.pack("!H", checksum) + segment[18:]
+        return segment
+
+    @classmethod
+    def decode(cls, data: bytes) -> "TcpSegment":
+        """Parse a wire-format segment; raises ValueError on truncation."""
+        if len(data) < MIN_HEADER_LEN:
+            raise ValueError(f"TCP segment too short: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, offset_flags, window, _checksum, urgent) = (
+            struct.unpack_from("!HHIIHHHH", data, 0)
+        )
+        header_len = (offset_flags >> 12) * 4
+        if header_len < MIN_HEADER_LEN or header_len > len(data):
+            raise ValueError(f"bad TCP data offset: {header_len}")
+        options = TcpOptions.decode(data[MIN_HEADER_LEN:header_len])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x01FF,
+            window=window,
+            urgent=urgent,
+            options=options,
+            payload=data[header_len:],
+        )
+
+
+def flag_names(flags: int) -> str:
+    """Render a flag byte as e.g. ``"SYN|ACK"`` for logs and repr."""
+    names = [
+        (FLAG_SYN, "SYN"),
+        (FLAG_FIN, "FIN"),
+        (FLAG_RST, "RST"),
+        (FLAG_PSH, "PSH"),
+        (FLAG_ACK, "ACK"),
+        (FLAG_URG, "URG"),
+        (FLAG_ECE, "ECE"),
+        (FLAG_CWR, "CWR"),
+    ]
+    present = [name for bit, name in names if flags & bit]
+    return "|".join(present) if present else "NONE"

@@ -1,0 +1,42 @@
+"""A minimal QUIC packet model for spin-bit RTT measurement (paper §7).
+
+QUIC encrypts sequence/acknowledgment state, so Dart's SEQ/ACK matching
+cannot apply; the only passive RTT signal QUIC exposes is the *spin
+bit* (RFC 9000 §17.4): the client flips the bit once per round trip and
+the server reflects it, so an on-path observer sees a square wave whose
+period is the RTT.
+
+Only the fields an on-path observer can actually read are modelled: the
+5-tuple-ish addressing, the (plaintext) spin bit, and whether the
+packet is a long-header (handshake) packet — long-header packets carry
+no spin bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.flow import FlowKey
+
+
+@dataclass(frozen=True, slots=True)
+class QuicPacketRecord:
+    """One observed QUIC datagram."""
+
+    timestamp_ns: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    spin_bit: bool
+    long_header: bool = False
+    payload_len: int = 0
+
+    @property
+    def flow(self) -> FlowKey:
+        return FlowKey(
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+        )

@@ -1,0 +1,33 @@
+"""Event-driven TCP network simulator.
+
+The substrate that generates realistic monitored packet streams: a
+deterministic event loop, lossy/reordering links, TCP endpoints with
+delayed/duplicate/cumulative ACKs and retransmission, and the monitor
+tap that produces :class:`~repro.net.packet.PacketRecord` streams.
+"""
+
+from .connection import Connection, ConnectionSpec, LegProfile
+from .engine import EventLoop, SimulationError
+from .link import Link, LinkStats
+from .monitor import InternalNetwork, MonitorTap
+from .rng import SimRandom
+from .segment import SimSegment
+from .tcp_endpoint import EndpointStats, TcpEndpoint, TcpParams
+
+__all__ = [
+    "Connection",
+    "ConnectionSpec",
+    "EndpointStats",
+    "EventLoop",
+    "InternalNetwork",
+    "LegProfile",
+    "Link",
+    "LinkStats",
+    "MonitorTap",
+    "SimRandom",
+    "SimSegment",
+    "SimulationError",
+    "SimulationError",
+    "TcpEndpoint",
+    "TcpParams",
+]

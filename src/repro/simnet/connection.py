@@ -1,0 +1,207 @@
+"""Wiring one TCP connection through the monitored path.
+
+Topology (paper Fig 1)::
+
+    client --[internal leg]--> (monitor tap) --[external leg]--> server
+    client <--[internal leg]-- (monitor tap) <--[external leg]-- server
+
+Each direction of each leg is an independent :class:`~repro.simnet.link.Link`,
+so loss/reordering/delay can differ per sub-path.  The application model
+is request/response: the client sends ``request_bytes``, the server
+answers with ``response_bytes`` and closes; the client closes once the
+response is complete.  ``complete=False`` models the campus trace's
+dominant population of never-established connections (SYNs into the
+void; 72.5% of all connections, paper Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .engine import EventLoop
+from .link import DelaySpec, Link
+from .monitor import MonitorTap
+from .rng import SimRandom
+from .segment import SimSegment
+from .tcp_endpoint import TcpEndpoint, TcpParams
+
+MS = 1_000_000
+
+
+@dataclass
+class LegProfile:
+    """One leg's network characteristics (applied to both directions)."""
+
+    delay_ns: DelaySpec = 10 * MS
+    jitter_fraction: float = 0.05
+    loss_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_extra_ns: Optional[int] = None
+    #: Optional FIFO serialization rate; sustained bursts then build
+    #: real queueing delay (bufferbloat).  None = infinite capacity.
+    bandwidth_bps: Optional[float] = None
+    #: Optional finite buffer (max queueing delay before tail drop).
+    queue_limit_ns: Optional[int] = None
+
+
+@dataclass
+class ConnectionSpec:
+    """Everything needed to instantiate one connection."""
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    request_bytes: int = 400
+    response_bytes: int = 100_000
+    start_ns: int = 0
+    internal: LegProfile = field(default_factory=LegProfile)
+    external: LegProfile = field(default_factory=LegProfile)
+    tcp: TcpParams = field(default_factory=TcpParams)
+    complete: bool = True
+    client_isn: int = 0x1000
+    server_isn: int = 0x2000
+    straggler_keepalive_ns: Optional[int] = None
+    server_straggler_keepalive_ns: Optional[int] = None
+    #: When False, neither side sends FIN after the request/response
+    #: exchange — used for long-lived sessions that keep pushing data
+    #: (e.g. the interception-attack scenario).
+    auto_close: bool = True
+    #: Address family of both endpoints (paper §7: Dart extends to IPv6
+    #: with a larger flow key compressed to the same 4-byte signature).
+    ipv6: bool = False
+
+
+class Connection:
+    """One client/server pair connected through the monitor."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: SimRandom,
+        tap: MonitorTap,
+        spec: ConnectionSpec,
+        *,
+        on_response_complete: Optional[Callable[["Connection"], None]] = None,
+    ) -> None:
+        self.loop = loop
+        self.spec = spec
+        self._on_response_complete = on_response_complete
+        self._responded = False
+
+        label = f"{spec.client_ip}:{spec.client_port}>{spec.server_ip}:{spec.server_port}"
+        link_rng = rng.fork(f"links:{label}")
+
+        def make_link(profile: LegProfile, name: str) -> Link:
+            return Link(
+                loop,
+                link_rng,
+                delay_ns=profile.delay_ns,
+                jitter_fraction=profile.jitter_fraction,
+                loss_rate=profile.loss_rate,
+                reorder_rate=profile.reorder_rate,
+                reorder_extra_ns=profile.reorder_extra_ns,
+                bandwidth_bps=profile.bandwidth_bps,
+                queue_limit_ns=profile.queue_limit_ns,
+                name=name,
+            )
+
+        self.link_c2m = make_link(spec.internal, "client->monitor")
+        self.link_m2s = make_link(spec.external, "monitor->server")
+        self.link_s2m = make_link(spec.external, "server->monitor")
+        self.link_m2c = make_link(spec.internal, "monitor->client")
+
+        self.client = TcpEndpoint(
+            loop,
+            rng.fork(f"client:{label}"),
+            local_ip=spec.client_ip,
+            local_port=spec.client_port,
+            remote_ip=spec.server_ip,
+            remote_port=spec.server_port,
+            isn=spec.client_isn,
+            params=spec.tcp,
+            role="client",
+            ipv6=spec.ipv6,
+            on_established=self._client_established,
+            on_app_bytes=self._client_received,
+            straggler_keepalive_ns=spec.straggler_keepalive_ns,
+            expected_app_bytes=spec.response_bytes,
+        )
+
+        if spec.complete:
+            self.server: Optional[TcpEndpoint] = TcpEndpoint(
+                loop,
+                rng.fork(f"server:{label}"),
+                local_ip=spec.server_ip,
+                local_port=spec.server_port,
+                remote_ip=spec.client_ip,
+                remote_port=spec.client_port,
+                isn=spec.server_isn,
+                params=spec.tcp,
+                role="server",
+                ipv6=spec.ipv6,
+                on_app_bytes=self._server_received,
+                straggler_keepalive_ns=spec.server_straggler_keepalive_ns,
+                expected_app_bytes=spec.request_bytes,
+            )
+        else:
+            self.server = None
+
+        # Wire the monitored path.
+        self.link_c2m.connect(tap.tap_and_forward(self.link_m2s))
+        if self.server is not None:
+            self.link_m2s.connect(self.server.receive)
+        else:
+            self.link_m2s.connect(self._blackhole)
+        self.link_s2m.connect(tap.tap_and_forward(self.link_m2c))
+        self.link_m2c.connect(self.client.receive)
+
+        self.client.connect_pipe(self.link_c2m, bypass=self._client_bypass)
+        if self.server is not None:
+            self.server.connect_pipe(self.link_s2m, bypass=self._server_bypass)
+
+    # -- unmonitored bypass (asymmetric routing for stragglers) -------------
+
+    def _client_bypass(self, segment: SimSegment) -> None:
+        if self.server is None:
+            return
+        delay = self.link_c2m.base_delay_ns() + self.link_m2s.base_delay_ns()
+        self.loop.schedule(delay, self.server.receive, segment)
+
+    def _server_bypass(self, segment: SimSegment) -> None:
+        delay = self.link_s2m.base_delay_ns() + self.link_m2c.base_delay_ns()
+        self.loop.schedule(delay, self.client.receive, segment)
+
+    @staticmethod
+    def _blackhole(segment: SimSegment) -> None:
+        return
+
+    # -- application behaviour ------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the connection's first packet."""
+        self.loop.schedule_at(self.spec.start_ns, self.client.open)
+
+    def _client_established(self) -> None:
+        self.client.send_app_data(self.spec.request_bytes)
+
+    def _server_received(self, delivered: int) -> None:
+        if self._responded or self.server is None:
+            return
+        if delivered >= self.spec.request_bytes:
+            self._responded = True
+            self.server.send_app_data(self.spec.response_bytes)
+            if self.spec.auto_close:
+                self.server.close_when_done()
+
+    def _client_received(self, delivered: int) -> None:
+        if delivered >= self.spec.response_bytes and self._responded:
+            if self.spec.auto_close and self.client.state == "ESTABLISHED":
+                self.client.close_when_done()
+            if self._on_response_complete is not None:
+                callback, self._on_response_complete = (
+                    self._on_response_complete,
+                    None,
+                )
+                callback(self)

@@ -1,0 +1,145 @@
+"""Unidirectional link model: delay, jitter, loss, reordering, queueing.
+
+A link delivers each segment after ``base delay + jitter``; a *loss*
+drops the segment, and a *reordering event* adds an extra delay long
+enough for subsequently sent segments to overtake — the mechanism that
+produces duplicate-ACK/reordering ambiguity downstream.
+
+The base delay may be a callable of virtual time, which is how the
+interception-attack trace shifts a path's latency mid-connection
+(paper §5.2: the wide-area leg jumps from ~25 ms to ~120 ms when the
+BGP hijack takes effect).
+
+With ``bandwidth_bps`` set, the link also models serialization through
+a FIFO transmitter: each segment occupies the wire for
+``bits / bandwidth`` and later segments queue behind it, so sustained
+bursts build genuine queueing delay — the §7 bufferbloat signature
+emerges from load instead of being scripted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from .engine import EventLoop
+from .rng import SimRandom
+from .segment import SimSegment
+
+DelaySpec = Union[int, Callable[[int], int]]
+
+
+#: Approximate L2-L4 header overhead per segment on the wire.
+WIRE_OVERHEAD_BYTES = 58
+
+
+@dataclass
+class LinkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    reordered: int = 0
+    max_queue_delay_ns: int = 0
+
+
+class Link:
+    """One direction of a network path."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: SimRandom,
+        *,
+        delay_ns: DelaySpec,
+        jitter_fraction: float = 0.05,
+        loss_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_extra_ns: Optional[int] = None,
+        bandwidth_bps: Optional[float] = None,
+        queue_limit_ns: Optional[int] = None,
+        name: str = "link",
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate out of range: {loss_rate}")
+        if not 0.0 <= reorder_rate < 1.0:
+            raise ValueError(f"reorder_rate out of range: {reorder_rate}")
+        self._loop = loop
+        self._rng = rng
+        self._delay = delay_ns
+        self._jitter_fraction = jitter_fraction
+        self._loss_rate = loss_rate
+        self._reorder_rate = reorder_rate
+        self._reorder_extra_ns = reorder_extra_ns
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth_bps must be positive: {bandwidth_bps}")
+        if queue_limit_ns is not None and queue_limit_ns <= 0:
+            raise ValueError(f"queue_limit_ns must be positive: {queue_limit_ns}")
+        self._bandwidth_bps = bandwidth_bps
+        # Finite buffer, expressed as maximum queueing *delay* (a byte
+        # limit divided by the bandwidth).  Overflow tail-drops — the
+        # loss signal that makes loss-based congestion control sawtooth
+        # through the buffer, i.e. textbook bufferbloat dynamics.
+        self._queue_limit_ns = queue_limit_ns
+        self._tx_busy_until_ns = 0
+        self._handler: Optional[Callable[[SimSegment], None]] = None
+        self._fifo_front_ns = 0
+        self.name = name
+        self.stats = LinkStats()
+
+    def connect(self, handler: Callable[[SimSegment], None]) -> None:
+        """Set the delivery callback (the next hop or endpoint)."""
+        self._handler = handler
+
+    def base_delay_ns(self) -> int:
+        """Current base one-way delay."""
+        if callable(self._delay):
+            return self._delay(self._loop.now_ns)
+        return self._delay
+
+    def send(self, segment: SimSegment) -> None:
+        """Inject a segment; it is delivered (or lost) asynchronously."""
+        if self._handler is None:
+            raise RuntimeError(f"link {self.name!r} has no delivery handler")
+        self.stats.sent += 1
+        if self._rng.chance(self._loss_rate):
+            self.stats.dropped += 1
+            return
+        now = self._loop.now_ns
+        queue_delay = 0
+        if self._bandwidth_bps is not None:
+            # FIFO transmitter: wait for the wire, then serialize.
+            bits = 8 * (segment.payload_len + WIRE_OVERHEAD_BYTES)
+            tx_time = int(bits * 1_000_000_000 / self._bandwidth_bps)
+            start = max(now, self._tx_busy_until_ns)
+            if (self._queue_limit_ns is not None
+                    and start - now > self._queue_limit_ns):
+                # Buffer overflow: tail drop.
+                self.stats.dropped += 1
+                return
+            queue_delay = start - now
+            self._tx_busy_until_ns = start + tx_time
+            queue_delay += tx_time
+            if queue_delay > self.stats.max_queue_delay_ns:
+                self.stats.max_queue_delay_ns = queue_delay
+        delay = self._rng.jittered_ns(self.base_delay_ns(), self._jitter_fraction)
+        when = now + queue_delay + delay
+        if self._reorder_rate and self._rng.chance(self._reorder_rate):
+            # A deliberate reordering event: hold this segment back long
+            # enough for subsequently sent segments to overtake it.  It
+            # does not advance the FIFO front, so later traffic is not
+            # forced to queue behind it.
+            extra = self._reorder_extra_ns
+            if extra is None:
+                extra = self.base_delay_ns()
+            when += extra
+            self.stats.reordered += 1
+        else:
+            # Jitter models queueing, and queues are FIFO: a segment never
+            # spontaneously overtakes one sent earlier on the same link.
+            when = max(when, self._fifo_front_ns + 1)
+            self._fifo_front_ns = when
+        self._loop.schedule_at(when, self._deliver, segment)
+
+    def _deliver(self, segment: SimSegment) -> None:
+        self.stats.delivered += 1
+        self._handler(segment)

@@ -1,0 +1,102 @@
+"""The monitoring vantage point.
+
+The tap sits on the path between the campus side and the Internet side
+(paper Fig 1), sees both directions of every connection routed through
+it, and produces the timestamped packet stream all monitors consume.
+It can retain the trace (for offline replay into Dart/tcptrace) and/or
+forward each observation to live consumers (for the real-time attack-
+detection example, where Dart processes packets as the simulation runs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..net.inet import prefix_of
+from ..net.packet import PacketRecord
+from .engine import EventLoop
+from .segment import SimSegment
+
+LiveConsumer = Callable[[PacketRecord], None]
+
+
+class MonitorTap:
+    """Observes segments passing a point on the path."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        *,
+        keep_trace: bool = True,
+        consumers: Optional[Sequence[LiveConsumer]] = None,
+    ) -> None:
+        self._loop = loop
+        self._keep_trace = keep_trace
+        self._consumers: List[LiveConsumer] = list(consumers or [])
+        self.trace: List[PacketRecord] = []
+        self.observed = 0
+
+    def attach(self, consumer: LiveConsumer) -> None:
+        """Add a live consumer (e.g. ``dart.process``)."""
+        self._consumers.append(consumer)
+
+    def observe(self, segment: SimSegment) -> None:
+        """Record one passing segment at the current virtual time."""
+        record = segment.to_record(self._loop.now_ns)
+        self.observed += 1
+        if self._keep_trace:
+            self.trace.append(record)
+        for consumer in self._consumers:
+            consumer(record)
+
+    def tap_and_forward(self, next_hop) -> Callable[[SimSegment], None]:
+        """A link handler that observes, then forwards to ``next_hop``.
+
+        ``next_hop`` may be a Link (forwarded via ``send``) or any
+        callable taking a segment.
+        """
+        forward = next_hop.send if hasattr(next_hop, "send") else next_hop
+
+        def handler(segment: SimSegment) -> None:
+            self.observe(segment)
+            forward(segment)
+
+        return handler
+
+
+class InternalNetwork:
+    """Membership test for the campus ("internal") side of the monitor.
+
+    Used both to label legs (internal vs external) and by trace tooling
+    to group clients into subnets (e.g. wired vs wireless, Fig 6).
+    Prefixes are ``(network, length)`` for IPv4 or
+    ``(network, length, 128)`` for IPv6; addresses above 2**32 are
+    matched against the IPv6 set.
+    """
+
+    def __init__(self, prefixes: Sequence[tuple]) -> None:
+        self._v4 = []
+        self._v6 = []
+        for prefix in prefixes:
+            if len(prefix) == 3 and prefix[2] == 128:
+                network, length, bits = prefix
+                self._v6.append(
+                    (prefix_of(network, length, bits=128), length)
+                )
+            else:
+                network, length = prefix[0], prefix[1]
+                self._v4.append((prefix_of(network, length), length))
+
+    def __contains__(self, addr: int) -> bool:
+        if addr >= (1 << 32):
+            return any(
+                prefix_of(addr, length, bits=128) == network
+                for network, length in self._v6
+            )
+        return any(
+            prefix_of(addr, length) == network
+            for network, length in self._v4
+        )
+
+    def is_internal(self, addr: int) -> bool:
+        return addr in self

@@ -1,0 +1,96 @@
+"""Seeded randomness helpers for workload and network models.
+
+All stochastic behaviour in the simulator flows through one
+:class:`SimRandom` so a single seed reproduces a whole trace.  The
+distributions here are the standard heavy-tailed building blocks of
+Internet traffic models: lognormal latency mixtures, bounded Pareto flow
+sizes, exponential inter-arrivals.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class SimRandom:
+    """A seeded random source with networking-flavoured helpers."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._random = random.Random(seed)
+        self.seed = seed
+
+    def fork(self, label: str) -> "SimRandom":
+        """An independent stream derived from this seed and a label.
+
+        Forking keeps component randomness decoupled: adding packets to
+        one flow does not perturb another flow's loss pattern.
+        """
+        child = SimRandom.__new__(SimRandom)
+        child._random = random.Random(f"{self.seed}:{label}")
+        child.seed = self.seed
+        return child
+
+    # -- primitives ---------------------------------------------------------
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        return self._random.randint(low, high)
+
+    def chance(self, probability: float) -> bool:
+        """Bernoulli trial."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._random.random() < probability
+
+    def choice(self, items: Sequence[T]) -> T:
+        return self._random.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    def shuffle(self, items: List[T]) -> None:
+        self._random.shuffle(items)
+
+    # -- distributions -------------------------------------------------------
+
+    def exponential_ns(self, mean_ns: float) -> int:
+        """Exponential holding time (e.g. flow inter-arrival)."""
+        return max(0, int(self._random.expovariate(1.0 / mean_ns)))
+
+    def lognormal_ns(self, median_ns: float, sigma: float) -> int:
+        """Lognormal delay with the given median and shape."""
+        mu = math.log(median_ns)
+        return max(0, int(self._random.lognormvariate(mu, sigma)))
+
+    def bounded_pareto(self, alpha: float, low: float, high: float) -> float:
+        """Bounded Pareto variate on [low, high] (heavy-tailed sizes)."""
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        u = self._random.random()
+        la, ha = low ** alpha, high ** alpha
+        x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+        return min(max(x, low), high)
+
+    def flow_size_bytes(
+        self,
+        *,
+        alpha: float = 1.2,
+        low: int = 400,
+        high: int = 20_000_000,
+    ) -> int:
+        """Heavy-tailed flow size: many mice, a few elephants."""
+        return int(self.bounded_pareto(alpha, low, high))
+
+    def jittered_ns(self, base_ns: int, jitter_fraction: float) -> int:
+        """Base delay plus one-sided uniform jitter (queueing noise)."""
+        if jitter_fraction <= 0:
+            return base_ns
+        return base_ns + int(base_ns * self._random.random() * jitter_fraction)

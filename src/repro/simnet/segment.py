@@ -1,0 +1,57 @@
+"""The in-flight packet representation used inside the simulator.
+
+Endpoints exchange mutable :class:`SimSegment` objects; the monitor tap
+converts them into immutable :class:`~repro.net.packet.PacketRecord`
+observations stamped with the virtual clock.  Keeping the two types
+separate means a segment can traverse several links (accumulating no
+state) while each monitoring point gets its own timestamped record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net import tcp as tcp_flags
+from ..net.packet import PacketRecord
+
+
+@dataclass(slots=True)
+class SimSegment:
+    """One TCP segment in flight inside the simulated network."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: int
+    payload_len: int
+    ipv6: bool = False
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & tcp_flags.FLAG_SYN)
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & tcp_flags.FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & tcp_flags.FLAG_RST)
+
+    def to_record(self, timestamp_ns: int) -> PacketRecord:
+        """Materialize a monitoring observation of this segment."""
+        return PacketRecord(
+            timestamp_ns=timestamp_ns,
+            src_ip=self.src_ip,
+            dst_ip=self.dst_ip,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+            seq=self.seq,
+            ack=self.ack,
+            flags=self.flags,
+            payload_len=self.payload_len,
+            ipv6=self.ipv6,
+        )

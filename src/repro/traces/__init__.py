@@ -1,0 +1,42 @@
+"""Synthetic trace generation and replay.
+
+Substitutes for the paper's data sources:
+
+* :func:`generate_campus_trace` — the anonymized Princeton campus trace
+  (distributionally calibrated; see :mod:`repro.traces.workloads`).
+* :func:`generate_attack_trace` — the PEERING BGP-interception capture.
+* :func:`replay` / :func:`replay_pcap` — the tcpreplay stand-in.
+"""
+
+from .attack import AttackTrace, AttackTraceConfig, generate_attack_trace
+from .campus import (
+    INTERNAL_PREFIXES,
+    CampusTrace,
+    CampusTraceConfig,
+    generate_campus_trace,
+)
+from .replay import ReplayReport, replay, replay_pcap, split_by_leg
+from .workloads import (
+    CampusWorkload,
+    DelayMixture,
+    FlowSizeModel,
+    PathImpairmentModel,
+)
+
+__all__ = [
+    "AttackTrace",
+    "AttackTraceConfig",
+    "CampusTrace",
+    "CampusTraceConfig",
+    "CampusWorkload",
+    "DelayMixture",
+    "FlowSizeModel",
+    "INTERNAL_PREFIXES",
+    "PathImpairmentModel",
+    "ReplayReport",
+    "generate_attack_trace",
+    "generate_campus_trace",
+    "replay",
+    "replay_pcap",
+    "split_by_leg",
+]

@@ -1,0 +1,147 @@
+"""Workload distributions for the synthetic campus trace.
+
+The paper evaluates on an anonymized Princeton campus trace (15 minutes,
+1.38M TCP connections, 135.78M packets).  We cannot ship that trace, so
+:mod:`repro.traces.campus` synthesizes one whose *distributional*
+properties match what the paper reports:
+
+* external-leg RTTs: median ≈ 13–15 ms, p95 ≈ 40–60 ms, p99 ≈ 215 ms,
+  96% of mass between 10 and 100 ms, and a CCDF tail out past 100 s
+  (keep-alive stragglers) — Fig 9b/9c;
+* internal-leg RTTs: wired subnet with >80% of RTTs under 1 ms; wireless
+  subnet with <40% under 1 ms and >20% above 20 ms — Fig 6;
+* 72.5% of connections never complete a handshake — Fig 10;
+* flow sizes: heavy-tailed mice/elephants mix;
+* a few-percent population of lossy/reordering paths, driving the
+  retransmission and duplicate-ACK ambiguity Dart must reject.
+
+All parameters live here with their calibration targets so tests can
+assert the synthetic distributions stay within the paper's envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..simnet.rng import SimRandom
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+@dataclass
+class DelayMixture:
+    """A mixture of lognormal one-way-delay components.
+
+    Each component is ``(weight, median_ns, sigma)``.
+    """
+
+    components: List[Tuple[float, float, float]]
+
+    def sample_ns(self, rng: SimRandom) -> int:
+        weights = [c[0] for c in self.components]
+        _, median_ns, sigma = rng.weighted_choice(self.components, weights)
+        return max(50_000, rng.lognormal_ns(median_ns, sigma))
+
+
+#: External (monitor <-> Internet) one-way delay.  Calibrated so the
+#: round trip (2x one-way, plus jitter and server turnaround) lands on
+#: the paper's Fig 9b distribution: median RTT ~13-15 ms, p95 ~40-60 ms,
+#: p99 ~200 ms.
+EXTERNAL_DELAY = DelayMixture(
+    components=[
+        (0.77, 6.2 * MS, 0.45),   # nearby CDNs and regional servers
+        (0.16, 19.0 * MS, 0.60),  # cross-country paths
+        (0.07, 70.0 * MS, 0.65),  # intercontinental / congested tails
+    ]
+)
+
+#: Wired-subnet internal one-way delay (Fig 6: >80% of internal RTTs
+#: under 1 ms).
+WIRED_INTERNAL_DELAY = DelayMixture(
+    components=[(1.0, 0.22 * MS, 0.75)]
+)
+
+#: Wireless-subnet internal one-way delay (Fig 6: <40% of internal RTTs
+#: under 1 ms, >20% above 20 ms — WiFi contention and power-save tails).
+WIRELESS_INTERNAL_DELAY = DelayMixture(
+    components=[
+        (0.55, 0.9 * MS, 0.9),    # idle WLAN
+        (0.45, 9.0 * MS, 1.25),   # contended / power-save clients
+    ]
+)
+
+
+@dataclass
+class FlowSizeModel:
+    """Mice / medium / elephant response-size mixture."""
+
+    mice_weight: float = 0.70
+    mice_range: Tuple[int, int] = (800, 12_000)
+    medium_weight: float = 0.25
+    medium_range: Tuple[int, int] = (12_000, 250_000)
+    elephant_weight: float = 0.05
+    elephant_range: Tuple[int, int] = (250_000, 5_000_000)
+
+    def sample_response_bytes(self, rng: SimRandom) -> int:
+        bucket = rng.weighted_choice(
+            ("mice", "medium", "elephant"),
+            (self.mice_weight, self.medium_weight, self.elephant_weight),
+        )
+        if bucket == "mice":
+            return rng.randint(*self.mice_range)
+        if bucket == "medium":
+            return rng.randint(*self.medium_range)
+        return rng.randint(*self.elephant_range)
+
+    def sample_request_bytes(self, rng: SimRandom) -> int:
+        return rng.randint(120, 1_800)
+
+
+@dataclass
+class PathImpairmentModel:
+    """Per-connection loss/reordering draw.
+
+    Most paths are clean; a minority are lossy or reordering, which is
+    what produces the retransmission/duplicate-ACK ambiguities (§2.2)
+    that separate Dart from the strawman and from tcptrace's richer
+    multi-range tracking.
+    """
+
+    lossy_fraction: float = 0.45
+    loss_range: Tuple[float, float] = (0.004, 0.02)
+    reordering_fraction: float = 0.70
+    reorder_range: Tuple[float, float] = (0.008, 0.04)
+
+    def sample(self, rng: SimRandom) -> Tuple[float, float]:
+        loss = 0.0
+        reorder = 0.0
+        if rng.chance(self.lossy_fraction):
+            loss = rng.uniform(*self.loss_range)
+        if rng.chance(self.reordering_fraction):
+            reorder = rng.uniform(*self.reorder_range)
+        return loss, reorder
+
+
+@dataclass
+class CampusWorkload:
+    """Bundle of all distribution models with paper-calibrated defaults."""
+
+    external_delay: DelayMixture = field(default_factory=lambda: EXTERNAL_DELAY)
+    wired_delay: DelayMixture = field(default_factory=lambda: WIRED_INTERNAL_DELAY)
+    wireless_delay: DelayMixture = field(
+        default_factory=lambda: WIRELESS_INTERNAL_DELAY
+    )
+    flow_sizes: FlowSizeModel = field(default_factory=FlowSizeModel)
+    impairments: PathImpairmentModel = field(default_factory=PathImpairmentModel)
+    #: Fraction of complete connections where the *client* is the bulk
+    #: sender (uploads, video calls, backups).  These flows dominate the
+    #: external-leg sample count, since outbound data packets are the
+    #: SEQ side of external-leg samples (paper §2.1).
+    upload_fraction: float = 0.30
+    #: Fraction of complete connections whose final ACK bypasses the
+    #: monitor and is followed by a distant keep-alive ACK (the 100 s
+    #: RTT tail of Fig 9c).
+    straggler_fraction: float = 0.012
+    straggler_keepalive_range_ns: Tuple[int, int] = (5 * SEC, 110 * SEC)

@@ -1,0 +1,156 @@
+"""Tests for the strawman (§2.1) and Dapper-style (§8) baselines.
+
+These tests double as executable documentation of the failure modes the
+paper catalogues in §2.2/§2.3 — the strawman *collects* the ambiguous
+samples Dart rejects.
+"""
+
+import pytest
+
+from repro.baselines import DapperMonitor, Strawman
+from repro.core import Dart, ideal_config
+from repro.net import tcp as tcpf
+from repro.net.packet import PacketRecord
+
+MS = 1_000_000
+CLIENT = 0x0A000001
+SERVER = 0x10000001
+
+
+def pkt(t_ms, src, dst, sport, dport, seq, ack, flags, length):
+    return PacketRecord(
+        timestamp_ns=int(t_ms * MS), src_ip=src, dst_ip=dst,
+        src_port=sport, dst_port=dport, seq=seq, ack=ack, flags=flags,
+        payload_len=length,
+    )
+
+
+def data(t_ms, seq, length=100, client=CLIENT, sport=40000):
+    return pkt(t_ms, client, SERVER, sport, 443, seq, 1,
+               tcpf.FLAG_ACK | tcpf.FLAG_PSH, length)
+
+
+def ack_of(t_ms, ack, client=CLIENT, sport=40000):
+    return pkt(t_ms, SERVER, client, 443, sport, 1, ack, tcpf.FLAG_ACK, 0)
+
+
+class TestStrawmanBasics:
+    def test_collects_simple_sample(self):
+        monitor = Strawman()
+        monitor.process(data(0, 1000))
+        samples = monitor.process(ack_of(25, 1100))
+        assert len(samples) == 1
+        assert samples[0].rtt_ns == 25 * MS
+
+    def test_syn_ignored_by_default(self):
+        monitor = Strawman()
+        syn = pkt(0, CLIENT, SERVER, 40000, 443, 1, 0, tcpf.FLAG_SYN, 0)
+        monitor.process(syn)
+        assert monitor.occupancy() == 0
+
+
+class TestStrawmanFailureModes:
+    def test_retransmission_ambiguity_collected(self):
+        """§2.2: the strawman refreshes the entry on retransmission and
+        happily emits a sample Dart would reject."""
+        monitor = Strawman()
+        dart = Dart(ideal_config())
+        for record in (data(0, 1000), data(50, 1000), ack_of(60, 1100)):
+            monitor.process(record)
+            dart.process(record)
+        assert monitor.stats.samples == 1       # ambiguous sample collected
+        assert dart.stats.samples == 0          # Dart rejects it
+
+    def test_reordering_inflated_sample_collected(self):
+        """§2.2: a cumulative ACK after reordering inflates the sample."""
+        monitor = Strawman()
+        dart = Dart(ideal_config())
+        stream = [
+            data(0, 1000),          # P1
+            data(1, 1200),          # P3 (P2 reordered)
+            ack_of(10, 1100),       # receiver still at P1
+            ack_of(11, 1100),       # duplicate ACK (P3 arrived)
+            data(40, 1100),         # P2 finally shows up
+            ack_of(50, 1300),       # cumulative ACK for P2+P3
+        ]
+        for record in stream:
+            monitor.process(record)
+            dart.process(record)
+        # The strawman matched the cumulative ACK against P3's stale
+        # entry: 49 ms instead of the true ~10 ms.
+        inflated = [s for s in monitor.samples if s.eack == 1300]
+        assert inflated and inflated[0].rtt_ns == 49 * MS
+        assert all(s.eack != 1300 for s in dart.samples)
+
+    def test_stranded_entries_pin_memory(self):
+        """§2.3: cumulatively-ACKed packets strand entries forever."""
+        monitor = Strawman()
+        for i in range(10):
+            monitor.process(data(i, 1000 + i * 100))
+        monitor.process(ack_of(20, 2000))  # cumulative: matches only last
+        assert monitor.stats.samples == 1
+        assert monitor.occupancy() == 9    # nine stranded entries
+
+    def test_timeout_biases_against_long_rtts(self):
+        """§2.3: a timeout drops samples with naturally long RTTs."""
+        monitor = Strawman(timeout_ns=50 * MS)
+        monitor.process(data(0, 1000))
+        assert monitor.process(ack_of(200, 1100)) == []
+        assert monitor.stats.timeout_evictions == 1
+
+    def test_fixed_table_overwrites_on_collision(self):
+        monitor = Strawman(slots=1)
+        monitor.process(data(0, 1000))
+        monitor.process(data(1, 5000, client=CLIENT + 1, sport=41000))
+        assert monitor.stats.overwrites == 1
+        # The overwritten first entry can no longer match.
+        assert monitor.process(ack_of(10, 1100)) == []
+
+
+class TestDapper:
+    def test_one_sample_at_a_time(self):
+        monitor = DapperMonitor()
+        monitor.process(data(0, 1000))
+        monitor.process(data(1, 1100))  # skipped: already armed
+        assert monitor.stats.skipped_busy == 1
+        samples = monitor.process(ack_of(30, 1200))
+        # The cumulative ACK covers the armed segment.
+        assert len(samples) == 1
+
+    def test_rearms_after_completion(self):
+        monitor = DapperMonitor()
+        monitor.process(data(0, 1000))
+        monitor.process(ack_of(10, 1100))
+        monitor.process(data(20, 1100))
+        samples = monitor.process(ack_of(30, 1200))
+        assert len(samples) == 1
+        assert monitor.stats.armed == 2
+
+    def test_undersamples_vs_dart(self):
+        """§8: Dapper reports far fewer samples per window than Dart."""
+        dapper = DapperMonitor()
+        dart = Dart(ideal_config())
+        stream = []
+        seq = 1000
+        t = 0.0
+        for burst in range(20):
+            burst_start = seq
+            for i in range(5):
+                stream.append(data(t, seq))
+                t += 0.1
+                seq += 100
+            for i in range(5):
+                # Ascending per-segment ACKs: Dart matches all five,
+                # Dapper only completes its single armed measurement.
+                stream.append(ack_of(t + 30, burst_start + (i + 1) * 100))
+                t += 0.1
+        for record in stream:
+            dapper.process(record)
+            dart.process(record)
+        assert dart.stats.samples > 2 * dapper.stats.samples
+
+    def test_ack_below_armed_ignored(self):
+        monitor = DapperMonitor()
+        monitor.process(data(0, 1000))
+        monitor.process(data(1, 1100))
+        assert monitor.process(ack_of(5, 1050)) == []

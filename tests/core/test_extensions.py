@@ -1,0 +1,166 @@
+"""Tests for the §7 extensions: shadow RT and the RT entry timeout."""
+
+import pytest
+
+from repro.core import Dart, DartConfig
+from repro.core.flow import FlowKey
+from repro.core.range_tracker import AckVerdict, RangeTracker, SeqVerdict
+from repro.net import tcp as tcpf
+from repro.net.packet import PacketRecord
+
+MS = 1_000_000
+SEC = 1_000_000_000
+CLIENT = 0x0A000001
+SERVER = 0x10000001
+FLOW = FlowKey(src_ip=CLIENT, dst_ip=SERVER, src_port=40000, dst_port=443)
+
+
+def pkt(t_ms, src, dst, sport, dport, seq, ack, flags, length):
+    return PacketRecord(
+        timestamp_ns=int(t_ms * MS), src_ip=src, dst_ip=dst,
+        src_port=sport, dst_port=dport, seq=seq, ack=ack, flags=flags,
+        payload_len=length,
+    )
+
+
+def data(t_ms, seq, i=0, length=100):
+    return pkt(t_ms, CLIENT + i, SERVER, 40000, 443, seq, 1,
+               tcpf.FLAG_ACK | tcpf.FLAG_PSH, length)
+
+
+def ack_of(t_ms, ack, i=0):
+    return pkt(t_ms, SERVER, CLIENT + i, 443, 40000, 1, ack,
+               tcpf.FLAG_ACK, 0)
+
+
+class TestRtTimeout:
+    def test_expired_entry_reclaimed(self):
+        tracker = RangeTracker(timeout_ns=10 * SEC)
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        # 20 s later the flow restarts from a different range: the old
+        # entry has expired, so this is a NEW_FLOW, not a hole.
+        verdict = tracker.on_data(FLOW, 50_000, 51_000, now_ns=20 * SEC)
+        assert verdict is SeqVerdict.NEW_FLOW
+        assert tracker.stats.timeout_expiries == 1
+
+    def test_live_entry_untouched(self):
+        tracker = RangeTracker(timeout_ns=10 * SEC)
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        assert (tracker.on_data(FLOW, 2000, 3000, now_ns=5 * SEC)
+                is SeqVerdict.TRACK)
+
+    def test_activity_refreshes_timeout(self):
+        tracker = RangeTracker(timeout_ns=10 * SEC)
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        tracker.on_ack(FLOW, 1500, now_ns=8 * SEC)     # touch
+        assert (tracker.on_ack(FLOW, 2000, now_ns=16 * SEC)
+                is AckVerdict.VALID)                   # 8 s since touch
+
+    def test_expired_ack_is_no_flow(self):
+        tracker = RangeTracker(timeout_ns=1 * SEC)
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        assert tracker.on_ack(FLOW, 1500, now_ns=5 * SEC) is AckVerdict.NO_FLOW
+
+    def test_revalidation_fails_after_expiry(self):
+        tracker = RangeTracker(timeout_ns=1 * SEC)
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        assert tracker.revalidate(FLOW, 1500, now_ns=0)
+        assert not tracker.revalidate(FLOW, 1500, now_ns=5 * SEC)
+
+    def test_disabled_by_default(self):
+        tracker = RangeTracker()
+        tracker.on_data(FLOW, 1000, 2000, now_ns=0)
+        assert (tracker.on_ack(FLOW, 1500, now_ns=10**15)
+                is AckVerdict.VALID)
+
+    def test_unacked_data_attack_mitigated(self):
+        """§7: an attacker pins RT slots by never ACKing its own flows;
+        a large timeout reclaims them for legitimate traffic."""
+
+        def attack(dart):
+            # 64 attacker flows fill the tiny RT at t=0 and go silent.
+            for i in range(64):
+                dart.process(data(0, 1000, i=i))
+            # A legitimate flow starts a minute later.
+            dart.process(data(60_000, 5000, i=500))
+            samples = dart.process(ack_of(60_020, 5100, i=500))
+            return len(samples)
+
+        pinned = Dart(DartConfig(rt_slots=8, pt_slots=1 << 10,
+                                 rt_overwrite_collapsed=False))
+        mitigated = Dart(DartConfig(rt_slots=8, pt_slots=1 << 10,
+                                    rt_overwrite_collapsed=False,
+                                    rt_timeout_ns=30 * SEC))
+        assert attack(pinned) == 0          # RT full forever: no sample
+        assert attack(mitigated) == 1       # expired entries reclaimed
+
+    def test_config_rejects_bad_timeout(self):
+        with pytest.raises(ValueError):
+            DartConfig(rt_timeout_ns=0)
+
+
+class TestShadowRt:
+    def one_slot(self, **kwargs):
+        return Dart(DartConfig(rt_slots=1 << 10, pt_slots=1,
+                               max_recirculations=2, shadow_rt=True,
+                               **kwargs))
+
+    def test_stale_record_dies_without_recirculation(self):
+        dart = self.one_slot(shadow_rt_lag_packets=0)
+        dart.process(data(0, 1000, i=1))
+        # Collapse flow 1's range (retransmission), making its record
+        # stale; process enough packets for the shadow to catch up.
+        dart.process(data(1, 1000, i=1))
+        dart.process(ack_of(2, 77, i=9))  # no-op traffic advances shadow
+        dart.process(data(3, 2000, i=2))  # collision: evicts flow 1's rec
+        assert dart.stats.shadow_discards >= 1
+        assert dart.stats.recirculations == 0
+
+    def test_valid_record_still_recirculates(self):
+        dart = self.one_slot(shadow_rt_lag_packets=0)
+        dart.process(data(0, 1000, i=1))
+        dart.process(ack_of(1, 77, i=9))
+        dart.process(data(2, 2000, i=2))  # collision, flow 1 still valid
+        assert dart.stats.recirculations >= 1
+        # The old valid record survives contention as usual.
+        assert len(dart.process(ack_of(20, 1100, i=1))) == 1
+
+    def test_lagging_shadow_makes_mistakes(self):
+        # With a large lag the shadow has not yet seen flow 1's range at
+        # eviction time, so it wrongly discards a valid record.
+        dart = self.one_slot(shadow_rt_lag_packets=1000)
+        dart.process(data(0, 1000, i=1))
+        dart.process(data(1, 2000, i=2))  # collision
+        assert dart.stats.shadow_discards >= 1
+        assert dart.stats.shadow_false_discards >= 1
+        # The sample is lost: the paper's consistency hazard.
+        assert dart.process(ack_of(20, 1100, i=1)) == []
+
+    def test_shadow_disabled_by_default(self):
+        dart = Dart(DartConfig(rt_slots=1 << 10, pt_slots=1))
+        assert dart._shadow_tracker is None
+        dart.process(data(0, 1000, i=1))
+        dart.process(data(1, 2000, i=2))
+        assert dart.stats.shadow_discards == 0
+
+    def test_shadow_reduces_recirculations_under_churn(self):
+        def run(shadow):
+            config = DartConfig(rt_slots=1 << 12, pt_slots=8,
+                                max_recirculations=2, shadow_rt=shadow,
+                                shadow_rt_lag_packets=4)
+            dart = Dart(config)
+            t = 0.0
+            for i in range(300):
+                # Each flow sends two segments; only the second is ever
+                # ACKed, stranding the first (stale once the ACK lands).
+                dart.process(data(t, 1000, i=i))
+                dart.process(data(t + 0.1, 1100, i=i))
+                dart.process(ack_of(t + 5.0, 1200, i=i))
+                t += 0.5
+            return dart
+
+        with_shadow = run(True)
+        without = run(False)
+        assert (with_shadow.stats.recirculations
+                < without.stats.recirculations)
+        assert with_shadow.stats.shadow_discards > 0

@@ -1,0 +1,128 @@
+"""Tests for flow keys, direction handling, and signatures."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flow import FlowKey, ack_target_flow, flow_of
+from repro.core.hashing import (
+    MAX_STAGES,
+    crc32_hash,
+    pack_u32,
+    signature32,
+    stage_index,
+)
+from repro.net import tcp as tcpf
+from repro.net.packet import PacketRecord
+
+import pytest
+
+v4 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+
+
+def make_key(**overrides):
+    base = dict(src_ip=0x0A000001, dst_ip=0x10000002, src_port=40000,
+                dst_port=443)
+    base.update(overrides)
+    return FlowKey(**base)
+
+
+class TestFlowKey:
+    def test_reversed_swaps_both(self):
+        key = make_key()
+        rev = key.reversed()
+        assert rev.src_ip == key.dst_ip
+        assert rev.src_port == key.dst_port
+        assert rev.reversed() == key
+
+    def test_canonical_direction_independent(self):
+        key = make_key()
+        assert key.canonical() == key.reversed().canonical()
+
+    def test_key_bytes_length_v4(self):
+        assert len(make_key().key_bytes()) == 12
+
+    def test_key_bytes_length_v6(self):
+        key = make_key(ipv6=True)
+        assert len(key.key_bytes()) == 36
+
+    def test_signature_is_32bit_and_stable(self):
+        key = make_key()
+        assert 0 <= key.signature < (1 << 32)
+        assert key.signature == make_key().signature
+
+    def test_signature_differs_per_direction(self):
+        key = make_key()
+        assert key.signature != key.reversed().signature
+
+    def test_describe(self):
+        assert make_key().describe() == "10.0.0.1:40000 > 16.0.0.2:443"
+
+    @given(v4, v4, ports, ports)
+    def test_reversed_involution(self, a, b, p, q):
+        key = FlowKey(src_ip=a, dst_ip=b, src_port=p, dst_port=q)
+        assert key.reversed().reversed() == key
+
+
+class TestPacketFlowExtraction:
+    def make_record(self):
+        return PacketRecord(
+            timestamp_ns=0, src_ip=1, dst_ip=2, src_port=10, dst_port=20,
+            seq=0, ack=0, flags=tcpf.FLAG_ACK, payload_len=0,
+        )
+
+    def test_flow_of(self):
+        flow = flow_of(self.make_record())
+        assert (flow.src_ip, flow.dst_ip) == (1, 2)
+
+    def test_ack_target_is_reverse(self):
+        record = self.make_record()
+        assert ack_target_flow(record) == flow_of(record).reversed()
+
+
+class TestHashing:
+    def test_crc_deterministic(self):
+        assert crc32_hash(b"abc", 7) == crc32_hash(b"abc", 7)
+
+    def test_salt_changes_hash(self):
+        assert crc32_hash(b"abc", 1) != crc32_hash(b"abc", 2)
+
+    def test_signature_is_salted_crc(self):
+        assert signature32(b"abc") != crc32_hash(b"abc", 0)
+
+    def test_stage_index_in_range(self):
+        for stage in range(MAX_STAGES):
+            assert 0 <= stage_index(b"key", stage, 128) < 128
+
+    def test_stage_index_rejects_bad_stage(self):
+        with pytest.raises(ValueError):
+            stage_index(b"key", MAX_STAGES, 128)
+
+    def test_stage_index_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            stage_index(b"key", 0, 0)
+
+    def test_stages_are_independent(self):
+        # Keys colliding at stage 0 should mostly not collide at stage 1
+        # (independent hash functions).  Gather a population and check.
+        size = 64
+        base = pack_u32(1, 2)
+        stage0_collisions = []
+        for i in range(3, 50_000):
+            cand = pack_u32(1, i)
+            if stage_index(cand, 0, size) == stage_index(base, 0, size):
+                stage0_collisions.append(cand)
+            if len(stage0_collisions) >= 30:
+                break
+        assert len(stage0_collisions) >= 30
+        also_stage1 = sum(
+            1
+            for cand in stage0_collisions
+            if stage_index(cand, 1, size) == stage_index(base, 1, size)
+        )
+        # Independent hashing: expect ~30/64 (<1); allow generous slack.
+        assert also_stage1 <= 5
+
+    @given(st.binary(min_size=1, max_size=20))
+    def test_stage_index_deterministic(self, key):
+        assert stage_index(key, 2, 1024) == stage_index(key, 2, 1024)

@@ -1,0 +1,93 @@
+"""Dart over IPv6 traffic (paper §7: larger 4-tuples, same pipeline)."""
+
+import pytest
+
+from repro.core import Dart, DartConfig, ideal_config
+from repro.core.flow import FlowKey, flow_of
+from repro.net import tcp as tcpf
+from repro.net.inet import ipv6_to_int
+from repro.net.packet import PacketRecord
+
+MS = 1_000_000
+
+CLIENT6 = ipv6_to_int("2001:db8:1::42")
+SERVER6 = ipv6_to_int("2606:4700::6810:84e5")
+
+
+def pkt6(t_ms, src, dst, sport, dport, seq, ack, flags, length):
+    return PacketRecord(
+        timestamp_ns=int(t_ms * MS), src_ip=src, dst_ip=dst,
+        src_port=sport, dst_port=dport, seq=seq, ack=ack, flags=flags,
+        payload_len=length, ipv6=True,
+    )
+
+
+class TestIpv6Flows:
+    def test_flow_key_carries_af(self):
+        record = pkt6(0, CLIENT6, SERVER6, 40000, 443, 1000, 1,
+                      tcpf.FLAG_ACK, 100)
+        flow = flow_of(record)
+        assert flow.ipv6
+        assert len(flow.key_bytes()) == 36
+
+    def test_v6_signature_differs_from_truncated_v4(self):
+        v6 = FlowKey(src_ip=CLIENT6, dst_ip=SERVER6, src_port=1,
+                     dst_port=2, ipv6=True)
+        v4 = FlowKey(src_ip=CLIENT6 & 0xFFFFFFFF,
+                     dst_ip=SERVER6 & 0xFFFFFFFF, src_port=1, dst_port=2)
+        assert v6.signature != v4.signature
+
+    def test_end_to_end_sample_ideal(self):
+        dart = Dart(ideal_config())
+        dart.process(pkt6(0, CLIENT6, SERVER6, 40000, 443, 1000, 1,
+                          tcpf.FLAG_ACK | tcpf.FLAG_PSH, 1440))
+        samples = dart.process(pkt6(31, SERVER6, CLIENT6, 443, 40000, 1,
+                                    2440, tcpf.FLAG_ACK, 0))
+        assert len(samples) == 1
+        assert samples[0].rtt_ns == 31 * MS
+        assert samples[0].flow.ipv6
+
+    def test_end_to_end_sample_constrained(self):
+        dart = Dart(DartConfig(rt_slots=256, pt_slots=256, pt_stages=2,
+                               max_recirculations=2))
+        dart.process(pkt6(0, CLIENT6, SERVER6, 40000, 443, 1000, 1,
+                          tcpf.FLAG_ACK | tcpf.FLAG_PSH, 1440))
+        samples = dart.process(pkt6(31, SERVER6, CLIENT6, 443, 40000, 1,
+                                    2440, tcpf.FLAG_ACK, 0))
+        assert len(samples) == 1
+
+    def test_mixed_v4_v6_do_not_interfere(self):
+        dart = Dart(ideal_config())
+        v4_data = PacketRecord(
+            timestamp_ns=0, src_ip=0x0A000001, dst_ip=0x10000001,
+            src_port=40000, dst_port=443, seq=1000, ack=1,
+            flags=tcpf.FLAG_ACK, payload_len=100,
+        )
+        v6_data = pkt6(0, CLIENT6, SERVER6, 40000, 443, 1000, 1,
+                       tcpf.FLAG_ACK, 100)
+        dart.process(v4_data)
+        dart.process(v6_data)
+        v4_ack = PacketRecord(
+            timestamp_ns=10 * MS, src_ip=0x10000001, dst_ip=0x0A000001,
+            src_port=443, dst_port=40000, seq=1, ack=1100,
+            flags=tcpf.FLAG_ACK, payload_len=0,
+        )
+        v6_ack = pkt6(20, SERVER6, CLIENT6, 443, 40000, 1, 1100,
+                      tcpf.FLAG_ACK, 0)
+        s4 = dart.process(v4_ack)
+        s6 = dart.process(v6_ack)
+        assert len(s4) == 1 and len(s6) == 1
+        assert s4[0].rtt_ns == 10 * MS
+        assert s6[0].rtt_ns == 20 * MS
+
+    def test_v6_wire_roundtrip_through_dart(self):
+        from repro.net.packet import from_wire_bytes, to_wire_bytes
+
+        record = pkt6(0, CLIENT6, SERVER6, 40000, 443, 7, 1,
+                      tcpf.FLAG_ACK | tcpf.FLAG_PSH, 64)
+        decoded = from_wire_bytes(to_wire_bytes(record), record.timestamp_ns)
+        dart = Dart(ideal_config())
+        dart.process(decoded)
+        samples = dart.process(pkt6(9, SERVER6, CLIENT6, 443, 40000, 1,
+                                    71, tcpf.FLAG_ACK, 0))
+        assert len(samples) == 1

@@ -1,0 +1,81 @@
+"""Tests for the Tofino resource model (Table 1)."""
+
+import pytest
+
+from repro.core.config import DartConfig
+from repro.hw import (
+    PAPER_TABLE1,
+    TARGETS,
+    TOFINO1,
+    TOFINO2,
+    dart_components,
+    estimate_resources,
+)
+from repro.hw.estimate import HW_PT_SLOTS, HW_RT_SLOTS
+
+
+class TestCapacityModels:
+    def test_tofino2_is_larger(self):
+        assert TOFINO2.stages > TOFINO1.stages
+        assert TOFINO2.sram_bits > TOFINO1.sram_bits
+        assert TOFINO2.hash_units > TOFINO1.hash_units
+
+    def test_derived_bit_capacities(self):
+        assert TOFINO1.sram_bits == TOFINO1.sram_blocks * 128 * 128
+        assert TOFINO1.tcam_bits == TOFINO1.tcam_blocks * 512 * 44
+
+    def test_targets_registry(self):
+        assert set(TARGETS) == {"tofino1", "tofino2"}
+
+
+class TestComponentLists:
+    @pytest.mark.parametrize("target", ["tofino1", "tofino2"])
+    def test_components_cover_core_structures(self, target):
+        names = [c.name for c in dart_components(target)]
+        assert any("range tracker" in n for n in names)
+        assert any("packet tracker" in n for n in names)
+        assert any("payload" in n for n in names)
+        assert any("target-flow" in n for n in names)
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            dart_components("tofino9")
+
+    def test_register_sram_scales_with_slots(self):
+        small = dart_components("tofino2", rt_slots=1 << 10, pt_slots=1 << 10)
+        large = dart_components("tofino2", rt_slots=1 << 14, pt_slots=1 << 14)
+        sram = lambda comps: sum(c.sram_bits for c in comps)
+        assert sram(large) > sram(small)
+
+
+class TestEstimates:
+    @pytest.mark.parametrize("target", ["tofino1", "tofino2"])
+    def test_matches_paper_within_tolerance(self, target):
+        usage = estimate_resources(target)
+        for resource, paper_percent in PAPER_TABLE1[target].items():
+            model_percent = usage[resource].percent
+            assert model_percent == pytest.approx(paper_percent, abs=2.5), (
+                f"{target} {resource}: model {model_percent:.1f}% vs "
+                f"paper {paper_percent:.1f}%"
+            )
+
+    def test_all_resources_under_capacity(self):
+        for target in TARGETS:
+            for usage in estimate_resources(target).values():
+                assert 0 < usage.percent < 100
+
+    def test_config_overrides_table_sizes(self):
+        base = estimate_resources("tofino2")
+        bigger = estimate_resources(
+            "tofino2",
+            config=DartConfig(rt_slots=HW_RT_SLOTS * 4,
+                              pt_slots=HW_PT_SLOTS * 4),
+        )
+        assert bigger["SRAM"].used > base["SRAM"].used
+        # Non-memory resources are structural, not size-dependent.
+        assert bigger["Hash Units"].used == base["Hash Units"].used
+
+    def test_explicit_slot_counts(self):
+        usage = estimate_resources("tofino1", rt_slots=1 << 15,
+                                   pt_slots=1 << 15)
+        assert usage["SRAM"].used > estimate_resources("tofino1")["SRAM"].used

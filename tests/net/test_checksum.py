@@ -1,0 +1,87 @@
+"""Tests for the RFC 1071 checksum implementation."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import (
+    internet_checksum,
+    ones_complement_sum,
+    pseudo_header_v4,
+    pseudo_header_v6,
+    tcp_checksum_v4,
+    verify_checksum,
+)
+
+
+class TestOnesComplement:
+    def test_empty(self):
+        assert ones_complement_sum(b"") == 0
+
+    def test_single_word(self):
+        assert ones_complement_sum(b"\x12\x34") == 0x1234
+
+    def test_carry_folds(self):
+        # 0xFFFF + 0x0001 folds back to 0x0001.
+        assert ones_complement_sum(b"\xff\xff\x00\x01") == 0x0001
+
+    def test_odd_length_pads_zero(self):
+        assert ones_complement_sum(b"\xab") == 0xAB00
+
+
+class TestInternetChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 §3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_verify_accepts_valid(self):
+        data = b"\x45\x00\x00\x28" * 4
+        checksum = internet_checksum(data)
+        stamped = data + struct.pack("!H", checksum)
+        assert verify_checksum(stamped)
+
+    def test_verify_rejects_corrupted(self):
+        data = b"\x45\x00\x00\x28" * 4
+        checksum = internet_checksum(data)
+        stamped = bytearray(data + struct.pack("!H", checksum))
+        stamped[0] ^= 0xFF
+        assert not verify_checksum(bytes(stamped))
+
+    @given(st.binary(min_size=0, max_size=256))
+    def test_data_plus_checksum_always_verifies(self, data):
+        if len(data) % 2:
+            data += b"\x00"
+        stamped = data + struct.pack("!H", internet_checksum(data))
+        assert verify_checksum(stamped)
+
+
+class TestPseudoHeaders:
+    def test_v4_layout(self):
+        ph = pseudo_header_v4(b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02", 6, 20)
+        assert len(ph) == 12
+        assert ph[9] == 6
+        assert ph[10:12] == b"\x00\x14"
+
+    def test_v4_rejects_bad_addresses(self):
+        with pytest.raises(ValueError):
+            pseudo_header_v4(b"\x00" * 3, b"\x00" * 4, 6, 20)
+
+    def test_v6_layout(self):
+        ph = pseudo_header_v6(b"\x00" * 16, b"\x01" * 16, 6, 40)
+        assert len(ph) == 40
+        assert ph[-1] == 6
+
+    def test_v6_rejects_bad_addresses(self):
+        with pytest.raises(ValueError):
+            pseudo_header_v6(b"\x00" * 4, b"\x00" * 16, 6, 40)
+
+    def test_tcp_checksum_verifies_with_pseudo_header(self):
+        src, dst = b"\x0a\x00\x00\x01", b"\x0a\x00\x00\x02"
+        segment = b"\x00" * 16 + b"\x00\x00" + b"\x00\x00" + b"payload!"
+        checksum = tcp_checksum_v4(src, dst, segment)
+        stamped = segment[:16] + struct.pack("!H", checksum) + segment[18:]
+        pseudo = pseudo_header_v4(src, dst, 6, len(stamped))
+        assert verify_checksum(pseudo + stamped)

@@ -1,0 +1,201 @@
+"""Encode/decode round-trip tests for Ethernet, IPv4, IPv6 and TCP."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.ethernet import (
+    ETHERTYPE_IPV4,
+    ETHERTYPE_IPV6,
+    EthernetFrame,
+    format_mac,
+    parse_mac,
+)
+from repro.net.ipv4 import IPv4Packet
+from repro.net.ipv6 import IPv6Packet
+from repro.net.tcp import (
+    FLAG_ACK,
+    FLAG_FIN,
+    FLAG_PSH,
+    FLAG_SYN,
+    TcpOptions,
+    TcpSegment,
+    flag_names,
+)
+
+ports = st.integers(min_value=0, max_value=0xFFFF)
+seq32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+v4 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+payloads = st.binary(min_size=0, max_size=200)
+
+
+class TestMac:
+    def test_roundtrip(self):
+        assert format_mac(parse_mac("de:ad:be:ef:00:01")) == "de:ad:be:ef:00:01"
+
+    def test_reject_malformed(self):
+        with pytest.raises(ValueError):
+            parse_mac("de:ad:be:ef:00")
+        with pytest.raises(ValueError):
+            parse_mac("zz:zz:zz:zz:zz:zz")
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        frame = EthernetFrame(
+            dst=parse_mac("aa:bb:cc:dd:ee:ff"),
+            src=parse_mac("11:22:33:44:55:66"),
+            ethertype=ETHERTYPE_IPV4,
+            payload=b"hello",
+        )
+        decoded = EthernetFrame.decode(frame.encode())
+        assert decoded == frame
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            EthernetFrame.decode(b"\x00" * 10)
+
+    def test_bad_address_length_raises(self):
+        with pytest.raises(ValueError):
+            EthernetFrame(dst=b"\x00" * 5)
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        packet = IPv4Packet(src=0x0A000001, dst=0x0A000002, ttl=61,
+                            identification=777, payload=b"x" * 33)
+        decoded = IPv4Packet.decode(packet.encode(), verify=True)
+        assert decoded.src == packet.src
+        assert decoded.dst == packet.dst
+        assert decoded.ttl == 61
+        assert decoded.identification == 777
+        assert decoded.payload == packet.payload
+
+    def test_checksum_corruption_detected(self):
+        raw = bytearray(IPv4Packet(src=1, dst=2).encode())
+        raw[8] ^= 0x5A  # flip TTL bits
+        with pytest.raises(ValueError):
+            IPv4Packet.decode(bytes(raw), verify=True)
+
+    def test_rejects_ipv6_payload(self):
+        raw = IPv6Packet(src=1, dst=2).encode()
+        with pytest.raises(ValueError):
+            IPv4Packet.decode(raw)
+
+    def test_options_must_be_padded(self):
+        with pytest.raises(ValueError):
+            IPv4Packet(options=b"\x01\x01\x01")
+
+    def test_total_length(self):
+        packet = IPv4Packet(payload=b"abc")
+        assert packet.total_length == 23
+        assert packet.ihl == 5
+
+    @given(v4, v4, payloads)
+    def test_roundtrip_property(self, src, dst, payload):
+        packet = IPv4Packet(src=src, dst=dst, payload=payload)
+        decoded = IPv4Packet.decode(packet.encode(), verify=True)
+        assert (decoded.src, decoded.dst, decoded.payload) == (src, dst, payload)
+
+
+class TestIPv6:
+    def test_roundtrip(self):
+        packet = IPv6Packet(src=1 << 100, dst=42, hop_limit=12,
+                            flow_label=0xABCDE, payload=b"yo")
+        decoded = IPv6Packet.decode(packet.encode())
+        assert decoded == packet
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError):
+            IPv6Packet.decode(b"\x60" + b"\x00" * 10)
+
+    def test_rejects_bad_flow_label(self):
+        with pytest.raises(ValueError):
+            IPv6Packet(flow_label=1 << 20)
+
+
+class TestTcpOptions:
+    def test_full_roundtrip(self):
+        options = TcpOptions(
+            mss=1460,
+            window_scale=7,
+            sack_permitted=True,
+            sack_blocks=[(100, 200), (300, 400)],
+            timestamp=(12345, 67890),
+        )
+        decoded = TcpOptions.decode(options.encode())
+        assert decoded == options
+
+    def test_encoding_is_padded(self):
+        assert len(TcpOptions(window_scale=2).encode()) % 4 == 0
+
+    def test_too_many_sack_blocks(self):
+        with pytest.raises(ValueError):
+            TcpOptions(sack_blocks=[(0, 1)] * 5).encode()
+
+    def test_unknown_option_skipped(self):
+        # kind=99 len=4 body=2 bytes, then MSS.
+        raw = bytes([99, 4, 0, 0, 2, 4, 5, 0xB4])
+        decoded = TcpOptions.decode(raw)
+        assert decoded.mss == 1460
+
+    def test_truncated_option_raises(self):
+        with pytest.raises(ValueError):
+            TcpOptions.decode(bytes([2, 10, 0]))
+
+
+class TestTcpSegment:
+    def test_roundtrip(self):
+        segment = TcpSegment(
+            src_port=443,
+            dst_port=51000,
+            seq=1000,
+            ack=2000,
+            flags=FLAG_PSH | FLAG_ACK,
+            window=4096,
+            options=TcpOptions(mss=1448),
+            payload=b"data",
+        )
+        decoded = TcpSegment.decode(segment.encode())
+        assert decoded == segment
+
+    def test_checksum_stamped_with_addresses(self):
+        segment = TcpSegment(src_port=1, dst_port=2, payload=b"x")
+        raw = segment.encode(src_addr=b"\x0a\0\0\x01", dst_addr=b"\x0a\0\0\x02")
+        # The checksum field (offset 16) must be non-zero for real data.
+        assert raw[16:18] != b"\x00\x00"
+
+    def test_flag_properties(self):
+        segment = TcpSegment(flags=FLAG_SYN | FLAG_ACK)
+        assert segment.syn and segment.has_ack and not segment.fin
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            TcpSegment(src_port=70000)
+
+    def test_rejects_bad_seq(self):
+        with pytest.raises(ValueError):
+            TcpSegment(seq=1 << 32)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            TcpSegment.decode(b"\x00" * 12)
+
+    @given(ports, ports, seq32, seq32, payloads)
+    def test_roundtrip_property(self, sport, dport, seq, ack, payload):
+        segment = TcpSegment(
+            src_port=sport, dst_port=dport, seq=seq, ack=ack, payload=payload
+        )
+        decoded = TcpSegment.decode(segment.encode())
+        assert decoded == segment
+
+
+class TestFlagNames:
+    def test_named(self):
+        assert flag_names(FLAG_SYN | FLAG_ACK) == "SYN|ACK"
+
+    def test_none(self):
+        assert flag_names(0) == "NONE"
+
+    def test_fin(self):
+        assert "FIN" in flag_names(FLAG_FIN | FLAG_ACK)

