@@ -35,6 +35,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--pt-slots", type=int, default=1 << 10,
                         help="fixed PT size for stages/recirc sweeps")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="run each sweep point as N flow-sharded "
+                             "parallel Dart instances (default 1 = serial)")
+    parser.add_argument("--parallel", choices=["process", "thread", "serial"],
+                        default="process",
+                        help="execution mode for --shards > 1 "
+                             "(default: process)")
     return parser
 
 
@@ -76,9 +83,17 @@ def main(argv: Optional[list] = None) -> int:
     print(f"trace: {trace.packets} packets; baseline samples: "
           f"{len(reference)}", file=sys.stderr)
 
+    def build_monitor(config):
+        if args.shards > 1:
+            from ..cluster import ShardedDart
+
+            return ShardedDart(config, shards=args.shards,
+                               parallel=args.parallel, leg_filter=leg())
+        return Dart(config, leg_filter=leg())
+
     rows = []
     for label, config in sweep_points(args):
-        dart = Dart(config, leg_filter=leg())
+        dart = build_monitor(config)
         replay(trace.records, dart)
         perf = evaluate_dart(
             reference,
@@ -95,7 +110,9 @@ def main(argv: Optional[list] = None) -> int:
         [args.sweep, "err p50 (%)", "err p95 (%)", "err p99 (%)",
          "worst [5,95] (%)", "fraction (%)", "recirc/pkt"],
         rows,
-        title=f"dart-bench sweep: {args.sweep}",
+        title=(f"dart-bench sweep: {args.sweep}"
+               + (f" ({args.shards} shards, {args.parallel})"
+                  if args.shards > 1 else "")),
         float_format="{:.3f}",
     ))
     return 0

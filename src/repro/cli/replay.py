@@ -45,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max recirculations per record (default 1)")
     parser.add_argument("--handshake", action="store_true",
                         help="track SYN/SYN-ACK packets (+SYN mode)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="flow-shard the trace across N parallel Dart "
+                             "instances (default 1 = serial)")
+    parser.add_argument("--parallel", choices=["process", "thread", "serial"],
+                        default="process",
+                        help="execution mode for --shards > 1 "
+                             "(default: process)")
     parser.add_argument("--dump", action="store_true",
                         help="print one line per RTT sample")
     parser.add_argument("--csv", metavar="PATH",
@@ -67,7 +74,21 @@ def parse_prefix(text: str):
     return prefix_of(network, length), length
 
 
-def build_dart(args) -> Dart:
+def build_leg_filter(args):
+    if args.internal:
+        network, length = parse_prefix(args.internal)
+        legs = (("external", "internal") if args.leg == "both"
+                else (args.leg,))
+        return make_leg_filter(
+            lambda addr: prefix_of(addr, length) == network, legs=legs
+        )
+    if args.leg != "both":
+        raise SystemExit("--leg requires --internal to orient the path")
+    return None
+
+
+def build_dart(args):
+    """Build the monitor: a serial Dart, or a ShardedDart for --shards."""
     config = DartConfig(
         rt_slots=args.rt_slots,
         pt_slots=args.pt_slots,
@@ -75,22 +96,21 @@ def build_dart(args) -> Dart:
         max_recirculations=args.recirc,
         track_handshake=args.handshake,
     )
-    leg_filter = None
-    if args.internal:
-        network, length = parse_prefix(args.internal)
-        legs = (("external", "internal") if args.leg == "both"
-                else (args.leg,))
-        leg_filter = make_leg_filter(
-            lambda addr: prefix_of(addr, length) == network, legs=legs
-        )
-    elif args.leg != "both":
-        raise SystemExit("--leg requires --internal to orient the path")
+    leg_filter = build_leg_filter(args)
+    if getattr(args, "shards", 1) > 1:
+        from ..cluster import ShardedDart
+
+        return ShardedDart(config, shards=args.shards,
+                           parallel=args.parallel, leg_filter=leg_filter)
     return Dart(config, leg_filter=leg_filter)
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.shards < 1:
+        raise SystemExit("--shards must be positive")
     dart = build_dart(args)
+    sharded = args.shards > 1
 
     from ..export import CsvSink, FlowSummarySink, JsonlSink, ReportFileSink
 
@@ -104,33 +124,48 @@ def main(argv: Optional[list] = None) -> int:
     summaries = FlowSummarySink() if args.flows else None
     if summaries is not None:
         extra_sinks.append(summaries)
-    collector = dart.analytics
-    if extra_sinks:
-        from ..core import TeeSink
+    if not sharded:
+        collector = dart.analytics
+        if extra_sinks:
+            from ..core import TeeSink
 
-        dart.analytics = TeeSink([collector] + extra_sinks)
+            dart.analytics = TeeSink([collector] + extra_sinks)
 
     report = replay_pcap(args.pcap, dart)
+    if sharded:
+        # Workers keep their sinks out of subprocesses; the merged,
+        # time-ordered sample stream feeds the export sinks here.
+        samples = dart.samples
+        for sink in extra_sinks:
+            for sample in samples:
+                sink.add(sample)
+    else:
+        samples = collector.samples
     for sink in extra_sinks:
+        flush = getattr(sink, "flush", None)
+        if flush is not None:
+            flush()
         close = getattr(sink, "close", None)
         if close is not None:
             close()
 
     if args.dump:
-        for sample in collector.samples:
+        for sample in samples:
             leg = sample.leg or "-"
             print(f"{sample.timestamp_ns / 1e9:.6f} "
                   f"{sample.flow.describe()} rtt_ms={sample.rtt_ms:.3f} "
                   f"leg={leg}{' handshake' if sample.handshake else ''}")
         return 0
 
-    rtts = [s.rtt_ms for s in collector.samples]
+    rtts = [s.rtt_ms for s in samples]
     stats = dart.stats
     rows = [
         ["packets replayed", report.packets],
         ["replay rate (pkts/s)", f"{report.packets_per_second:,.0f}"],
         ["RTT samples", len(rtts)],
     ]
+    if sharded:
+        rows.append(["shards", f"{args.shards} ({args.parallel})"])
     if rtts:
         rows += [
             ["median RTT (ms)", f"{percentile(rtts, 50):.3f}"],
@@ -138,9 +173,11 @@ def main(argv: Optional[list] = None) -> int:
             ["p99 RTT (ms)", f"{percentile(rtts, 99):.3f}"],
             ["max RTT (ms)", f"{max(rtts):.3f}"],
         ]
+    collapses = (dart.range_collapses() if sharded
+                 else dart.range_tracker.stats.total_collapses)
     rows += [
         ["recirculations/pkt", f"{stats.recirculations_per_packet():.4f}"],
-        ["range collapses", dart.range_tracker.stats.total_collapses],
+        ["range collapses", collapses],
         ["SYNs ignored", stats.ignored_syn],
     ]
     print(render_table(["quantity", "value"], rows, title="dart-replay"))

@@ -1,0 +1,74 @@
+"""Flow-sharded parallel Dart: multi-core trace processing.
+
+The software analogue of running Dart on several hardware pipelines:
+packets are routed to N independent Dart instances by a bidirectional
+flow-shard hash (both directions of a connection always land on the
+same instance), each shard processes its sub-stream with its own Range
+Tracker, Packet Tracker, and analytics, and the per-shard results merge
+into one cluster-wide view.
+
+Public surface:
+
+* :class:`ShardedDart` — the coordinator façade with the serial Dart's
+  ``process_trace`` / ``finalize`` / ``stats`` / ``samples`` surface
+  and a ``parallel="process" | "thread" | "serial"`` execution knob.
+* :class:`ShardFailure` / :class:`ShardResult` — the failure and result
+  types of the worker layer.
+* :func:`shard_of` / :func:`shard_of_flow` / :func:`split_trace` /
+  :class:`BatchDispatcher` — the sharding primitives.
+* ``merge_*`` — pure aggregation of stats, sample streams, collectors,
+  and analytics window histories.
+"""
+
+from .coordinator import PARALLEL_MODES, ShardedDart
+from .merge import (
+    absorb_window_history,
+    merge_collectors,
+    merge_results,
+    merge_sample_lists,
+    merge_stats,
+    merge_window_histories,
+)
+from .sharding import (
+    DEFAULT_BATCH_SIZE,
+    SHARD_SALT,
+    BatchDispatcher,
+    shard_of,
+    shard_of_flow,
+    split_trace,
+)
+from .worker import (
+    DEFAULT_JOIN_TIMEOUT,
+    DEFAULT_QUEUE_DEPTH,
+    InlineWorker,
+    ProcessWorker,
+    ShardFailure,
+    ShardResult,
+    ThreadWorker,
+    harvest,
+)
+
+__all__ = [
+    "BatchDispatcher",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_JOIN_TIMEOUT",
+    "DEFAULT_QUEUE_DEPTH",
+    "InlineWorker",
+    "PARALLEL_MODES",
+    "ProcessWorker",
+    "SHARD_SALT",
+    "ShardFailure",
+    "ShardResult",
+    "ShardedDart",
+    "ThreadWorker",
+    "absorb_window_history",
+    "harvest",
+    "merge_collectors",
+    "merge_results",
+    "merge_sample_lists",
+    "merge_stats",
+    "merge_window_histories",
+    "shard_of",
+    "shard_of_flow",
+    "split_trace",
+]

@@ -1,0 +1,261 @@
+"""``ShardedDart``: the cluster façade with the serial Dart's surface.
+
+A :class:`ShardedDart` looks like a :class:`~repro.core.pipeline.Dart`
+— ``process_trace`` / ``finalize`` / ``stats`` / ``samples`` — but fans
+the packet stream out across N flow-sharded workers and merges their
+results.  ``shards=1`` degenerates to the serial pipeline (the worker
+machinery is bypassed entirely), so callers can treat the shard count
+as just another sizing knob.
+
+Failure model: any worker crash or hang surfaces as a
+:class:`~repro.cluster.worker.ShardFailure` carrying the failed shard's
+id and whatever partial results were recovered.  On failure the
+coordinator aborts the remaining workers before raising — it never
+deadlocks waiting on a dead queue, and never silently returns a partial
+merge as if it were complete.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..core.analytics import WindowMinimum
+from ..core.config import DartConfig
+from ..core.pipeline import Dart, DartStats, LegFilter, TargetFilter
+from ..core.samples import RttSample
+from ..net.packet import PacketRecord
+from .merge import merge_results
+from .sharding import DEFAULT_BATCH_SIZE, BatchDispatcher
+from .worker import (
+    DEFAULT_JOIN_TIMEOUT,
+    DEFAULT_QUEUE_DEPTH,
+    DartFactory,
+    ShardFailure,
+    ShardResult,
+    WORKER_MODES,
+)
+
+PARALLEL_MODES = tuple(WORKER_MODES)
+
+
+class ShardedDart:
+    """N flow-sharded Dart instances behind one Dart-shaped façade.
+
+    Args:
+        config: per-shard Dart configuration (each worker gets its own
+            tables of this size — total memory scales with the shard
+            count, exactly like adding hardware pipelines).
+        shards: number of parallel Dart instances.  ``1`` short-circuits
+            to a plain serial :class:`Dart`.
+        parallel: ``"process"`` (multi-core, the default), ``"thread"``
+            (GIL-bound; overlaps I/O only), or ``"serial"`` (inline, for
+            debugging and ground-truth comparisons).
+        dart_factory: build one shard's Dart; overrides ``config`` /
+            ``analytics_factory`` / filters.  Must be callable in the
+            worker context (any callable under fork; picklable under
+            spawn).
+        analytics_factory: build one shard's analytics module (a shared
+            analytics *instance* cannot be handed to N workers).
+        leg_filter / target_filter: as for :class:`Dart`.
+        batch_size: records per dispatched batch.
+        queue_depth: batches buffered per worker before the dispatcher
+            blocks (backpressure).
+        join_timeout: seconds to wait for a worker at ``finalize``
+            before declaring it hung.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DartConfig] = None,
+        *,
+        shards: int = 1,
+        parallel: str = "process",
+        dart_factory: Optional[DartFactory] = None,
+        analytics_factory: Optional[Callable[[], object]] = None,
+        leg_filter: Optional[LegFilter] = None,
+        target_filter: Optional[TargetFilter] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if parallel not in WORKER_MODES:
+            raise ValueError(
+                f"parallel must be one of {sorted(WORKER_MODES)}, "
+                f"got {parallel!r}"
+            )
+        if dart_factory is None:
+            def dart_factory() -> Dart:
+                analytics = (
+                    analytics_factory() if analytics_factory is not None
+                    else None
+                )
+                return Dart(
+                    config,
+                    analytics=analytics,
+                    leg_filter=leg_filter,
+                    target_filter=target_filter,
+                )
+        self.shards = shards
+        self.parallel = parallel if shards > 1 else "serial"
+        self._join_timeout = join_timeout
+        self._results: Optional[List[ShardResult]] = None
+        self._merged: Optional[ShardResult] = None
+        #: Latest packet timestamp dispatched — every shard flushes its
+        #: open analytics windows at this global end-of-trace time, so
+        #: flush windows match a serial run's bit for bit.
+        self._end_ns: Optional[int] = None
+        self.dart: Optional[Dart] = None
+        self._workers: List = []
+        self._dispatcher: Optional[BatchDispatcher] = None
+        if shards == 1:
+            # Degenerate case: the serial pipeline itself, no workers,
+            # no batching, live stats.
+            self.dart = dart_factory()
+            return
+        worker_cls = WORKER_MODES[parallel]
+        self._workers = [
+            worker_cls(shard, dart_factory, queue_depth=queue_depth)
+            for shard in range(shards)
+        ]
+        self._dispatcher = BatchDispatcher(
+            shards, self._submit, batch_size=batch_size
+        )
+
+    # -- Packet entry points ----------------------------------------------
+
+    def process(self, record: PacketRecord) -> List[RttSample]:
+        """Route one packet to its shard.
+
+        Unlike serial :meth:`Dart.process` this cannot return the
+        packet's samples synchronously (the shard consumes the batch
+        later); samples are available from :attr:`samples` after
+        :meth:`finalize`.  With ``shards=1`` it delegates and behaves
+        exactly like the serial pipeline.
+        """
+        if self.dart is not None:
+            return self.dart.process(record)
+        if self._results is not None:
+            raise RuntimeError("ShardedDart already finalized")
+        if self._end_ns is None or record.timestamp_ns > self._end_ns:
+            self._end_ns = record.timestamp_ns
+        self._dispatcher.dispatch(record)
+        return []
+
+    def process_trace(self, records: Iterable[PacketRecord]) -> "ShardedDart":
+        """Dispatch an iterable of packets; returns self for chaining."""
+        if self.dart is not None:
+            self.dart.process_trace(records)
+            return self
+        if self._results is not None:
+            raise RuntimeError("ShardedDart already finalized")
+        dispatch = self._dispatcher.dispatch
+        end_ns = self._end_ns
+        for record in records:
+            if end_ns is None or record.timestamp_ns > end_ns:
+                end_ns = record.timestamp_ns
+            dispatch(record)
+        self._end_ns = end_ns
+        return self
+
+    def _submit(self, shard: int, batch: List[PacketRecord]) -> None:
+        try:
+            self._workers[shard].submit(batch)
+        except ShardFailure as failure:
+            self._abort_workers(exclude=shard)
+            raise failure
+
+    # -- Shutdown and results ----------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush batches, join every worker, and merge their results.
+
+        Idempotent.  Raises :class:`ShardFailure` (with the completed
+        shards' results attached as ``partial``) if any worker crashed
+        or missed the join timeout.
+        """
+        if self.dart is not None:
+            self.dart.finalize()
+            return
+        if self._results is not None:
+            return
+        self._dispatcher.flush()
+        completed: Dict[int, ShardResult] = {}
+        failure: Optional[ShardFailure] = None
+        for worker in self._workers:
+            if failure is None:
+                try:
+                    result = worker.finish(
+                        timeout=self._join_timeout, end_ns=self._end_ns
+                    )
+                    completed[result.shard_id] = result
+                except ShardFailure as exc:
+                    failure = exc
+            else:
+                worker.abort()
+        if failure is not None:
+            failure.partial.update(completed)
+            raise failure
+        self._results = [completed[shard] for shard in range(self.shards)]
+        self._merged = merge_results(self._results)
+
+    def _abort_workers(self, *, exclude: Optional[int] = None) -> None:
+        for worker in self._workers:
+            if worker.shard_id != exclude:
+                worker.abort()
+
+    def _require_merged(self) -> ShardResult:
+        self.finalize()
+        assert self._merged is not None
+        return self._merged
+
+    # -- The Dart-shaped read surface --------------------------------------
+
+    @property
+    def stats(self) -> DartStats:
+        """Cluster-wide counters (per-shard stats summed).
+
+        Reading this (or :attr:`samples`) finalizes the cluster if the
+        trace has not been finalized yet, mirroring how serial callers
+        read ``dart.stats`` after ``process_trace``.
+        """
+        if self.dart is not None:
+            return self.dart.stats
+        return self._require_merged().stats
+
+    @property
+    def samples(self) -> List[RttSample]:
+        """All shards' samples, interleaved by ACK arrival time."""
+        if self.dart is not None:
+            return self.dart.samples
+        return self._require_merged().samples
+
+    @property
+    def window_history(self) -> List[WindowMinimum]:
+        """Merged analytics window history, ordered by close time."""
+        if self.dart is not None:
+            return list(getattr(self.dart.analytics, "history", ()))
+        return self._require_merged().window_history
+
+    @property
+    def shard_results(self) -> List[ShardResult]:
+        """Per-shard results (shard id order); finalizes if needed."""
+        if self.dart is not None:
+            from .worker import harvest
+
+            return [harvest(0, self.dart)]
+        self.finalize()
+        assert self._results is not None
+        return list(self._results)
+
+    @property
+    def shard_stats(self) -> List[DartStats]:
+        """Per-shard counters, e.g. eviction/recirculation breakdowns."""
+        return [result.stats for result in self.shard_results]
+
+    def range_collapses(self) -> int:
+        """Total Range Tracker collapses across shards."""
+        if self.dart is not None:
+            return self.dart.range_tracker.stats.total_collapses
+        return self._require_merged().rt_collapses

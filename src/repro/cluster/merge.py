@@ -1,0 +1,114 @@
+"""Merging per-shard results into one cluster-wide view.
+
+Flow-consistent sharding guarantees every per-flow quantity is computed
+entirely inside one shard, so merging is pure aggregation:
+
+* counters add (:meth:`repro.core.pipeline.DartStats.merge`),
+* sample streams interleave by timestamp (each shard's stream is
+  already time-ordered, so the merged stream is the multiset union of
+  the shards' samples in global ACK-arrival order),
+* analytics window histories interleave by ``closed_at_ns`` — the order
+  a single collector would have seen the windows close in.
+
+What merging can *not* restore is cross-shard coupling that serial Dart
+never had per flow anyway — see DESIGN.md ("Scaling out") for when the
+merged output is bit-identical to a serial run versus multiset-equal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.analytics import MinFilterAnalytics, WindowMinimum
+from ..core.pipeline import DartStats
+from ..core.samples import RttSample, SampleCollector
+from .worker import ShardResult
+
+
+def merge_stats(stats: Iterable[DartStats]) -> DartStats:
+    """Sum a set of per-shard stats into a fresh DartStats."""
+    merged = DartStats()
+    for s in stats:
+        merged.merge(s)
+    return merged
+
+
+def merge_sample_lists(
+    sample_lists: Iterable[Sequence[RttSample]],
+) -> List[RttSample]:
+    """Interleave per-shard sample streams by ACK arrival time.
+
+    The sort is stable, so samples with equal timestamps keep their
+    within-shard order; across shards equal-timestamp order follows
+    shard id — a deterministic, documented tie-break.
+    """
+    merged: List[RttSample] = []
+    for samples in sample_lists:
+        merged.extend(samples)
+    merged.sort(key=lambda s: s.timestamp_ns)
+    return merged
+
+
+def merge_collectors(collectors: Iterable[SampleCollector]) -> SampleCollector:
+    """Union several collectors' samples into a fresh, time-ordered one."""
+    merged = SampleCollector()
+    merged.samples.extend(
+        merge_sample_lists(c.samples for c in collectors)
+    )
+    return merged
+
+
+def merge_window_histories(
+    histories: Iterable[Sequence[WindowMinimum]],
+) -> List[WindowMinimum]:
+    """Interleave per-shard closed-window streams by close time.
+
+    Stable under out-of-order ``closed_at_ns`` inputs: entries with the
+    same close time keep their input order (first by history, then by
+    position), so merging is deterministic even when shards close
+    windows in the same nanosecond.
+    """
+    merged: List[WindowMinimum] = []
+    for history in histories:
+        merged.extend(history)
+    merged.sort(key=lambda w: w.closed_at_ns)
+    return merged
+
+
+def absorb_window_history(
+    analytics: MinFilterAnalytics,
+    windows: Sequence[WindowMinimum],
+) -> MinFilterAnalytics:
+    """Fold other shards' closed windows into a live analytics object.
+
+    Rebuilds ``analytics.history`` as the ``closed_at_ns``-sorted union
+    and keeps the per-key ``minima_for`` index consistent by funnelling
+    every entry through the analytics' own record path.  Works for
+    :class:`MinFilterAnalytics` and :class:`PrefixMinAnalytics` alike.
+    """
+    merged = merge_window_histories([list(analytics.history), windows])
+    analytics.history.clear()
+    analytics._by_key.clear()
+    for window in merged:
+        analytics._record_window(window)
+    return analytics
+
+
+def merge_results(results: Iterable[ShardResult]) -> ShardResult:
+    """Collapse per-shard results into one cluster-wide ShardResult.
+
+    The merged object uses shard id -1 (it belongs to no single shard)
+    and is marked partial if any contributing result was.
+    """
+    ordered = sorted(results, key=lambda r: r.shard_id)
+    return ShardResult(
+        shard_id=-1,
+        packets=sum(r.packets for r in ordered),
+        stats=merge_stats(r.stats for r in ordered),
+        samples=merge_sample_lists(r.samples for r in ordered),
+        window_history=merge_window_histories(
+            r.window_history for r in ordered
+        ),
+        rt_collapses=sum(r.rt_collapses for r in ordered),
+        partial=any(r.partial for r in ordered),
+    )

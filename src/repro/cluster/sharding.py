@@ -1,0 +1,109 @@
+"""Flow-consistent sharding: route packets to parallel Dart instances.
+
+All Dart state — Range Tracker entries, Packet Tracker records, and the
+analytics windows — is keyed by the SEQ-direction flow 4-tuple.  A
+packet stream can therefore be split across N independent Dart
+instances without changing per-flow semantics, *provided* both
+directions of a connection land on the same instance: a data packet is
+matched by an ACK travelling the opposite way, so the shard function
+must be direction-independent.
+
+:func:`shard_of_flow` achieves this by hashing the *canonical*
+(smaller-endpoint-first) form of the 4-tuple, the same canonicalisation
+:meth:`repro.core.flow.FlowKey.canonical` uses for connection counting.
+The hash is a salted CRC32 with a salt of its own, so shard choice is
+decorrelated from the table-index and signature hashes — otherwise
+flows colliding in a PT stage would pile onto one shard and skew both
+load and collision pressure.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List, Sequence
+
+from ..core.flow import FlowKey, flow_of
+from ..core.hashing import crc32_hash
+from ..net.packet import PacketRecord
+
+#: Salt for the shard hash; distinct from every table-stage salt and the
+#: signature salt in :mod:`repro.core.hashing`.
+SHARD_SALT = 0x5AD0CAFE
+
+#: Records buffered per shard before a batch is handed to its worker.
+#: Large enough to amortise queue/pickling overhead in process mode,
+#: small enough to keep workers busy on modest traces.
+DEFAULT_BATCH_SIZE = 2048
+
+
+@lru_cache(maxsize=1 << 20)
+def shard_of_flow(flow: FlowKey, shards: int) -> int:
+    """Shard index of a flow (direction-independent).
+
+    SEQ-direction and ACK-direction packets of one connection map to the
+    same shard: ``shard_of_flow(f, n) == shard_of_flow(f.reversed(), n)``
+    for every flow — the invariant the whole cluster rests on.
+    """
+    if shards <= 1:
+        return 0
+    return crc32_hash(flow.canonical().key_bytes(), SHARD_SALT) % shards
+
+
+def shard_of(record: PacketRecord, shards: int) -> int:
+    """Shard index of one observed packet."""
+    return shard_of_flow(flow_of(record), shards)
+
+
+def split_trace(
+    records: Sequence[PacketRecord], shards: int
+) -> List[List[PacketRecord]]:
+    """Partition a trace into per-shard sub-traces (order-preserving)."""
+    parts: List[List[PacketRecord]] = [[] for _ in range(shards)]
+    for record in records:
+        parts[shard_of(record, shards)].append(record)
+    return parts
+
+
+class BatchDispatcher:
+    """Buffers records per shard and emits fixed-size batches.
+
+    ``emit(shard_id, batch)`` is called whenever a shard's buffer
+    reaches ``batch_size``; :meth:`flush` drains the remainders at end
+    of trace.  Batching is what makes process-mode sharding profitable:
+    one queue operation (and one pickle) covers thousands of packets.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        emit: Callable[[int, List[PacketRecord]], None],
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.shards = shards
+        self.batch_size = batch_size
+        self._emit = emit
+        self._buffers: List[List[PacketRecord]] = [[] for _ in range(shards)]
+        #: Packets routed to each shard so far (including buffered ones).
+        self.dispatched: Dict[int, int] = {i: 0 for i in range(shards)}
+
+    def dispatch(self, record: PacketRecord) -> None:
+        """Route one record; may emit a full batch."""
+        shard = shard_of(record, self.shards)
+        self.dispatched[shard] += 1
+        buffer = self._buffers[shard]
+        buffer.append(record)
+        if len(buffer) >= self.batch_size:
+            self._buffers[shard] = []
+            self._emit(shard, buffer)
+
+    def flush(self) -> None:
+        """Emit every non-empty partial batch (end of trace)."""
+        for shard, buffer in enumerate(self._buffers):
+            if buffer:
+                self._buffers[shard] = []
+                self._emit(shard, buffer)

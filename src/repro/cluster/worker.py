@@ -1,0 +1,445 @@
+"""Per-shard workers: one Dart instance each, three execution modes.
+
+A worker owns exactly one :class:`~repro.core.pipeline.Dart` and
+consumes packet batches for its shard.  Three interchangeable
+implementations share the ``submit(batch)`` / ``finish()`` / ``abort()``
+surface:
+
+* :class:`InlineWorker` — runs the Dart synchronously in the caller
+  (the ``parallel="serial"`` mode; useful for debugging and as the
+  ground truth the parallel modes are tested against).
+* :class:`ThreadWorker` — a daemon thread fed through a bounded
+  :class:`queue.Queue` (backpressure: the dispatcher blocks when a
+  shard falls behind).  Threads share the GIL, so this mode overlaps
+  I/O, not CPU — it exists for sink-heavy pipelines and for tests.
+* :class:`ProcessWorker` — a ``multiprocessing`` subprocess fed pickled
+  packet batches through a bounded queue; the mode that actually buys
+  multi-core speedup.
+
+Fault handling: every blocking operation on a worker is guarded by a
+liveness check or a deadline, so a crashed or hung worker surfaces as a
+:class:`ShardFailure` naming the shard — never as a deadlock.  A worker
+that fails mid-trace ships the partial stats it accumulated back with
+the error whenever it can.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.analytics import WindowMinimum
+from ..core.pipeline import Dart, DartStats
+from ..core.samples import RttSample
+from ..net.packet import PacketRecord
+
+DartFactory = Callable[[], Dart]
+
+#: Batches a worker queue holds before the dispatcher blocks.
+DEFAULT_QUEUE_DEPTH = 8
+
+#: Seconds a coordinator waits for a worker to finish before declaring
+#: it hung.
+DEFAULT_JOIN_TIMEOUT = 30.0
+
+#: Poll interval for liveness-guarded queue operations.
+_POLL_S = 0.1
+
+
+class ShardFailure(RuntimeError):
+    """A shard's worker crashed, died, or missed its join deadline.
+
+    Attributes:
+        shard_id: the failed shard.
+        reason: what happened (exception repr + traceback, exit code,
+            or a timeout description).
+        partial: whatever per-shard results were recovered —
+            ``{shard_id: ShardResult}`` for shards that completed plus,
+            when the failed worker managed to report them, its own
+            partial counters.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        reason: str,
+        *,
+        partial: Optional[Dict[int, "ShardResult"]] = None,
+    ) -> None:
+        super().__init__(f"shard {shard_id} failed: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+        self.partial: Dict[int, ShardResult] = dict(partial or {})
+
+
+@dataclass
+class ShardResult:
+    """Everything a shard hands back when it finishes (or dies trying).
+
+    All fields are plain data (no live table state, no closures), so a
+    result pickles cleanly across the process boundary regardless of
+    what analytics object or leg filter the Dart was built with.
+    """
+
+    shard_id: int
+    packets: int
+    stats: DartStats
+    samples: List[RttSample] = field(default_factory=list)
+    window_history: List[WindowMinimum] = field(default_factory=list)
+    rt_collapses: int = 0
+    #: True when the worker failed before end-of-trace and these are
+    #: the counters it had accumulated at the point of failure.
+    partial: bool = False
+
+
+def harvest(
+    shard_id: int,
+    dart: Dart,
+    *,
+    partial: bool = False,
+    end_ns: Optional[int] = None,
+) -> ShardResult:
+    """Extract a shard's transportable results from its Dart.
+
+    Finalizes the Dart (flushing open analytics windows) unless the
+    harvest is partial — a crashed worker's analytics may be
+    mid-update, so its open windows are left unflushed.  ``end_ns`` is
+    the global end-of-trace timestamp: flushing there (not at the
+    shard's own last packet) keeps flush-time windows bit-identical to
+    a serial run's.
+    """
+    if not partial:
+        dart.finalize(end_ns)
+    return ShardResult(
+        shard_id=shard_id,
+        packets=dart.stats.packets_processed,
+        stats=dart.stats,
+        samples=list(dart.samples),
+        window_history=list(getattr(dart.analytics, "history", ())),
+        rt_collapses=dart.range_tracker.stats.total_collapses,
+        partial=partial,
+    )
+
+
+class InlineWorker:
+    """Runs the shard's Dart synchronously in the calling thread."""
+
+    def __init__(self, shard_id: int, dart_factory: DartFactory, **_: object) -> None:
+        self.shard_id = shard_id
+        self._dart = dart_factory()
+
+    def submit(self, batch: List[PacketRecord]) -> None:
+        process = self._dart.process
+        for record in batch:
+            process(record)
+
+    def finish(
+        self,
+        timeout: float = DEFAULT_JOIN_TIMEOUT,
+        end_ns: Optional[int] = None,
+    ) -> ShardResult:
+        return harvest(self.shard_id, self._dart, end_ns=end_ns)
+
+    def abort(self) -> None:
+        pass
+
+
+#: Abort sentinel: exit the batch loop without finishing.
+_STOP = None
+
+#: End-of-trace sentinel carrying the global last packet timestamp.
+_FINISH = "__finish__"
+
+
+class ThreadWorker:
+    """A shard worker on a daemon thread with a bounded inbox."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        dart_factory: DartFactory,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        **_: object,
+    ) -> None:
+        self.shard_id = shard_id
+        self._batches: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._result: Optional[ShardResult] = None
+        self._partial: Optional[ShardResult] = None
+        self._error: Optional[str] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(dart_factory,),
+            name=f"dart-shard-{shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self, dart_factory: DartFactory) -> None:
+        dart: Optional[Dart] = None
+        try:
+            dart = dart_factory()
+            end_ns: Optional[int] = None
+            finish = False
+            while True:
+                batch = self._batches.get()
+                if batch is _STOP:
+                    break
+                if isinstance(batch, tuple) and batch[0] is _FINISH:
+                    finish, end_ns = True, batch[1]
+                    break
+                process = dart.process
+                for record in batch:
+                    process(record)
+            if finish:
+                self._result = harvest(self.shard_id, dart, end_ns=end_ns)
+        except BaseException as exc:  # surfaced to the coordinator
+            self._error = f"{exc!r}\n{traceback.format_exc()}"
+            if dart is not None:
+                try:
+                    self._partial = harvest(self.shard_id, dart, partial=True)
+                except Exception:
+                    pass
+
+    def _checked_put(self, item: object) -> None:
+        while True:
+            try:
+                self._batches.put(item, timeout=_POLL_S)
+                return
+            except queue.Full:
+                if self._error is not None or not self._thread.is_alive():
+                    raise self._failure()
+
+    def _failure(self) -> ShardFailure:
+        partial = {self.shard_id: self._partial} if self._partial else None
+        return ShardFailure(
+            self.shard_id,
+            self._error or "worker thread died without reporting an error",
+            partial=partial,
+        )
+
+    def submit(self, batch: List[PacketRecord]) -> None:
+        if self._error is not None:
+            raise self._failure()
+        self._checked_put(batch)
+
+    def finish(
+        self,
+        timeout: float = DEFAULT_JOIN_TIMEOUT,
+        end_ns: Optional[int] = None,
+    ) -> ShardResult:
+        self._checked_put((_FINISH, end_ns))
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ShardFailure(
+                self.shard_id,
+                f"worker thread missed the {timeout:.1f}s join timeout",
+            )
+        if self._error is not None:
+            raise self._failure()
+        assert self._result is not None
+        return self._result
+
+    def abort(self) -> None:
+        # Threads cannot be killed; drain the inbox and leave the
+        # sentinel so the daemon thread exits on its own.
+        try:
+            while True:
+                self._batches.get_nowait()
+        except queue.Empty:
+            pass
+        try:
+            self._batches.put_nowait(_STOP)
+        except queue.Full:
+            pass
+
+
+# -- Process mode ----------------------------------------------------------
+
+def encode_batch(batch: List[PacketRecord]) -> List[Tuple]:
+    """Flatten records to field tuples for cheap cross-process pickling."""
+    return [
+        (r.timestamp_ns, r.src_ip, r.dst_ip, r.src_port, r.dst_port,
+         r.seq, r.ack, r.flags, r.payload_len, r.ipv6)
+        for r in batch
+    ]
+
+
+def decode_batch(encoded: List[Tuple]) -> List[PacketRecord]:
+    """Rebuild records in the worker process (parallel with dispatch)."""
+    return [PacketRecord(*fields) for fields in encoded]
+
+
+def _worker_main(
+    shard_id: int,
+    dart_factory: DartFactory,
+    batch_queue,
+    result_queue,
+) -> None:
+    """Subprocess entry point: consume batches until the sentinel."""
+    dart: Optional[Dart] = None
+    try:
+        dart = dart_factory()
+        end_ns: Optional[int] = None
+        while True:
+            encoded = batch_queue.get()
+            if encoded is _STOP:
+                return
+            # Equality, not identity: the sentinel is pickled across
+            # the process boundary.
+            if isinstance(encoded, tuple) and encoded[0] == _FINISH:
+                end_ns = encoded[1]
+                break
+            process = dart.process
+            for record in decode_batch(encoded):
+                process(record)
+        result_queue.put(("ok", harvest(shard_id, dart, end_ns=end_ns)))
+    except BaseException as exc:
+        partial = None
+        if dart is not None:
+            try:
+                partial = harvest(shard_id, dart, partial=True)
+            except Exception:
+                partial = None
+        try:
+            result_queue.put(
+                ("error", f"{exc!r}\n{traceback.format_exc()}", partial)
+            )
+        except Exception:
+            pass
+        raise SystemExit(1)
+
+
+def _default_context():
+    """Prefer fork (closures in dart factories work); fall back cleanly."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return multiprocessing.get_context()
+
+
+class ProcessWorker:
+    """A shard worker in a subprocess — the multi-core mode.
+
+    With the (Linux-default) fork start method the Dart factory may be
+    any callable, closures included; under spawn it must be picklable.
+    Results travel back as plain-data :class:`ShardResult` objects, so
+    unpicklable analytics internals (lambda key functions, open sinks)
+    never cross the process boundary.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        dart_factory: DartFactory,
+        *,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        mp_context=None,
+        **_: object,
+    ) -> None:
+        self.shard_id = shard_id
+        ctx = mp_context if mp_context is not None else _default_context()
+        self._batches = ctx.Queue(maxsize=queue_depth)
+        self._results = ctx.Queue()
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(shard_id, dart_factory, self._batches, self._results),
+            name=f"dart-shard-{shard_id}",
+            daemon=True,
+        )
+        self._proc.start()
+
+    def _died(self) -> ShardFailure:
+        # The worker reports errors (with partial stats) on the result
+        # queue before exiting; a hard crash (segfault, os._exit) leaves
+        # only the exit code.
+        try:
+            report = self._results.get(timeout=0.5)
+        except queue.Empty:
+            report = None
+        if report is not None and report[0] == "error":
+            _, reason, partial_result = report
+            partial = (
+                {self.shard_id: partial_result} if partial_result else None
+            )
+            return ShardFailure(self.shard_id, reason, partial=partial)
+        return ShardFailure(
+            self.shard_id,
+            f"worker process died (exitcode {self._proc.exitcode})",
+        )
+
+    def _checked_put(self, item: object) -> None:
+        while True:
+            try:
+                self._batches.put(item, timeout=_POLL_S)
+                return
+            except queue.Full:
+                if not self._proc.is_alive():
+                    raise self._died()
+
+    def submit(self, batch: List[PacketRecord]) -> None:
+        if not self._proc.is_alive():
+            raise self._died()
+        self._checked_put(encode_batch(batch))
+
+    def finish(
+        self,
+        timeout: float = DEFAULT_JOIN_TIMEOUT,
+        end_ns: Optional[int] = None,
+    ) -> ShardResult:
+        self._checked_put((_FINISH, end_ns))
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                report = self._results.get(timeout=2 * _POLL_S)
+                break
+            except queue.Empty:
+                if not self._proc.is_alive():
+                    # One last chance: the result may have been queued
+                    # in the instant before the process exited.
+                    try:
+                        report = self._results.get(timeout=0.5)
+                        break
+                    except queue.Empty:
+                        raise ShardFailure(
+                            self.shard_id,
+                            "worker process died "
+                            f"(exitcode {self._proc.exitcode})",
+                        )
+                if time.monotonic() >= deadline:
+                    self.abort()
+                    raise ShardFailure(
+                        self.shard_id,
+                        f"worker missed the {timeout:.1f}s join timeout",
+                    )
+        if report[0] == "error":
+            _, reason, partial_result = report
+            self._proc.join(timeout=1.0)
+            partial = (
+                {self.shard_id: partial_result} if partial_result else None
+            )
+            raise ShardFailure(self.shard_id, reason, partial=partial)
+        self._proc.join(timeout=max(1.0, deadline - time.monotonic()))
+        if self._proc.is_alive():
+            self.abort()
+        return report[1]
+
+    def abort(self) -> None:
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=1.0)
+            if self._proc.is_alive():
+                self._proc.kill()
+                self._proc.join(timeout=1.0)
+
+
+WORKER_MODES = {
+    "serial": InlineWorker,
+    "thread": ThreadWorker,
+    "process": ProcessWorker,
+}

@@ -98,6 +98,7 @@ class MinFilterAnalytics:
         self._on_window = on_window
         self._state: Dict[Hashable, _WindowState] = {}
         self.history: List[WindowMinimum] = []
+        self._by_key: Dict[Hashable, List[WindowMinimum]] = {}
         self.sample_count = 0
 
     def add(self, sample: RttSample) -> None:
@@ -137,11 +138,21 @@ class MinFilterAnalytics:
             sample_count=state.sample_count,
             closed_at_ns=now_ns,
         )
-        self.history.append(window)
+        self._record_window(window)
         if self._on_window is not None:
             self._on_window(window)
         state.min_rtt_ns = None
         state.sample_count = 0
+
+    def _record_window(self, window: WindowMinimum) -> None:
+        """Append a closed window to the history and the per-key index.
+
+        The only write path into :attr:`history` — the cluster merge
+        (:func:`repro.cluster.merge.absorb_window_history`) also funnels
+        through it so the index can never go stale.
+        """
+        self.history.append(window)
+        self._by_key.setdefault(window.key, []).append(window)
 
     def flush(self, now_ns: int) -> None:
         """Close all open windows (end of trace)."""
@@ -154,8 +165,12 @@ class MinFilterAnalytics:
         return state.min_rtt_ns if state is not None else None
 
     def minima_for(self, key: Hashable) -> List[WindowMinimum]:
-        """Closed-window minima for one key, in window order."""
-        return [w for w in self.history if w.key == key]
+        """Closed-window minima for one key, in window order.
+
+        Answered from a per-key index in O(len(answer)) rather than a
+        scan of the whole history (which grows with every key).
+        """
+        return list(self._by_key.get(key, ()))
 
     # -- Preemptive discard (paper §3.3) -----------------------------------
 

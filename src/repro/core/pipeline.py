@@ -27,8 +27,8 @@ modelling recirculation latency.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..net.packet import PacketRecord
 from .analytics import CollectAllAnalytics
@@ -51,7 +51,12 @@ INTERNAL_LEG = "internal"
 
 @dataclass
 class DartStats:
-    """Pipeline-level counters behind the §6.2 metrics."""
+    """Pipeline-level counters behind the §6.2 metrics.
+
+    Every field is either a plain additive counter or a verdict→count
+    mapping, so two stats objects merge by summation — the property the
+    sharded coordinator (:mod:`repro.cluster`) relies on.
+    """
 
     packets_processed: int = 0
     seq_packets: int = 0
@@ -71,8 +76,29 @@ class DartStats:
     shadow_discards: int = 0
     shadow_false_discards: int = 0
     shadow_false_keeps: int = 0
-    seq_verdicts: dict = field(default_factory=dict)
-    ack_verdicts: dict = field(default_factory=dict)
+    seq_verdicts: Dict[SeqVerdict, int] = field(default_factory=dict)
+    ack_verdicts: Dict[AckVerdict, int] = field(default_factory=dict)
+
+    @staticmethod
+    def _bump(verdicts: Dict, verdict, count: int = 1) -> None:
+        """Count a verdict (the single write path into the verdict dicts)."""
+        verdicts[verdict] = verdicts.get(verdict, 0) + count
+
+    def merge(self, other: "DartStats") -> "DartStats":
+        """Fold ``other``'s counts into this object; returns self.
+
+        Plain counters add; verdict histograms add per verdict.  Used to
+        aggregate per-shard stats into a cluster-wide view.
+        """
+        for f in fields(self):
+            if f.name in ("seq_verdicts", "ack_verdicts"):
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for verdict, count in other.seq_verdicts.items():
+            self._bump(self.seq_verdicts, verdict, count)
+        for verdict, count in other.ack_verdicts.items():
+            self._bump(self.ack_verdicts, verdict, count)
+        return self
 
     def recirculations_per_packet(self) -> float:
         """The paper's recirculation-overhead metric (Figs 11c/12c/13c)."""
@@ -176,11 +202,18 @@ class Dart:
             self.process(record)
         return self
 
-    def finalize(self) -> None:
-        """Signal end-of-trace to the analytics (flush open windows)."""
+    def finalize(self, at_ns: Optional[int] = None) -> None:
+        """Signal end-of-trace to the analytics (flush open windows).
+
+        ``at_ns`` overrides the flush timestamp when this instance saw
+        only part of a stream whose true end is later — a flow-sharded
+        worker flushes at the global trace end so its closed windows
+        match what a serial run would have produced.
+        """
         flush = getattr(self.analytics, "flush", None)
         if flush is not None:
-            flush(self._now_ns)
+            now = self._now_ns if at_ns is None else max(at_ns, self._now_ns)
+            flush(now)
 
     # -- SEQ side ------------------------------------------------------------
 
@@ -196,7 +229,7 @@ class Dart:
         verdict = self.range_tracker.on_data(
             flow, record.seq, record.eack, now_ns=record.timestamp_ns
         )
-        self.stats.seq_verdicts[verdict] = self.stats.seq_verdicts.get(verdict, 0) + 1
+        self.stats._bump(self.stats.seq_verdicts, verdict)
         if not verdict.trackable:
             return
         pt_record = PtRecord(
@@ -221,7 +254,7 @@ class Dart:
         verdict = self.range_tracker.on_ack(
             flow, record.ack, now_ns=record.timestamp_ns
         )
-        self.stats.ack_verdicts[verdict] = self.stats.ack_verdicts.get(verdict, 0) + 1
+        self.stats._bump(self.stats.ack_verdicts, verdict)
         if verdict is not AckVerdict.VALID:
             return None
         pt_record = self.packet_tracker.match_ack(flow, record.ack)

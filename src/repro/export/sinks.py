@@ -20,25 +20,50 @@ from .records import encode_sample
 PathLike = Union[str, Path]
 
 
-class ReportFileSink:
-    """Streams binary report records to a file (see records.py)."""
+class _FileSink:
+    """Shared lifecycle for the file-backed sinks.
 
-    def __init__(self, path: PathLike) -> None:
-        self._stream = open(path, "wb")
+    ``flush()`` pushes buffered rows to disk without ending the stream —
+    a sharded coordinator flushes a worker's sinks at shutdown — and
+    ``close()`` is idempotent, so a sink reached through both a worker
+    teardown path and a ``with`` block never double-closes.
+    """
+
+    def __init__(self, stream) -> None:
+        self._stream = stream
+        self._closed = False
         self.count = 0
 
-    def add(self, sample: RttSample) -> None:
-        self._stream.write(encode_sample(sample))
-        self.count += 1
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._stream.flush()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._stream.close()
 
-    def __enter__(self) -> "ReportFileSink":
+    def __enter__(self):
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class ReportFileSink(_FileSink):
+    """Streams binary report records to a file (see records.py)."""
+
+    def __init__(self, path: PathLike) -> None:
+        super().__init__(open(path, "wb"))
+
+    def add(self, sample: RttSample) -> None:
+        self._stream.write(encode_sample(sample))
+        self.count += 1
 
 
 def _flow_strings(sample: RttSample):
@@ -50,14 +75,13 @@ CSV_FIELDS = ("timestamp_ns", "rtt_ns", "src", "sport", "dst", "dport",
               "eack", "leg", "handshake")
 
 
-class CsvSink:
+class CsvSink(_FileSink):
     """Streams samples as CSV rows (header written up front)."""
 
     def __init__(self, path: PathLike) -> None:
-        self._stream = open(path, "w", newline="")
+        super().__init__(open(path, "w", newline=""))
         self._writer = csv.writer(self._stream)
         self._writer.writerow(CSV_FIELDS)
-        self.count = 0
 
     def add(self, sample: RttSample) -> None:
         src, dst = _flow_strings(sample)
@@ -74,22 +98,12 @@ class CsvSink:
         ])
         self.count += 1
 
-    def close(self) -> None:
-        self._stream.close()
 
-    def __enter__(self) -> "CsvSink":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-
-class JsonlSink:
+class JsonlSink(_FileSink):
     """Streams samples as JSON lines (one object per sample)."""
 
     def __init__(self, path: PathLike) -> None:
-        self._stream = open(path, "w")
-        self.count = 0
+        super().__init__(open(path, "w"))
 
     def add(self, sample: RttSample) -> None:
         src, dst = _flow_strings(sample)
@@ -105,12 +119,3 @@ class JsonlSink:
             "handshake": sample.handshake,
         }) + "\n")
         self.count += 1
-
-    def close(self) -> None:
-        self._stream.close()
-
-    def __enter__(self) -> "JsonlSink":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()

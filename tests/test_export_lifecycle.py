@@ -1,0 +1,97 @@
+"""Sink lifecycle: explicit flush, idempotent close.
+
+A sharded coordinator flushes a worker's sinks at shutdown and may
+close a sink that a ``with`` block (or another teardown path) closes
+again — neither may lose data or raise.
+"""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.flow import FlowKey
+from repro.core.samples import RttSample
+from repro.export import CsvSink, JsonlSink, ReportFileSink, read_reports
+
+MS = 1_000_000
+
+
+def sample(t_ms=100.0):
+    flow = FlowKey(src_ip=0x0A000001, dst_ip=0x10000001,
+                   src_port=40000, dst_port=443)
+    return RttSample(flow=flow, rtt_ns=20 * MS,
+                     timestamp_ns=int(t_ms * MS), eack=12345)
+
+
+ALL_SINKS = [
+    ("reports.bin", ReportFileSink),
+    ("samples.csv", CsvSink),
+    ("samples.jsonl", JsonlSink),
+]
+
+
+@pytest.mark.parametrize("name,sink_cls", ALL_SINKS)
+class TestLifecycle:
+    def test_flush_makes_rows_visible_while_open(self, tmp_path, name,
+                                                 sink_cls):
+        path = tmp_path / name
+        sink = sink_cls(path)
+        sink.add(sample())
+        sink.flush()
+        assert path.stat().st_size > 0  # on disk before close
+        sink.close()
+
+    def test_close_is_idempotent(self, tmp_path, name, sink_cls):
+        path = tmp_path / name
+        sink = sink_cls(path)
+        sink.add(sample())
+        sink.close()
+        sink.close()  # no ValueError from a closed stream
+        assert sink.closed
+
+    def test_with_block_after_explicit_close(self, tmp_path, name, sink_cls):
+        path = tmp_path / name
+        with sink_cls(path) as sink:
+            sink.add(sample())
+            sink.close()  # coordinator-style early close inside the block
+        assert sink.closed
+
+    def test_flush_after_close_is_a_noop(self, tmp_path, name, sink_cls):
+        path = tmp_path / name
+        sink = sink_cls(path)
+        sink.add(sample())
+        sink.close()
+        sink.flush()  # must not raise on the closed stream
+
+
+class TestFlushedContents:
+    def test_csv_rows_complete_after_flush(self, tmp_path):
+        path = tmp_path / "s.csv"
+        sink = CsvSink(path)
+        for t in (1.0, 2.0, 3.0):
+            sink.add(sample(t))
+        sink.flush()
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 4  # header + 3 samples
+        sink.close()
+
+    def test_jsonl_lines_parse_after_flush(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        sink = JsonlSink(path)
+        sink.add(sample())
+        sink.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["rtt_ns"] == 20 * MS
+        sink.close()
+
+    def test_reports_decode_after_flush(self, tmp_path):
+        path = tmp_path / "r.bin"
+        sink = ReportFileSink(path)
+        sink.add(sample())
+        sink.flush()
+        with open(path, "rb") as handle:
+            assert len(list(read_reports(handle))) == 1
+        sink.close()
