@@ -15,7 +15,7 @@ collection error (blind overwrite and timeouts bias against long RTTs,
 so their p95 error is positive/larger).
 """
 
-from _sweeps import LARGE_RT, baseline_rtts, sweep_table, run_config
+from _sweeps import LARGE_RT, baseline_rtts, run_config
 
 from repro.analysis import collection_error_percent, render_table
 from repro.baselines import Strawman

@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Pinned-workload perf baseline: measure the fast path, write the contract.
+
+Runs the per-packet hot loop over a *pinned* synthetic campus trace
+(fixed seed, fixed size, fixed table configuration) and records:
+
+* **serial** — best-of-N packets/sec through ``Dart.process_batch``,
+  plus p50/p99 per-packet latency from an individually-timed pass;
+* **cluster_4shard** — packets/sec through a 4-shard process-mode
+  :class:`~repro.cluster.ShardedDart` (dispatch + workers + merge).
+
+The output (``BENCH_pipeline.json`` at the repo root, committed) is the
+baseline CI's ``perf-regression`` job gates against via
+:mod:`repro.analysis.perfgate`.  Refresh it after intentional perf work::
+
+    PYTHONPATH=src python benchmarks/perf_baseline.py \\
+        --output BENCH_pipeline.json
+
+Everything that affects the measurement is pinned here on purpose:
+change the workload constants and you MUST regenerate the baseline in
+the same commit, or the gate compares different experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.perfgate import SCHEMA  # noqa: E402
+from repro.cluster import ShardedDart  # noqa: E402
+from repro.core import Dart, DartConfig  # noqa: E402
+from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
+
+# -- The pinned workload (the baseline's identity — see module docstring) --
+
+CONNECTIONS = 500
+SEED = 11
+#: Constrained tables sized for ~34k packets / ~1k flows: enough
+#: pressure for evictions and recirculations to occur, so the gate
+#: watches the real pipeline, not just the associative fast case.
+CONFIG = DartConfig(rt_slots=1 << 18, pt_slots=1 << 14, pt_stages=1,
+                    max_recirculations=1)
+SHARDS = 4
+CLUSTER_BATCH = 2048
+
+
+def _percentile(sorted_values: List[int], percent: float) -> int:
+    if not sorted_values:
+        return 0
+    index = min(len(sorted_values) - 1,
+                int(len(sorted_values) * percent / 100.0))
+    return sorted_values[index]
+
+
+def measure_serial(records, repeats: int) -> dict:
+    """Best-of-N batched throughput plus an individually-timed pass."""
+    best_pps = 0.0
+    samples = 0
+    for _ in range(repeats):
+        dart = Dart(CONFIG)
+        start = time.perf_counter()
+        dart.process_batch(records)
+        elapsed = time.perf_counter() - start
+        best_pps = max(best_pps, len(records) / elapsed)
+        samples = dart.stats.samples
+    # Per-packet latency: time each process() call.  The timer calls
+    # themselves add ~100ns/packet, so these numbers are comparable only
+    # with each other — which is all the gate needs.
+    dart = Dart(CONFIG)
+    process = dart.process
+    clock = time.perf_counter_ns
+    durations = []
+    append = durations.append
+    for record in records:
+        t0 = clock()
+        process(record)
+        append(clock() - t0)
+    durations.sort()
+    return {
+        "packets_per_second": round(best_pps, 1),
+        "p50_ns": _percentile(durations, 50),
+        "p99_ns": _percentile(durations, 99),
+        "rtt_samples": samples,
+    }
+
+
+def measure_cluster(records, repeats: int, parallel: str) -> dict:
+    """End-to-end sharded throughput: dispatch, workers, merge."""
+    best_pps = 0.0
+    samples = 0
+    for _ in range(repeats):
+        cluster = ShardedDart(CONFIG, shards=SHARDS, parallel=parallel,
+                              batch_size=CLUSTER_BATCH)
+        start = time.perf_counter()
+        cluster.process_trace(records)
+        cluster.finalize()
+        elapsed = time.perf_counter() - start
+        best_pps = max(best_pps, len(records) / elapsed)
+        samples = cluster.stats.samples
+    return {
+        "packets_per_second": round(best_pps, 1),
+        "shards": SHARDS,
+        "parallel": parallel,
+        "rtt_samples": samples,
+    }
+
+
+def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
+    trace = generate_campus_trace(
+        CampusTraceConfig(connections=CONNECTIONS, seed=SEED)
+    )
+    print(f"workload: {trace.packets} packets "
+          f"({CONNECTIONS} connections, seed {SEED})", file=sys.stderr)
+    results = {"serial": measure_serial(trace.records, repeats)}
+    print(f"serial: {results['serial']['packets_per_second']:,.0f} pps "
+          f"(p50 {results['serial']['p50_ns']} ns, "
+          f"p99 {results['serial']['p99_ns']} ns)", file=sys.stderr)
+    if not skip_cluster:
+        cluster_reps = max(1, min(repeats, 2))
+        results[f"cluster_{SHARDS}shard"] = measure_cluster(
+            trace.records, cluster_reps, parallel
+        )
+        pps = results[f"cluster_{SHARDS}shard"]["packets_per_second"]
+        print(f"cluster ({SHARDS} shards, {parallel}): {pps:,.0f} pps",
+              file=sys.stderr)
+    return {
+        "schema": SCHEMA,
+        "workload": {
+            "connections": CONNECTIONS,
+            "seed": SEED,
+            "packets": trace.packets,
+            "rt_slots": CONFIG.rt_slots,
+            "pt_slots": CONFIG.pt_slots,
+            "pt_stages": CONFIG.pt_stages,
+            "max_recirculations": CONFIG.max_recirculations,
+            "repeats": repeats,
+        },
+        "environment": {
+            # Context only — the gate never compares these.
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the pinned perf workload and write a report.",
+    )
+    parser.add_argument("--output", default="BENCH_pipeline.json",
+                        help="report path (default: BENCH_pipeline.json)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="serial timing repetitions; best is kept "
+                             "(default 3)")
+    parser.add_argument("--parallel", default="process",
+                        choices=["process", "thread", "serial"],
+                        help="cluster worker mode (default process)")
+    parser.add_argument("--skip-cluster", action="store_true",
+                        help="measure only the serial pipeline")
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be positive")
+    report = run(args.repeats, args.parallel, args.skip_cluster)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""``perfgate``: compare two perf-baseline reports and fail on regression.
+
+The committed ``BENCH_pipeline.json`` (written by
+``benchmarks/perf_baseline.py``) is the performance contract for the
+per-packet fast path.  This module compares a freshly measured report
+against it and exits non-zero when throughput regressed beyond the
+threshold — the check CI's ``perf-regression`` job runs on every push.
+
+Rules:
+
+* Throughput metrics (``packets_per_second``) regress when the fresh
+  value drops more than ``threshold`` below the baseline
+  (default 15%; CI uses a generous 25% to absorb shared-runner noise).
+* Latency metrics (``p50_ns`` / ``p99_ns``) are reported for context
+  and only gated with ``--gate-latency`` — per-packet timing is far
+  noisier than whole-trace throughput on shared machines.
+* A metric present in the baseline but missing from the fresh report is
+  itself a failure (a silently dropped measurement must not pass).
+
+Usage::
+
+    python -m repro.analysis.perfgate BENCH_pipeline.json fresh.json \\
+        --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: The report schema this gate understands; ``perf_baseline.py`` stamps
+#: it into every report so stale files fail loudly instead of comparing
+#: apples to oranges.
+SCHEMA = "dart-perf-baseline/1"
+
+DEFAULT_THRESHOLD = 0.15
+
+
+class PerfGateError(ValueError):
+    """A report is malformed or the schemas do not match."""
+
+
+@dataclass(slots=True)
+class MetricComparison:
+    """One metric's baseline-vs-fresh outcome."""
+
+    metric: str
+    baseline: float
+    fresh: Optional[float]
+    #: True when higher values are better (throughput); False for
+    #: latency, where a rise is the regression.
+    higher_is_better: bool
+    gated: bool
+    threshold: float
+
+    @property
+    def change_percent(self) -> Optional[float]:
+        if self.fresh is None or self.baseline == 0:
+            return None
+        return (self.fresh - self.baseline) / self.baseline * 100.0
+
+    @property
+    def regressed(self) -> bool:
+        if not self.gated:
+            return False
+        if self.fresh is None:
+            return True  # measurement vanished: fail loud
+        if self.higher_is_better:
+            return self.fresh < self.baseline * (1.0 - self.threshold)
+        return self.fresh > self.baseline * (1.0 + self.threshold)
+
+
+def load_report(path) -> dict:
+    """Read and validate one perf report."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PerfGateError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(report, dict) or "results" not in report:
+        raise PerfGateError(f"{path}: missing 'results' section")
+    if report.get("schema") != SCHEMA:
+        raise PerfGateError(
+            f"{path}: schema {report.get('schema')!r} != expected {SCHEMA!r}"
+        )
+    return report
+
+
+def _flatten(report: dict) -> Dict[str, float]:
+    """``results`` as ``{"serial.packets_per_second": value, ...}``."""
+    flat: Dict[str, float] = {}
+    for section, values in report["results"].items():
+        if not isinstance(values, dict):
+            continue
+        for name, value in values.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                flat[f"{section}.{name}"] = float(value)
+    return flat
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    gate_latency: bool = False,
+) -> List[MetricComparison]:
+    """Compare every baseline metric against the fresh report.
+
+    Only metrics the *baseline* carries are compared — a fresh report
+    may add new sections without failing the gate (that is how the
+    baseline grows), but may not drop gated ones.
+    """
+    if not 0 < threshold < 1:
+        raise PerfGateError("threshold must be a fraction in (0, 1)")
+    fresh_flat = _flatten(fresh)
+    comparisons: List[MetricComparison] = []
+    for metric, base_value in sorted(_flatten(baseline).items()):
+        is_throughput = metric.endswith("packets_per_second")
+        is_latency = metric.endswith(("p50_ns", "p99_ns"))
+        if not (is_throughput or is_latency):
+            continue  # counts/sizes are workload facts, not perf metrics
+        comparisons.append(MetricComparison(
+            metric=metric,
+            baseline=base_value,
+            fresh=fresh_flat.get(metric),
+            higher_is_better=is_throughput,
+            gated=is_throughput or (is_latency and gate_latency),
+            threshold=threshold,
+        ))
+    return comparisons
+
+
+def render(comparisons: List[MetricComparison]) -> str:
+    """Human-readable comparison table for logs."""
+    lines = [
+        f"{'metric':<44} {'baseline':>14} {'fresh':>14} {'change':>9}  gate"
+    ]
+    for c in comparisons:
+        fresh = f"{c.fresh:,.0f}" if c.fresh is not None else "MISSING"
+        change = (f"{c.change_percent:+.1f}%"
+                  if c.change_percent is not None else "-")
+        verdict = ("FAIL" if c.regressed
+                   else "ok" if c.gated else "info")
+        lines.append(
+            f"{c.metric:<44} {c.baseline:>14,.0f} {fresh:>14} "
+            f"{change:>9}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perfgate",
+        description="Fail when a fresh perf report regresses the baseline.",
+    )
+    parser.add_argument("baseline", help="committed BENCH_pipeline.json")
+    parser.add_argument("fresh", help="freshly measured report")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional drop before failing "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--gate-latency", action="store_true",
+                        help="also gate p50/p99 per-packet latency")
+    args = parser.parse_args(argv)
+    try:
+        comparisons = compare(
+            load_report(args.baseline),
+            load_report(args.fresh),
+            threshold=args.threshold,
+            gate_latency=args.gate_latency,
+        )
+    except PerfGateError as exc:
+        print(f"perfgate: {exc}", file=sys.stderr)
+        return 2
+    print(render(comparisons))
+    regressions = [c for c in comparisons if c.regressed]
+    if regressions:
+        print(
+            f"perfgate: {len(regressions)} metric(s) regressed more than "
+            f"{args.threshold:.0%} against {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"perfgate: ok (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ from typing import Dict, List, Optional
 
 from ..core.flow import FlowKey, ack_target_flow, flow_of
 from ..core.samples import RttSample
-from ..core.seqspace import seq_le, seq_sub
+from ..core.seqspace import seq_le
 from ..net.packet import PacketRecord
 
 _QUADRANT_SHIFT = 30  # sequence space divided into four 2**30 quadrants

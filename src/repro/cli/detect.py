@@ -23,7 +23,7 @@ from ..detection import (
     DetectorConfig,
     InterceptionDetector,
 )
-from ..net.inet import format_prefix, int_to_ipv4, ipv4_to_int, prefix_of
+from ..net.inet import format_prefix, ipv4_to_int, prefix_of
 from ..net.pcapng import read_any_capture
 
 SEC = 1_000_000_000
@@ -90,7 +90,7 @@ def main(argv: Optional[list] = None) -> int:
                 events += 1
                 print(f"t={episode.confirmed_at_ns / SEC:10.3f}s  "
                       f"{format_prefix(key, args.prefix_len):>20s}  "
-                      f"bufferbloat confirmed: p90 "
+                      "bufferbloat confirmed: p90 "
                       f"{episode.inflation:.1f}x over "
                       f"{episode.baseline_min_ns / 1e6:.1f}ms floor")
 

@@ -159,6 +159,22 @@ class ShardedDart:
         self._end_ns = end_ns
         return self
 
+    def process_batch(
+        self, records: Iterable[Optional[PacketRecord]]
+    ) -> List[RttSample]:
+        """Batched entry point mirroring :meth:`Dart.process_batch`.
+
+        With one shard it delegates to the serial fast path (and returns
+        that batch's samples); with several it dispatches the batch and
+        returns ``[]`` — like :meth:`process`, sharded samples are only
+        available from :attr:`samples` after :meth:`finalize`.  ``None``
+        entries (non-TCP decode results) are skipped either way.
+        """
+        if self.dart is not None:
+            return self.dart.process_batch(records)
+        self.process_trace(r for r in records if r is not None)
+        return []
+
     def _submit(self, shard: int, batch: List[PacketRecord]) -> None:
         try:
             self._workers[shard].submit(batch)

@@ -134,9 +134,7 @@ class InlineWorker:
         self._dart = dart_factory()
 
     def submit(self, batch: List[PacketRecord]) -> None:
-        process = self._dart.process
-        for record in batch:
-            process(record)
+        self._dart.process_batch(batch)
 
     def finish(
         self,
@@ -193,9 +191,7 @@ class ThreadWorker:
                 if isinstance(batch, tuple) and batch[0] is _FINISH:
                     finish, end_ns = True, batch[1]
                     break
-                process = dart.process
-                for record in batch:
-                    process(record)
+                dart.process_batch(batch)
             if finish:
                 self._result = harvest(self.shard_id, dart, end_ns=end_ns)
         except BaseException as exc:  # surfaced to the coordinator
@@ -295,9 +291,7 @@ def _worker_main(
             if isinstance(encoded, tuple) and encoded[0] == _FINISH:
                 end_ns = encoded[1]
                 break
-            process = dart.process
-            for record in decode_batch(encoded):
-                process(record)
+            dart.process_batch(decode_batch(encoded))
         result_queue.put(("ok", harvest(shard_id, dart, end_ns=end_ns)))
     except BaseException as exc:
         partial = None

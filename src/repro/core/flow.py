@@ -5,12 +5,26 @@ sender: the SEQ direction's packets carry the tuple as-is, and the ACK
 direction's packets carry it reversed (paper Fig 1/Fig 2).  The Range
 Tracker and Packet Tracker are keyed by the SEQ-direction tuple, so an
 arriving ACK is matched after reversing its tuple.
+
+Performance notes (the per-packet hot path runs through this module):
+
+* ``FlowKey`` precomputes its hash at construction and caches its key
+  bytes, raw CRC, and 4-byte signature lazily — each is computed once
+  per flow object instead of once per packet.
+* :func:`flow_of` / :func:`ack_target_flow` *intern* keys, so every
+  packet of a flow reuses one ``FlowKey`` object.  Table lookups then
+  hit the dict fast path (identity before ``__eq__``), and the lazy
+  caches above amortise across the whole trace.  Interning is an
+  optimisation only: un-interned keys (built directly, or arriving from
+  another process) compare and hash identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Optional
 
 from ..net.inet import int_to_ipv4, int_to_ipv6
 from ..net.packet import PacketRecord
@@ -26,16 +40,32 @@ class FlowKey:
     src_port: int
     dst_port: int
     ipv6: bool = False
+    #: Cached ``hash()`` (eager) and key-byte/CRC/signature values
+    #: (lazy).  Excluded from equality/repr; they are pure functions of
+    #: the tuple, so pickled copies stay consistent.
+    _hash: int = field(init=False, repr=False, compare=False, default=0)
+    _bytes: Optional[bytes] = field(init=False, repr=False, compare=False,
+                                    default=None)
+    _crc: Optional[int] = field(init=False, repr=False, compare=False,
+                                default=None)
+    _sig: Optional[int] = field(init=False, repr=False, compare=False,
+                                default=None)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_hash",
+            hash((self.src_ip, self.dst_ip, self.src_port, self.dst_port,
+                  self.ipv6)),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def reversed(self) -> "FlowKey":
         """The same connection seen from the opposite direction."""
-        return FlowKey(
-            src_ip=self.dst_ip,
-            dst_ip=self.src_ip,
-            src_port=self.dst_port,
-            dst_port=self.src_port,
-            ipv6=self.ipv6,
-        )
+        return intern_flow(self.dst_ip, self.src_ip, self.dst_port,
+                           self.src_port, self.ipv6)
 
     def canonical(self) -> "FlowKey":
         """Direction-independent form (smaller endpoint first).
@@ -54,18 +84,40 @@ class FlowKey:
         16-byte addresses (paper §7 notes the larger key raises collision
         rates, which the simulator therefore reproduces faithfully).
         """
-        addr_len = 16 if self.ipv6 else 4
-        return (
-            self.src_ip.to_bytes(addr_len, "big")
-            + self.dst_ip.to_bytes(addr_len, "big")
-            + self.src_port.to_bytes(2, "big")
-            + self.dst_port.to_bytes(2, "big")
-        )
+        cached = self._bytes
+        if cached is None:
+            addr_len = 16 if self.ipv6 else 4
+            cached = (
+                self.src_ip.to_bytes(addr_len, "big")
+                + self.dst_ip.to_bytes(addr_len, "big")
+                + self.src_port.to_bytes(2, "big")
+                + self.dst_port.to_bytes(2, "big")
+            )
+            object.__setattr__(self, "_bytes", cached)
+        return cached
+
+    @property
+    def key_crc(self) -> int:
+        """Unsalted ``crc32(key_bytes())`` — the table-index seed.
+
+        Cached so the per-stage index mix
+        (:func:`~repro.core.hashing.stage_index_from_crc`) never re-walks
+        the key bytes on the hot path.
+        """
+        crc = self._crc
+        if crc is None:
+            crc = zlib.crc32(self.key_bytes())
+            object.__setattr__(self, "_crc", crc)
+        return crc
 
     @property
     def signature(self) -> int:
         """The compact 4-byte signature stored in table records."""
-        return _signature_cached(self)
+        sig = self._sig
+        if sig is None:
+            sig = signature32(self.key_bytes())
+            object.__setattr__(self, "_sig", sig)
+        return sig
 
     def describe(self) -> str:
         """Render as ``src:port > dst:port``."""
@@ -77,19 +129,21 @@ class FlowKey:
 
 
 @lru_cache(maxsize=1 << 20)
-def _signature_cached(key: FlowKey) -> int:
-    return signature32(key.key_bytes())
+def intern_flow(src_ip: int, dst_ip: int, src_port: int, dst_port: int,
+                ipv6: bool = False) -> FlowKey:
+    """The canonical ``FlowKey`` object for a 4-tuple.
+
+    Bounded (LRU): an adversarial trace with more live flows than the
+    cache holds degrades to plain construction, never unbounded memory.
+    """
+    return FlowKey(src_ip=src_ip, dst_ip=dst_ip, src_port=src_port,
+                   dst_port=dst_port, ipv6=ipv6)
 
 
 def flow_of(record: PacketRecord) -> FlowKey:
     """The flow 4-tuple of a packet, in its own direction of travel."""
-    return FlowKey(
-        src_ip=record.src_ip,
-        dst_ip=record.dst_ip,
-        src_port=record.src_port,
-        dst_port=record.dst_port,
-        ipv6=record.ipv6,
-    )
+    return intern_flow(record.src_ip, record.dst_ip, record.src_port,
+                       record.dst_port, record.ipv6)
 
 
 def ack_target_flow(record: PacketRecord) -> FlowKey:
@@ -98,4 +152,5 @@ def ack_target_flow(record: PacketRecord) -> FlowKey:
     This is the packet's 4-tuple reversed (paper §2.1: "with the source
     and destination fields of the 4-tuple reversed").
     """
-    return flow_of(record).reversed()
+    return intern_flow(record.dst_ip, record.src_ip, record.dst_port,
+                       record.src_port, record.ipv6)

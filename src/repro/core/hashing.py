@@ -81,6 +81,25 @@ def stage_index(key: bytes, stage: int, table_size: int) -> int:
     return _mix32(zlib.crc32(key) ^ _STAGE_SALTS[stage]) % table_size
 
 
+def stage_index_from_crc(key_crc: int, stage: int, table_size: int) -> int:
+    """:func:`stage_index` with the unsalted ``crc32(key)`` precomputed.
+
+    The hot per-packet paths look up the same flow key many times; the
+    CRC is the expensive part (it walks the key bytes), so the tables
+    compute it once — or read it off the flow's cached ``key_crc`` —
+    and only the per-stage mix runs per probe.  Always agrees with
+    ``stage_index(key, stage, table_size)`` for ``key_crc ==
+    zlib.crc32(key)``; stage/size validation is the caller's burden.
+    """
+    return _mix32(key_crc ^ _STAGE_SALTS[stage]) % table_size
+
+
 def pack_u32(*values: int) -> bytes:
     """Pack 32-bit values into a hash-input byte string."""
     return struct.pack(f"!{len(values)}I", *(v & 0xFFFFFFFF for v in values))
+
+
+#: Prebound packer for the PT's two-word ``(signature, eack)`` key — the
+#: single hottest ``pack_u32`` call site, worth skipping the format-string
+#: dispatch for.
+pack2_u32 = struct.Struct("!2I").pack

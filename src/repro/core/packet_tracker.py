@@ -39,11 +39,12 @@ The module only implements table mechanics; the recirculation *loop*
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .flow import FlowKey
-from .hashing import pack_u32, stage_index
+from .hashing import pack2_u32, stage_index_from_crc
 
 
 @dataclass(slots=True)
@@ -59,10 +60,19 @@ class PtRecord:
     leg: Optional[str] = None
     recirc_count: int = 0
     last_evicted_id: Optional[int] = None
+    #: Lazily cached ``key_bytes()`` — a record is re-hashed on every
+    #: insertion pass (recirculation re-enters the stages), so the
+    #: packing cost is paid once.  Pure function of (signature, eack);
+    #: pickled copies stay consistent.
+    _key: Optional[bytes] = field(init=False, default=None, repr=False,
+                                  compare=False)
 
     def key_bytes(self) -> bytes:
         """Bytes hashed into stage indices."""
-        return pack_u32(self.signature, self.eack)
+        key = self._key
+        if key is None:
+            key = self._key = pack2_u32(self.signature, self.eack)
+        return key
 
     def matches(self, signature: int, eack: int) -> bool:
         """Constrained-mode match: 4-byte signature plus expected ACK."""
@@ -79,13 +89,13 @@ class InsertStatus(enum.Enum):
     UNPLACED = "unplaced"          # no slot available this pass
 
 
-@dataclass
+@dataclass(slots=True)
 class InsertOutcome:
     status: InsertStatus
     evicted: Optional[PtRecord] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketTrackerStats:
     """PT-side counters for the §6.2 metrics."""
 
@@ -184,10 +194,10 @@ class StagedPacketTable:
     def insert(self, record: PtRecord) -> InsertOutcome:
         """One insertion pass; never recirculates by itself."""
         self.stats.insert_passes += 1
-        key = record.key_bytes()
+        key_crc = zlib.crc32(record.key_bytes())
         force_stage = self._force_stage(record)
         for stage in range(self._stage_count):
-            index = stage_index(key, stage, self._stage_slots)
+            index = stage_index_from_crc(key_crc, stage, self._stage_slots)
             occupant = self._stages[stage][index]
             if occupant is None:
                 self._stages[stage][index] = record
@@ -217,9 +227,9 @@ class StagedPacketTable:
         sample — faithfully reproducing the hardware (paper §4).
         """
         signature = flow.signature
-        key = pack_u32(signature, ack)
+        key_crc = zlib.crc32(pack2_u32(signature, ack))
         for stage in range(self._stage_count):
-            index = stage_index(key, stage, self._stage_slots)
+            index = stage_index_from_crc(key_crc, stage, self._stage_slots)
             occupant = self._stages[stage][index]
             if occupant is not None and occupant.matches(signature, ack):
                 self._stages[stage][index] = None

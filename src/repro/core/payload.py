@@ -15,7 +15,7 @@ itself always knows the payload length; the model verifies agreement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 MIN_TOTAL_LENGTH = 40
 MAX_TOTAL_LENGTH = 1480

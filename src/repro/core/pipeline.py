@@ -28,8 +28,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field, fields
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
+from ..net import tcp as tcp_mod
 from ..net.packet import PacketRecord
 from .analytics import CollectAllAnalytics
 from .config import DartConfig
@@ -48,8 +50,19 @@ TargetFilter = Callable[[PacketRecord], bool]
 EXTERNAL_LEG = "external"
 INTERNAL_LEG = "internal"
 
+# Flag masks, hoisted for the hot loop: carries-data is
+# "payload > 0 or SYN or FIN" (both flags consume sequence space).
+_SYN = tcp_mod.FLAG_SYN
+_RST = tcp_mod.FLAG_RST
+_ACK = tcp_mod.FLAG_ACK
+_SEQ_SPACE_FLAGS = tcp_mod.FLAG_SYN | tcp_mod.FLAG_FIN
 
-@dataclass
+#: Records per chunk when :meth:`Dart.process_trace` drains an iterable
+#: through the batched fast path.
+TRACE_CHUNK = 8192
+
+
+@dataclass(slots=True)
 class DartStats:
     """Pipeline-level counters behind the §6.2 metrics.
 
@@ -162,45 +175,119 @@ class Dart:
 
     def process(self, record: PacketRecord) -> List[RttSample]:
         """Process one observed packet; returns samples it produced."""
-        self.stats.packets_processed += 1
+        stats = self.stats
+        stats.packets_processed += 1
         self._now_ns = record.timestamp_ns
-        self._drain_due_recirculations()
+        if self._recirc_queue:
+            self._drain_due_recirculations()
         if self._shadow_tracker is not None:
             self._drain_shadow_updates()
 
         if self._target_filter is not None and not self._target_filter(record):
-            self.stats.filtered_out += 1
+            stats.filtered_out += 1
             return []
 
-        if record.syn and not self.config.track_handshake:
+        flags = record.flags
+        track_handshake = self.config.track_handshake
+        if flags & _SYN and not track_handshake:
             # -SYN mode ignores SYN and SYN-ACK entirely (robust to SYN
             # floods; no RT/PT state until the handshake completes).
-            self.stats.ignored_syn += 1
+            stats.ignored_syn += 1
             return []
 
-        if record.rst:
-            self.stats.ignored_rst += 1
+        if flags & _RST:
+            stats.ignored_rst += 1
             return []
 
         samples: List[RttSample] = []
-        if record.carries_data:
+        if record.payload_len or flags & _SEQ_SPACE_FLAGS:
             self._process_data(record)
-        if record.has_ack and not record.syn:
-            sample = self._process_ack(record)
-            if sample is not None:
-                samples.append(sample)
-        elif record.has_ack and record.syn and self.config.track_handshake:
-            # A SYN-ACK acknowledges the client's SYN (+SYN mode).
-            sample = self._process_ack(record)
-            if sample is not None:
-                samples.append(sample)
+        if flags & _ACK:
+            # A plain ACK matches a tracked data packet; a SYN-ACK
+            # acknowledges the client's SYN (+SYN mode only — -SYN
+            # returned above).
+            if not flags & _SYN or track_handshake:
+                sample = self._process_ack(record)
+                if sample is not None:
+                    samples.append(sample)
+        return samples
+
+    def process_batch(self, records: Iterable[Optional[PacketRecord]]
+                      ) -> List[RttSample]:
+        """Process a batch of packets through the hoisted fast path.
+
+        Semantically identical to calling :meth:`process` per record
+        (same stats, samples, analytics windows, table state — the
+        equivalence is pinned by tests), but attribute lookups, config
+        flag reads, and the empty recirculation/shadow-queue checks are
+        hoisted out of the inner loop, and packets with no role (no
+        data, no ACK) exit before any tracker is touched.
+
+        ``None`` entries are skipped entirely: the pcap decoder yields
+        ``None`` for non-TCP frames, so a decoded capture block can be
+        fed as-is.  Returns the samples produced, in order.
+        """
+        if type(self).process is not Dart.process:
+            # A subclass customised per-packet processing (fault
+            # injection, instrumentation); the fast path must not skip
+            # its hook.
+            samples = []
+            for record in records:
+                if record is not None:
+                    samples.extend(self.process(record))
+            return samples
+        stats = self.stats
+        config = self.config
+        track_handshake = config.track_handshake
+        target_filter = self._target_filter
+        shadow = self._shadow_tracker
+        recirc_queue = self._recirc_queue
+        process_data = self._process_data
+        process_ack = self._process_ack
+        samples: List[RttSample] = []
+        append = samples.append
+        for record in records:
+            if record is None:  # non-TCP frame, already dropped by decode
+                continue
+            stats.packets_processed += 1
+            self._now_ns = record.timestamp_ns
+            if recirc_queue:
+                self._drain_due_recirculations()
+            if shadow is not None:
+                self._drain_shadow_updates()
+            if target_filter is not None and not target_filter(record):
+                stats.filtered_out += 1
+                continue
+            flags = record.flags
+            if flags & _SYN and not track_handshake:
+                stats.ignored_syn += 1
+                continue
+            if flags & _RST:
+                stats.ignored_rst += 1
+                continue
+            if record.payload_len or flags & _SEQ_SPACE_FLAGS:
+                process_data(record)
+            if flags & _ACK:
+                if not flags & _SYN or track_handshake:
+                    sample = process_ack(record)
+                    if sample is not None:
+                        append(sample)
         return samples
 
     def process_trace(self, records) -> "Dart":
-        """Process an iterable of packets; returns self for chaining."""
-        for record in records:
-            self.process(record)
-        return self
+        """Process an iterable of packets; returns self for chaining.
+
+        Drains the iterable through :meth:`process_batch` in
+        ``TRACE_CHUNK``-sized chunks, so trace-level callers get the
+        batched fast path without materialising generator inputs.
+        """
+        iterator = iter(records)
+        process_batch = self.process_batch
+        while True:
+            chunk = list(islice(iterator, TRACE_CHUNK))
+            if not chunk:
+                return self
+            process_batch(chunk)
 
     def finalize(self, at_ns: Optional[int] = None) -> None:
         """Signal end-of-trace to the analytics (flush open windows).
@@ -223,54 +310,65 @@ class Dart:
             leg = self._leg_filter(record)
             if leg is None:
                 return
-        self.stats.seq_packets += 1
+        stats = self.stats
+        stats.seq_packets += 1
         flow = flow_of(record)
-        self._enqueue_shadow_update("data", flow, record.seq, record.eack)
+        # record.eack, unrolled: computed once here instead of three
+        # property-call chains below.
+        flags = record.flags
+        seq = record.seq
+        eack = (seq + record.payload_len + (1 if flags & _SYN else 0)
+                + (1 if flags & tcp_mod.FLAG_FIN else 0)) & 0xFFFFFFFF
+        timestamp_ns = record.timestamp_ns
+        if self._shadow_tracker is not None:
+            self._enqueue_shadow_update("data", flow, seq, eack)
         verdict = self.range_tracker.on_data(
-            flow, record.seq, record.eack, now_ns=record.timestamp_ns
+            flow, seq, eack, now_ns=timestamp_ns
         )
-        self.stats._bump(self.stats.seq_verdicts, verdict)
+        stats._bump(stats.seq_verdicts, verdict)
         if not verdict.trackable:
             return
         pt_record = PtRecord(
             record_id=self._next_record_id,
             flow=flow,
             signature=flow.signature,
-            eack=record.eack,
-            timestamp_ns=record.timestamp_ns,
-            handshake=record.syn,
+            eack=eack,
+            timestamp_ns=timestamp_ns,
+            handshake=bool(flags & _SYN),
             leg=leg,
         )
         self._next_record_id += 1
-        self.stats.tracked_inserts += 1
+        stats.tracked_inserts += 1
         self._submit(pt_record)
 
     # -- ACK side ------------------------------------------------------------
 
     def _process_ack(self, record: PacketRecord) -> Optional[RttSample]:
-        self.stats.ack_packets += 1
+        stats = self.stats
+        stats.ack_packets += 1
         flow = ack_target_flow(record)
-        self._enqueue_shadow_update("ack", flow, record.ack, 0)
-        verdict = self.range_tracker.on_ack(
-            flow, record.ack, now_ns=record.timestamp_ns
-        )
-        self.stats._bump(self.stats.ack_verdicts, verdict)
+        ack = record.ack
+        timestamp_ns = record.timestamp_ns
+        if self._shadow_tracker is not None:
+            self._enqueue_shadow_update("ack", flow, ack, 0)
+        verdict = self.range_tracker.on_ack(flow, ack, now_ns=timestamp_ns)
+        stats._bump(stats.ack_verdicts, verdict)
         if verdict is not AckVerdict.VALID:
             return None
-        pt_record = self.packet_tracker.match_ack(flow, record.ack)
+        pt_record = self.packet_tracker.match_ack(flow, ack)
         if pt_record is None:
             return None
         sample = RttSample(
             flow=pt_record.flow,
-            rtt_ns=record.timestamp_ns - pt_record.timestamp_ns,
-            timestamp_ns=record.timestamp_ns,
-            eack=record.ack,
+            rtt_ns=timestamp_ns - pt_record.timestamp_ns,
+            timestamp_ns=timestamp_ns,
+            eack=ack,
             handshake=pt_record.handshake,
             leg=pt_record.leg,
         )
-        self.stats.samples += 1
+        stats.samples += 1
         if sample.handshake:
-            self.stats.handshake_samples += 1
+            stats.handshake_samples += 1
         self.analytics.add(sample)
         return sample
 

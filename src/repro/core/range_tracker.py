@@ -27,11 +27,11 @@ Two backends implement the same semantics:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .flow import FlowKey
-from .hashing import stage_index
+from .hashing import stage_index_from_crc
 from .seqspace import seq_between, seq_gt, seq_le, seq_lt, seq_sub
 
 
@@ -83,7 +83,7 @@ class RangeEntry:
         return self.left == self.right
 
 
-@dataclass
+@dataclass(slots=True)
 class RangeTrackerStats:
     """Counters exposed for the evaluation and for congestion telemetry
     (paper §3.1 suggests collapse frequency as a congestion signal)."""
@@ -169,7 +169,10 @@ class HashedRangeTable:
         return self._size
 
     def _index(self, flow: FlowKey) -> int:
-        return stage_index(flow.key_bytes(), 0, self._size)
+        # stage 0 with the flow's cached CRC: identical to
+        # stage_index(flow.key_bytes(), 0, size) without re-walking the
+        # key bytes on every lookup.
+        return stage_index_from_crc(flow.key_crc, 0, self._size)
 
     def lookup(self, flow: FlowKey) -> Optional[RangeEntry]:
         entry = self._slots[self._index(flow)]

@@ -15,7 +15,7 @@ the minimum holds and the spread explodes.)
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
 
 from ..core.samples import RttSample

@@ -11,7 +11,7 @@ suspicion.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..core.analytics import MinFilterAnalytics, WindowMinimum

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 from ..core.samples import RttSample
 from ..net.inet import int_to_ipv4, int_to_ipv6

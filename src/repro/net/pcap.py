@@ -12,7 +12,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import BinaryIO, Iterable, Iterator, Optional, Tuple, Union
+from typing import BinaryIO, Iterable, Iterator, Tuple, Union
 
 from .packet import NS_PER_US, PacketRecord, from_wire_bytes, to_wire_bytes
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+from typing import BinaryIO, Iterator, List, Optional, Tuple
 
 from .packet import PacketRecord, from_wire_bytes
 from .pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW, PathLike, PcapFormatError

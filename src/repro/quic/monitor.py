@@ -19,7 +19,7 @@ measurable in the benchmarks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..core.flow import FlowKey

@@ -16,7 +16,7 @@ links, past a monitor tap that records
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Union
 
 from ..net.inet import ipv4_to_int

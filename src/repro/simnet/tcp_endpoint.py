@@ -23,7 +23,7 @@ never materialized (only lengths travel).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ..net import tcp as tcpf

@@ -15,7 +15,7 @@ steady stream of external-leg RTT samples for the detector to consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from ..net.inet import ipv4_to_int

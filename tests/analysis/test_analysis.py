@@ -5,7 +5,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.analysis import (
-    DartPerformance,
     ccdf,
     cdf,
     collection_error_percent,

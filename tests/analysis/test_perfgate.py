@@ -1,0 +1,143 @@
+"""Unit tests for the perf-regression gate (``repro.analysis.perfgate``)."""
+
+import json
+
+import pytest
+
+from repro.analysis.perfgate import (
+    SCHEMA,
+    PerfGateError,
+    compare,
+    load_report,
+    main,
+    render,
+)
+
+
+def make_report(serial_pps=100_000.0, p50=8_000, p99=25_000,
+                cluster_pps=60_000.0, **extra_sections):
+    results = {
+        "serial": {"packets_per_second": serial_pps, "p50_ns": p50,
+                   "p99_ns": p99, "rtt_samples": 7910},
+        "cluster_4shard": {"packets_per_second": cluster_pps, "shards": 4,
+                           "rtt_samples": 7910},
+    }
+    results.update(extra_sections)
+    return {"schema": SCHEMA, "workload": {"seed": 11}, "results": results}
+
+
+def write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = make_report()
+        assert not any(c.regressed for c in compare(report, report))
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        base = make_report(serial_pps=100_000.0)
+        fresh = make_report(serial_pps=80_000.0)  # -20%
+        regressed = [c.metric for c in compare(base, fresh, threshold=0.15)
+                     if c.regressed]
+        assert regressed == ["serial.packets_per_second"]
+
+    def test_drop_within_threshold_passes(self):
+        base = make_report(serial_pps=100_000.0)
+        fresh = make_report(serial_pps=90_000.0)  # -10%
+        assert not any(c.regressed for c in compare(base, fresh,
+                                                    threshold=0.15))
+
+    def test_latency_rise_is_info_only_by_default(self):
+        base = make_report(p99=25_000)
+        fresh = make_report(p99=250_000)  # 10x worse
+        assert not any(c.regressed for c in compare(base, fresh))
+
+    def test_latency_gated_when_requested(self):
+        base = make_report(p99=25_000)
+        fresh = make_report(p99=250_000)
+        regressed = {c.metric for c in
+                     compare(base, fresh, gate_latency=True) if c.regressed}
+        assert "serial.p99_ns" in regressed
+
+    def test_missing_gated_metric_fails(self):
+        base = make_report()
+        fresh = make_report()
+        del fresh["results"]["cluster_4shard"]
+        regressed = [c.metric for c in compare(base, fresh) if c.regressed]
+        assert regressed == ["cluster_4shard.packets_per_second"]
+
+    def test_fresh_report_may_add_sections(self):
+        base = make_report()
+        fresh = make_report(
+            cluster_8shard={"packets_per_second": 1.0}
+        )
+        comparisons = compare(base, fresh)
+        assert not any(c.regressed for c in comparisons)
+        assert not any(c.metric.startswith("cluster_8shard")
+                       for c in comparisons)
+
+    def test_counts_are_not_perf_metrics(self):
+        base = make_report()
+        fresh = make_report()
+        fresh["results"]["serial"]["rtt_samples"] = 1  # drastic "drop"
+        assert not any(c.regressed for c in compare(base, fresh))
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.2, 7.0])
+    def test_threshold_must_be_a_fraction(self, bad):
+        report = make_report()
+        with pytest.raises(PerfGateError):
+            compare(report, report, threshold=bad)
+
+
+class TestLoadReport:
+    def test_rejects_wrong_schema(self, tmp_path):
+        report = make_report()
+        report["schema"] = "something-else/9"
+        with pytest.raises(PerfGateError, match="schema"):
+            load_report(write(tmp_path, "bad.json", report))
+
+    def test_rejects_missing_results(self, tmp_path):
+        with pytest.raises(PerfGateError, match="results"):
+            load_report(write(tmp_path, "bad.json", {"schema": SCHEMA}))
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PerfGateError, match="JSON"):
+            load_report(str(path))
+
+
+class TestCli:
+    def test_pass_exits_zero(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", make_report())
+        fresh = write(tmp_path, "fresh.json", make_report())
+        assert main([base, fresh]) == 0
+        assert "perfgate: ok" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", make_report(serial_pps=100_000.0))
+        fresh = write(tmp_path, "fresh.json", make_report(serial_pps=50_000.0))
+        assert main([base, fresh, "--threshold", "0.25"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_malformed_report_exits_two(self, tmp_path):
+        base = write(tmp_path, "base.json", make_report())
+        broken = tmp_path / "broken.json"
+        broken.write_text("[]")
+        assert main([base, str(broken)]) == 2
+
+    def test_committed_baseline_self_compares_clean(self, capsys):
+        """The repo's committed baseline must always pass its own gate."""
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[2] / "BENCH_pipeline.json"
+        assert main([str(baseline), str(baseline)]) == 0
+
+    def test_render_marks_ungated_metrics_info(self):
+        comparisons = compare(make_report(), make_report())
+        table = render(comparisons)
+        assert "info" in table
+        assert "ok" in table

@@ -5,7 +5,6 @@ paper catalogues in §2.2/§2.3 — the strawman *collects* the ambiguous
 samples Dart rejects.
 """
 
-import pytest
 
 from repro.baselines import DapperMonitor, Strawman
 from repro.core import Dart, ideal_config

@@ -1,6 +1,5 @@
 """Tests for the tcptrace reimplementation."""
 
-import pytest
 
 from repro.baselines import TcpTrace, tcptrace_const
 from repro.net import tcp as tcpf

@@ -1,0 +1,178 @@
+"""Batched vs. per-packet equivalence — the fast path's correctness pin.
+
+``Dart.process_batch`` exists purely for speed: it must produce *exactly*
+the state a per-packet ``process`` loop produces — same stats (including
+verdict-dict key order), same samples, same analytics windows, same
+table occupancy.  These tests hold that line, and pin the
+``DartStats.merge`` property the cluster relies on: per-packet stat
+deltas merged together equal the one-shot run.
+"""
+
+from dataclasses import fields
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Dart, DartConfig, DartStats, MinFilterAnalytics
+from repro.core.range_tracker import AckVerdict, SeqVerdict
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+CONFIGS = {
+    "ideal": DartConfig(),
+    "constrained": DartConfig(rt_slots=1 << 10, pt_slots=1 << 8,
+                              max_recirculations=1),
+    "multistage+syn": DartConfig(rt_slots=1 << 10, pt_slots=1 << 8,
+                                 pt_stages=4, max_recirculations=3,
+                                 track_handshake=True),
+    "shadow+delay": DartConfig(rt_slots=1 << 10, pt_slots=1 << 8,
+                               recirculation_delay_packets=4,
+                               shadow_rt=True),
+}
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_campus_trace(
+        CampusTraceConfig(connections=60, seed=5)
+    ).records
+
+
+def copy_stats(stats: DartStats) -> DartStats:
+    kwargs = {f.name: getattr(stats, f.name) for f in fields(DartStats)}
+    kwargs["seq_verdicts"] = dict(stats.seq_verdicts)
+    kwargs["ack_verdicts"] = dict(stats.ack_verdicts)
+    return DartStats(**kwargs)
+
+
+def stats_delta(before: DartStats, after: DartStats) -> DartStats:
+    """The per-packet increment between two stats snapshots."""
+    delta = DartStats()
+    for f in fields(DartStats):
+        if f.name in ("seq_verdicts", "ack_verdicts"):
+            prior = getattr(before, f.name)
+            for verdict, count in getattr(after, f.name).items():
+                step = count - prior.get(verdict, 0)
+                if step:
+                    DartStats._bump(getattr(delta, f.name), verdict, step)
+        else:
+            setattr(delta, f.name,
+                    getattr(after, f.name) - getattr(before, f.name))
+    return delta
+
+
+@pytest.mark.parametrize("name", list(CONFIGS))
+class TestBatchEquivalence:
+    def run_pair(self, records, name, analytics=False):
+        kwargs = {}
+        serial = Dart(CONFIGS[name],
+                      analytics=MinFilterAnalytics(window_samples=4)
+                      if analytics else None, **kwargs)
+        batched = Dart(CONFIGS[name],
+                       analytics=MinFilterAnalytics(window_samples=4)
+                       if analytics else None, **kwargs)
+        serial_samples = []
+        for record in records:
+            serial_samples.extend(serial.process(record))
+        # Odd chunk size on purpose: chunk boundaries must not matter.
+        batch_samples = []
+        for start in range(0, len(records), 777):
+            batch_samples.extend(
+                batched.process_batch(records[start:start + 777])
+            )
+        return serial, batched, serial_samples, batch_samples
+
+    def test_stats_samples_and_occupancy_identical(self, records, name):
+        serial, batched, serial_samples, batch_samples = self.run_pair(
+            records, name
+        )
+        assert serial.stats == batched.stats
+        assert serial_samples == batch_samples
+        assert serial.samples == batched.samples
+        assert serial.occupancy() == batched.occupancy()
+
+    def test_verdict_dict_key_order_identical(self, records, name):
+        serial, batched, _, _ = self.run_pair(records, name)
+        assert list(serial.stats.seq_verdicts) == list(
+            batched.stats.seq_verdicts
+        )
+        assert list(serial.stats.ack_verdicts) == list(
+            batched.stats.ack_verdicts
+        )
+
+    def test_window_histories_identical(self, records, name):
+        serial, batched, _, _ = self.run_pair(records, name, analytics=True)
+        end_ns = records[-1].timestamp_ns
+        serial.finalize(end_ns)
+        batched.finalize(end_ns)
+        assert serial.analytics.history == batched.analytics.history
+
+
+class TestMergeMatchesBatchedRun:
+    """Merging N single-packet stat deltas == one N-packet batched run."""
+
+    def test_merged_deltas_equal_batch_stats(self, records):
+        block = records[:1500]
+        config = CONFIGS["constrained"]
+        serial = Dart(config)
+        merged = DartStats()
+        for record in block:
+            before = copy_stats(serial.stats)
+            serial.process(record)
+            merged.merge(stats_delta(before, serial.stats))
+        batched = Dart(config)
+        batched.process_batch(block)
+        assert merged == batched.stats
+        # Key order: first-appearance order must survive both paths.
+        assert list(merged.seq_verdicts) == list(batched.stats.seq_verdicts)
+        assert list(merged.ack_verdicts) == list(batched.stats.ack_verdicts)
+        # Typing: enum keys, int counts — never strings or floats.
+        assert all(isinstance(k, SeqVerdict) and type(v) is int
+                   for k, v in merged.seq_verdicts.items())
+        assert all(isinstance(k, AckVerdict) and type(v) is int
+                   for k, v in merged.ack_verdicts.items())
+
+    @given(st.lists(st.sampled_from(list(SeqVerdict)), max_size=60),
+           st.integers(min_value=1, max_value=7))
+    def test_merge_is_chunking_invariant(self, verdicts, parts):
+        """Summing verdicts in any partition equals one-shot counting."""
+        whole = DartStats()
+        for verdict in verdicts:
+            DartStats._bump(whole.seq_verdicts, verdict)
+        merged = DartStats()
+        chunk = max(1, len(verdicts) // parts)
+        for start in range(0, len(verdicts), chunk):
+            piece = DartStats()
+            for verdict in verdicts[start:start + chunk]:
+                DartStats._bump(piece.seq_verdicts, verdict)
+            merged.merge(piece)
+        assert merged.seq_verdicts == whole.seq_verdicts
+        assert list(merged.seq_verdicts) == list(whole.seq_verdicts)
+
+
+class TestDegenerateBatches:
+    def test_empty_batch_is_a_noop(self):
+        dart = Dart()
+        assert dart.process_batch([]) == []
+        assert dart.stats == DartStats()
+        assert dart.occupancy() == (0, 0)
+
+    def test_all_none_batch_is_a_noop(self):
+        """Non-TCP frames decode to None; a block of them does nothing."""
+        dart = Dart()
+        assert dart.process_batch([None, None, None]) == []
+        assert dart.stats == DartStats()
+
+    def test_mixed_none_batch_equals_filtered_batch(self, records):
+        block = records[:300]
+        mixed = []
+        for i, record in enumerate(block):
+            mixed.append(record)
+            if i % 7 == 0:
+                mixed.append(None)
+        plain = Dart()
+        plain.process_batch(block)
+        tolerant = Dart()
+        tolerant.process_batch(mixed)
+        assert plain.stats == tolerant.stats
+        assert plain.samples == tolerant.samples

@@ -1,6 +1,5 @@
 """Dart over IPv6 traffic (paper §7: larger 4-tuples, same pipeline)."""
 
-import pytest
 
 from repro.core import Dart, DartConfig, ideal_config
 from repro.core.flow import FlowKey, flow_of

@@ -159,7 +159,6 @@ class TestMultiStageContention:
         # verify a fresh colliding record goes UNPLACED (no eviction
         # rights on pass 0 in a multi-stage table).
         table = StagedPacketTable(4, 2)  # 2 slots per stage
-        placed = []
         i = 0
         victim = None
         while True:

@@ -1,6 +1,5 @@
 """End-to-end tests for the Dart pipeline (paper Fig 3)."""
 
-import pytest
 
 from repro.core import (
     CollectAllAnalytics,
@@ -188,7 +187,7 @@ class TestLegFilter:
         dart.process(data(0, 1000))
         dart.process(pkt(20, SERVER, CLIENT, 443, 40000, 7000, 1100,
                          tcpf.FLAG_ACK, 400))
-        samples = dart.process(pkt(24, CLIENT, SERVER, 40000, 443, 1100,
+        dart.process(pkt(24, CLIENT, SERVER, 40000, 443, 1100,
                                    7400, tcpf.FLAG_ACK, 0))
         legs = sorted(s.leg for s in dart.samples)
         assert legs == ["external", "internal"]

@@ -129,7 +129,7 @@ class TestWraparound:
         tracker = RangeTracker()
         start = SEQ_MASK - 999  # 1000 bytes below the wrap point
         tracker.on_data(FLOW, start, (start + 1000) & SEQ_MASK)
-        verdict = tracker.on_data(FLOW, 0, 500)
+        tracker.on_data(FLOW, 0, 500)
         # The previous segment ended exactly at the wrap; the next one
         # starts at zero.  Feed a segment that itself wraps:
         tracker2 = RangeTracker()

@@ -1,6 +1,5 @@
 """Unit and property tests for mod-2**32 sequence arithmetic."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -44,7 +44,7 @@ class TestBufferbloatDetector:
         bloated = lambda i: 20 if i == 0 else 200 + 10 * (i % 5)
         feed_window(detector, bloated, 2000)
         feed_window(detector, bloated, 3000)
-        episode = feed_window(detector, bloated, 4000)
+        feed_window(detector, bloated, 4000)
         assert detector.episodes
         first = detector.episodes[0]
         assert first.key == FLOW

@@ -1,6 +1,5 @@
 """Tests for the interception-attack detector (paper §5.2, Fig 8)."""
 
-import pytest
 
 from repro.core.flow import FlowKey
 from repro.core.samples import RttSample

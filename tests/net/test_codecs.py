@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.net.ethernet import (
     ETHERTYPE_IPV4,
-    ETHERTYPE_IPV6,
     EthernetFrame,
     format_mac,
     parse_mac,

@@ -1,6 +1,5 @@
 """Tests for PacketRecord and wire conversion."""
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

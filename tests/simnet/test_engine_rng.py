@@ -1,8 +1,6 @@
 """Tests for the event loop and the seeded random helpers."""
 
 import pytest
-from hypothesis import given
-from hypothesis import strategies as st
 
 from repro.simnet.engine import EventLoop, SimulationError
 from repro.simnet.rng import SimRandom

@@ -1,6 +1,5 @@
 """Tests for segment/monitor IPv6 plumbing and dual-stack wiring."""
 
-import pytest
 
 from repro.net import tcp as tcpf
 from repro.net.inet import ipv6_to_int

@@ -1,6 +1,5 @@
 """Tests for the simulated TCP endpoints and connection wiring."""
 
-import pytest
 
 from repro.core import Dart, ideal_config
 from repro.net import tcp as tcpf

@@ -1,6 +1,5 @@
 """Tests for QUIC spin-bit monitoring (paper §7)."""
 
-import pytest
 
 from repro.quic import (
     QuicPacketRecord,
