@@ -6,6 +6,10 @@ Runs the per-packet hot loop over a *pinned* synthetic campus trace
 
 * **serial** — best-of-N packets/sec through ``Dart.process_batch``,
   plus p50/p99 per-packet latency from an individually-timed pass;
+* **serial_engine** — the same Dart driven through
+  :class:`~repro.engine.MonitorEngine` (chunked ingest + sample
+  routing); perfgate asserts this costs at most 5% over the direct
+  ``process_batch`` number from the same run;
 * **cluster_4shard** — packets/sec through a 4-shard process-mode
   :class:`~repro.cluster.ShardedDart` (dispatch + workers + merge).
 
@@ -36,6 +40,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.analysis.perfgate import SCHEMA  # noqa: E402
 from repro.cluster import ShardedDart  # noqa: E402
 from repro.core import Dart, DartConfig  # noqa: E402
+from repro.engine import MonitorEngine  # noqa: E402
 from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
 
 # -- The pinned workload (the baseline's identity — see module docstring) --
@@ -91,6 +96,29 @@ def measure_serial(records, repeats: int) -> dict:
     }
 
 
+def measure_serial_engine(records, repeats: int) -> dict:
+    """Best-of-N throughput of the same Dart behind the MonitorEngine.
+
+    No sinks are attached: the measurement isolates the engine's own
+    cost (chunked ingest, record fan-out, router dispatch) so perfgate
+    can bound it against the direct ``process_batch`` number.
+    """
+    best_pps = 0.0
+    samples = 0
+    for _ in range(repeats):
+        engine = MonitorEngine()
+        engine.add_monitor(Dart(CONFIG), name="dart")
+        start = time.perf_counter()
+        engine.run(records)
+        elapsed = time.perf_counter() - start
+        best_pps = max(best_pps, len(records) / elapsed)
+        samples = engine["dart"].monitor.stats.samples
+    return {
+        "packets_per_second": round(best_pps, 1),
+        "rtt_samples": samples,
+    }
+
+
 def measure_cluster(records, repeats: int, parallel: str) -> dict:
     """End-to-end sharded throughput: dispatch, workers, merge."""
     best_pps = 0.0
@@ -122,6 +150,12 @@ def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
     print(f"serial: {results['serial']['packets_per_second']:,.0f} pps "
           f"(p50 {results['serial']['p50_ns']} ns, "
           f"p99 {results['serial']['p99_ns']} ns)", file=sys.stderr)
+    results["serial_engine"] = measure_serial_engine(trace.records, repeats)
+    engine_pps = results["serial_engine"]["packets_per_second"]
+    direct_pps = results["serial"]["packets_per_second"]
+    print(f"serial_engine: {engine_pps:,.0f} pps "
+          f"({(direct_pps - engine_pps) / direct_pps * 100.0:+.1f}% vs "
+          "direct)", file=sys.stderr)
     if not skip_cluster:
         cluster_reps = max(1, min(repeats, 2))
         results[f"cluster_{SHARDS}shard"] = measure_cluster(

@@ -16,6 +16,12 @@ Rules:
   noisier than whole-trace throughput on shared machines.
 * A metric present in the baseline but missing from the fresh report is
   itself a failure (a silently dropped measurement must not pass).
+* When the fresh report carries both ``serial`` and ``serial_engine``
+  sections, the gate additionally asserts the
+  :class:`~repro.engine.MonitorEngine` adds at most ``--engine-overhead``
+  (default 5%) over calling ``Dart.process_batch`` directly.  This is a
+  *within-report* check (both numbers come from the same run, so shared
+  noise cancels); it is skipped for reports without an engine section.
 
 Usage::
 
@@ -35,9 +41,14 @@ from typing import Dict, List, Optional
 #: The report schema this gate understands; ``perf_baseline.py`` stamps
 #: it into every report so stale files fail loudly instead of comparing
 #: apples to oranges.
-SCHEMA = "dart-perf-baseline/1"
+#: v2 added the ``serial_engine`` section (Dart driven through
+#: ``repro.engine.MonitorEngine``) and the engine-overhead check.
+SCHEMA = "dart-perf-baseline/2"
 
 DEFAULT_THRESHOLD = 0.15
+#: Allowed fractional throughput cost of the engine layer vs calling
+#: ``process_batch`` directly (same run, same records).
+ENGINE_OVERHEAD_THRESHOLD = 0.05
 
 
 class PerfGateError(ValueError):
@@ -134,6 +145,44 @@ def compare(
     return comparisons
 
 
+@dataclass(slots=True)
+class EngineOverhead:
+    """Within-report engine-vs-direct throughput comparison."""
+
+    direct_pps: float
+    engine_pps: float
+    threshold: float
+
+    @property
+    def overhead_percent(self) -> float:
+        if self.direct_pps == 0:
+            return 0.0
+        return (self.direct_pps - self.engine_pps) / self.direct_pps * 100.0
+
+    @property
+    def exceeded(self) -> bool:
+        return self.engine_pps < self.direct_pps * (1.0 - self.threshold)
+
+
+def check_engine_overhead(
+    report: dict, *, threshold: float = ENGINE_OVERHEAD_THRESHOLD
+) -> Optional[EngineOverhead]:
+    """Compare ``serial_engine`` against ``serial`` within one report.
+
+    Returns ``None`` (check skipped) when the report has no
+    ``serial_engine`` section — older or minimal reports stay valid.
+    """
+    if not 0 < threshold < 1:
+        raise PerfGateError("engine-overhead threshold must be in (0, 1)")
+    flat = _flatten(report)
+    direct = flat.get("serial.packets_per_second")
+    engine = flat.get("serial_engine.packets_per_second")
+    if direct is None or engine is None:
+        return None
+    return EngineOverhead(direct_pps=direct, engine_pps=engine,
+                          threshold=threshold)
+
+
 def render(comparisons: List[MetricComparison]) -> str:
     """Human-readable comparison table for logs."""
     lines = [
@@ -164,18 +213,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"(default {DEFAULT_THRESHOLD})")
     parser.add_argument("--gate-latency", action="store_true",
                         help="also gate p50/p99 per-packet latency")
+    parser.add_argument("--engine-overhead", type=float,
+                        default=ENGINE_OVERHEAD_THRESHOLD, metavar="FRAC",
+                        help="allowed engine-vs-direct throughput cost "
+                             f"(default {ENGINE_OVERHEAD_THRESHOLD})")
     args = parser.parse_args(argv)
     try:
+        fresh = load_report(args.fresh)
         comparisons = compare(
             load_report(args.baseline),
-            load_report(args.fresh),
+            fresh,
             threshold=args.threshold,
             gate_latency=args.gate_latency,
         )
+        overhead = check_engine_overhead(fresh,
+                                         threshold=args.engine_overhead)
     except PerfGateError as exc:
         print(f"perfgate: {exc}", file=sys.stderr)
         return 2
     print(render(comparisons))
+    failed = False
     regressions = [c for c in comparisons if c.regressed]
     if regressions:
         print(
@@ -183,6 +240,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{args.threshold:.0%} against {args.baseline}",
             file=sys.stderr,
         )
+        failed = True
+    if overhead is not None:
+        verdict = "FAIL" if overhead.exceeded else "ok"
+        print(f"engine overhead: {overhead.overhead_percent:+.1f}% "
+              f"vs direct process_batch (limit "
+              f"{overhead.threshold:.0%})  {verdict}")
+        if overhead.exceeded:
+            print(
+                "perfgate: MonitorEngine costs more than "
+                f"{args.engine_overhead:.0%} over direct process_batch",
+                file=sys.stderr,
+            )
+            failed = True
+    if failed:
         return 1
     print(f"perfgate: ok (threshold {args.threshold:.0%})")
     return 0

@@ -11,11 +11,12 @@ benchmark measures against Dart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..core.flow import FlowKey, ack_target_flow, flow_of
 from ..core.samples import RttSample
 from ..core.seqspace import seq_le
+from ..core.stats import AdditiveCounters
 from ..net.packet import PacketRecord
 
 
@@ -25,8 +26,8 @@ class _Pending:
     timestamp_ns: int
 
 
-@dataclass
-class DapperStats:
+@dataclass(slots=True)
+class DapperStats(AdditiveCounters):
     packets_processed: int = 0
     samples: int = 0
     armed: int = 0
@@ -58,10 +59,28 @@ class DapperMonitor:
                 out.append(sample)
         return out
 
+    def process_batch(
+        self, records: Iterable[Optional[PacketRecord]]
+    ) -> List[RttSample]:
+        """Process a batch of packets; ``None`` entries are skipped.
+
+        Part of the :class:`repro.engine.RttMonitor` surface — identical
+        to calling :meth:`process` per record.
+        """
+        process = self.process
+        out: List[RttSample] = []
+        for record in records:
+            if record is not None:
+                out.extend(process(record))
+        return out
+
     def process_trace(self, records) -> "DapperMonitor":
         for record in records:
             self.process(record)
         return self
+
+    def finalize(self, at_ns: Optional[int] = None) -> None:
+        """End-of-trace hook (no deferred state to flush)."""
 
     def _on_data(self, record: PacketRecord) -> None:
         if self._leg_filter is not None and self._leg_filter(record) is None:

@@ -20,11 +20,12 @@ fixed-size table; the new entry wins).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..core.flow import FlowKey, ack_target_flow, flow_of
 from ..core.hashing import pack_u32, stage_index
 from ..core.samples import RttSample
+from ..core.stats import AdditiveCounters
 from ..net.packet import PacketRecord
 
 
@@ -36,8 +37,8 @@ class _Entry:
     timestamp_ns: int
 
 
-@dataclass
-class StrawmanStats:
+@dataclass(slots=True)
+class StrawmanStats(AdditiveCounters):
     packets_processed: int = 0
     inserts: int = 0
     overwrites: int = 0
@@ -92,10 +93,28 @@ class Strawman:
                 out.append(sample)
         return out
 
+    def process_batch(
+        self, records: Iterable[Optional[PacketRecord]]
+    ) -> List[RttSample]:
+        """Process a batch of packets; ``None`` entries are skipped.
+
+        Part of the :class:`repro.engine.RttMonitor` surface — identical
+        to calling :meth:`process` per record.
+        """
+        process = self.process
+        out: List[RttSample] = []
+        for record in records:
+            if record is not None:
+                out.extend(process(record))
+        return out
+
     def process_trace(self, records) -> "Strawman":
         for record in records:
             self.process(record)
         return self
+
+    def finalize(self, at_ns: Optional[int] = None) -> None:
+        """End-of-trace hook (no deferred state to flush)."""
 
     # -- table backends -----------------------------------------------------------
 

@@ -25,11 +25,12 @@ normal case — receivers acknowledge on segment boundaries).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..core.flow import FlowKey, ack_target_flow, flow_of
 from ..core.samples import RttSample
 from ..core.seqspace import seq_le
+from ..core.stats import AdditiveCounters
 from ..net.packet import PacketRecord
 
 _QUADRANT_SHIFT = 30  # sequence space divided into four 2**30 quadrants
@@ -46,15 +47,15 @@ class _OpenSegment:
     handshake: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _FlowState:
     segments: Dict[int, _OpenSegment] = field(default_factory=dict)  # by eack
     highest_eack_sent: Optional[int] = None
     highest_ack_seen: Optional[int] = None
 
 
-@dataclass
-class TcpTraceStats:
+@dataclass(slots=True)
+class TcpTraceStats(AdditiveCounters):
     packets_processed: int = 0
     data_segments: int = 0
     retransmissions_marked: int = 0
@@ -101,10 +102,28 @@ class TcpTrace:
             out = self._on_ack(record)
         return out
 
+    def process_batch(
+        self, records: Iterable[Optional[PacketRecord]]
+    ) -> List[RttSample]:
+        """Process a batch of packets; ``None`` entries are skipped.
+
+        Part of the :class:`repro.engine.RttMonitor` surface — identical
+        to calling :meth:`process` per record.
+        """
+        process = self.process
+        out: List[RttSample] = []
+        for record in records:
+            if record is not None:
+                out.extend(process(record))
+        return out
+
     def process_trace(self, records) -> "TcpTrace":
         for record in records:
             self.process(record)
         return self
+
+    def finalize(self, at_ns: Optional[int] = None) -> None:
+        """End-of-trace hook (no deferred state to flush)."""
 
     # -- data side ----------------------------------------------------------------
 

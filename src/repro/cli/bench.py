@@ -3,10 +3,13 @@
 A lightweight version of the §6.2 benchmark harness: generates a
 synthetic campus trace and sweeps one knob (PT size, stage count, or the
 recirculation budget), printing the paper's three metrics per point.
+``--monitor`` appends reference rows for other registered monitors, all
+evaluated in one shared engine pass over the same trace.
 
-Example::
+Examples::
 
     dart-bench --sweep pt-size --connections 1500
+    dart-bench --sweep stages --monitor strawman --monitor dapper
 """
 
 from __future__ import annotations
@@ -18,9 +21,20 @@ from typing import Optional
 from ..analysis import evaluate_dart, render_table
 from ..baselines import tcptrace_const
 from ..core import Dart, DartConfig, make_leg_filter
+from ..engine import (
+    MonitorEngine,
+    MonitorOptions,
+    available,
+    create,
+    get_spec,
+)
 from ..traces import CampusTraceConfig, generate_campus_trace, replay
 
 LARGE_RT = 1 << 18
+
+
+def _tcp_monitors() -> list:
+    return [n for n in available() if get_spec(n).record_kind == "tcp"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--sweep", choices=["pt-size", "stages", "recirc"],
                         default="pt-size")
+    parser.add_argument(
+        "--monitor", action="append", dest="monitors", metavar="NAME",
+        choices=_tcp_monitors(),
+        help="also evaluate these monitors on the same trace as reference "
+             "rows (repeatable; they run side-by-side in one engine pass)",
+    )
     parser.add_argument("--connections", type=int, default=1000,
                         help="synthetic trace size (default 1000)")
     parser.add_argument("--seed", type=int, default=11)
@@ -106,6 +126,27 @@ def main(argv: Optional[list] = None) -> int:
             perf.error_worst_5_95, perf.fraction_collected,
             perf.recirculations_per_packet,
         ])
+    extra = list(dict.fromkeys(args.monitors or ()))
+    if extra:
+        # All reference monitors share one engine pass over the trace.
+        engine = MonitorEngine()
+        options = MonitorOptions(leg_filter=leg())
+        for name in extra:
+            engine.add_monitor(create(name, options), name=name)
+        engine.run(trace.records)
+        for run in engine.runs:
+            stats = run.monitor.stats
+            perf = evaluate_dart(
+                reference,
+                [s.rtt_ns for s in run.monitor.samples],
+                recirculations=getattr(stats, "recirculations", 0),
+                packets_processed=stats.packets_processed,
+            )
+            rows.append([
+                f"[{run.name}]", perf.error_p50, perf.error_p95,
+                perf.error_p99, perf.error_worst_5_95,
+                perf.fraction_collected, perf.recirculations_per_packet,
+            ])
     print(render_table(
         [args.sweep, "err p50 (%)", "err p95 (%)", "err p99 (%)",
          "worst [5,95] (%)", "fraction (%)", "recirc/pkt"],

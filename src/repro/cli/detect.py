@@ -1,13 +1,15 @@
 """``dart-detect``: run the event detectors over a capture file.
 
-Replays a pcap/pcapng through Dart and feeds the sample stream to the
-interception detector (per destination /24, windowed-min change
+Replays a pcap/pcapng through an RTT monitor (Dart by default; any
+registered TCP monitor via ``--monitor``) and routes the sample stream
+to the interception detector (per destination /24, windowed-min change
 detection, paper §5.2) and the bufferbloat detector (§7), printing every
 event with its timestamp.
 
 Example::
 
     dart-detect capture.pcap --internal 10.0.0.0/8
+    dart-detect capture.pcap --internal 10.0.0.0/8 --monitor tcptrace
 """
 
 from __future__ import annotations
@@ -16,17 +18,28 @@ import argparse
 import sys
 from typing import Optional
 
-from ..core import Dart, DartConfig, dst_prefix_key, make_leg_filter
+from ..core import DartConfig, dst_prefix_key, make_leg_filter
 from ..detection import (
     BufferbloatConfig,
     BufferbloatDetector,
     DetectorConfig,
     InterceptionDetector,
 )
+from ..engine import (
+    MonitorEngine,
+    MonitorOptions,
+    available,
+    create,
+    get_spec,
+)
 from ..net.inet import format_prefix, ipv4_to_int, prefix_of
 from ..net.pcapng import read_any_capture
 
 SEC = 1_000_000_000
+
+
+def _tcp_monitors() -> list:
+    return [n for n in available() if get_spec(n).record_kind == "tcp"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +48,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Detect interception/bufferbloat events in a capture.",
     )
     parser.add_argument("pcap", help="capture file (pcap or pcapng)")
+    parser.add_argument("--monitor", choices=_tcp_monitors(), default="dart",
+                        help="RTT monitor feeding the detectors "
+                             "(default: dart)")
     parser.add_argument("--internal", metavar="PREFIX", required=True,
                         help="internal network as a.b.c.d/len")
     parser.add_argument("--prefix-len", type=int, default=24,
@@ -46,6 +62,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class DetectionSink:
+    """Routes samples into per-prefix interception + bufferbloat detectors.
+
+    A :class:`repro.engine.SampleRouter` sink: the engine feeds it every
+    sample the monitor emits, in emission order, and it prints events as
+    they fire — the streaming behaviour of the old hand-rolled loop.
+    """
+
+    def __init__(self, *, prefix_len: int, window: int, rise_factor: float):
+        self._prefix_len = prefix_len
+        self._window = window
+        self._rise_factor = rise_factor
+        self._key_fn = dst_prefix_key(prefix_len)
+        self.interception: dict = {}
+        self.bloat = BufferbloatDetector(BufferbloatConfig(),
+                                         key_fn=self._key_fn)
+        self.events = 0
+
+    def add(self, sample) -> None:
+        key = self._key_fn(sample)
+        detector = self.interception.get(key)
+        if detector is None:
+            detector = InterceptionDetector(
+                DetectorConfig(window_samples=self._window,
+                               rise_factor=self._rise_factor)
+            )
+            self.interception[key] = detector
+        seen = len(detector.events)
+        detector.add(sample)
+        for event in detector.events[seen:]:
+            self.events += 1
+            print(f"t={event.timestamp_ns / SEC:10.3f}s  "
+                  f"{format_prefix(key, self._prefix_len):>20s}  "
+                  f"interception:{event.state.value:<10s} "
+                  f"min={event.min_rtt_ns / 1e6:.1f}ms "
+                  f"baseline={event.baseline_ns / 1e6:.1f}ms")
+        episode = self.bloat.add(sample)
+        if episode is not None:
+            self.events += 1
+            print(f"t={episode.confirmed_at_ns / SEC:10.3f}s  "
+                  f"{format_prefix(key, self._prefix_len):>20s}  "
+                  "bufferbloat confirmed: p90 "
+                  f"{episode.inflation:.1f}x over "
+                  f"{episode.baseline_min_ns / 1e6:.1f}ms floor")
+
+    def confirmed_prefixes(self) -> list:
+        return [
+            format_prefix(key, self._prefix_len)
+            for key, detector in self.interception.items()
+            if detector.confirmed_at_ns is not None
+        ]
+
+
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     network_text, _, length_text = args.internal.partition("/")
@@ -53,56 +122,27 @@ def main(argv: Optional[list] = None) -> int:
     length = int(length_text) if length_text else 32
     network = prefix_of(network, length)
 
-    dart = Dart(
-        DartConfig(),
+    options = MonitorOptions(
+        config=DartConfig(),
         leg_filter=make_leg_filter(
             lambda addr: addr < (1 << 32)
             and prefix_of(addr, length) == network,
             legs=("external",),
         ),
     )
-    key_fn = dst_prefix_key(args.prefix_len)
-    interception: dict = {}
-    bloat = BufferbloatDetector(BufferbloatConfig(), key_fn=key_fn)
+    monitor = create(args.monitor, options)
+    sink = DetectionSink(prefix_len=args.prefix_len, window=args.window,
+                         rise_factor=args.rise_factor)
+    engine = MonitorEngine()
+    engine.add_monitor(monitor, name=args.monitor, sinks=[sink])
+    engine.run(read_any_capture(args.pcap))
 
-    events = 0
-    for record in read_any_capture(args.pcap):
-        for sample in dart.process(record):
-            key = key_fn(sample)
-            detector = interception.get(key)
-            if detector is None:
-                detector = InterceptionDetector(
-                    DetectorConfig(window_samples=args.window,
-                                   rise_factor=args.rise_factor)
-                )
-                interception[key] = detector
-            seen = len(detector.events)
-            detector.add(sample)
-            for event in detector.events[seen:]:
-                events += 1
-                print(f"t={event.timestamp_ns / SEC:10.3f}s  "
-                      f"{format_prefix(key, args.prefix_len):>20s}  "
-                      f"interception:{event.state.value:<10s} "
-                      f"min={event.min_rtt_ns / 1e6:.1f}ms "
-                      f"baseline={event.baseline_ns / 1e6:.1f}ms")
-            episode = bloat.add(sample)
-            if episode is not None:
-                events += 1
-                print(f"t={episode.confirmed_at_ns / SEC:10.3f}s  "
-                      f"{format_prefix(key, args.prefix_len):>20s}  "
-                      "bufferbloat confirmed: p90 "
-                      f"{episode.inflation:.1f}x over "
-                      f"{episode.baseline_min_ns / 1e6:.1f}ms floor")
-
-    print(f"\n{dart.stats.packets_processed} packets, "
-          f"{dart.stats.samples} samples, "
-          f"{len(interception)} prefixes monitored, {events} events",
+    print(f"\n{monitor.stats.packets_processed} packets, "
+          f"{monitor.stats.samples} samples, "
+          f"{len(sink.interception)} prefixes monitored, "
+          f"{sink.events} events",
           file=sys.stderr)
-    confirmed = [
-        format_prefix(key, args.prefix_len)
-        for key, detector in interception.items()
-        if detector.confirmed_at_ns is not None
-    ]
+    confirmed = sink.confirmed_prefixes()
     if confirmed:
         print(f"interception CONFIRMED on: {', '.join(confirmed)}")
         return 2

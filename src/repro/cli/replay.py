@@ -1,12 +1,18 @@
-"""``dart-replay``: analyze a pcap file with Dart from the command line.
+"""``dart-replay``: analyze a capture file from the command line.
 
-Example::
+Runs one or more registered RTT monitors over a pcap/pcapng in a single
+trace pass through :class:`repro.engine.MonitorEngine`.  Examples::
 
     dart-replay capture.pcap --internal 10.0.0.0/8 --leg external \\
         --pt-slots 4096 --recirc 2
 
+    dart-replay capture.pcap --monitor dart --monitor tcptrace
+
+    dart-replay quic.pcap --monitor spinbit --internal 10.0.0.0/8
+
 Prints a summary (sample count, percentiles, overhead counters) or, with
-``--dump``, one line per RTT sample.
+``--dump``, one line per RTT sample.  With several ``--monitor`` flags a
+side-by-side comparison table follows the primary monitor's summary.
 """
 
 from __future__ import annotations
@@ -16,20 +22,28 @@ import sys
 from typing import Optional
 
 from ..analysis import percentile, render_table
-from ..core import Dart, DartConfig, make_leg_filter
+from ..core import DartConfig, make_leg_filter
+from ..engine import MonitorEngine, MonitorOptions, available, create, get_spec
 from ..net.inet import ipv4_to_int, prefix_of
-from ..traces import replay_pcap
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dart-replay",
-        description="Replay a pcap through Dart and report RTT samples.",
+        description="Replay a capture through RTT monitors and report "
+                    "samples.",
     )
     parser.add_argument("pcap", help="capture file to analyze")
     parser.add_argument(
+        "--monitor", action="append", dest="monitors", metavar="NAME",
+        choices=available(),
+        help="monitor(s) to run in one trace pass (repeatable; default: "
+             f"dart; choices: {', '.join(available())})",
+    )
+    parser.add_argument(
         "--internal", metavar="PREFIX",
-        help="internal network as a.b.c.d/len; enables leg separation",
+        help="internal network as a.b.c.d/len; enables leg separation "
+             "(TCP monitors) and orients the spin-bit observer (spinbit)",
     )
     parser.add_argument(
         "--leg", choices=["external", "internal", "both"], default="both",
@@ -46,7 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--handshake", action="store_true",
                         help="track SYN/SYN-ACK packets (+SYN mode)")
     parser.add_argument("--shards", type=int, default=1, metavar="N",
-                        help="flow-shard the trace across N parallel Dart "
+                        help="flow-shard each TCP monitor across N parallel "
                              "instances (default 1 = serial)")
     parser.add_argument("--parallel", choices=["process", "thread", "serial"],
                         default="process",
@@ -87,30 +101,58 @@ def build_leg_filter(args):
     return None
 
 
-def build_dart(args):
-    """Build the monitor: a serial Dart, or a ShardedDart for --shards."""
-    config = DartConfig(
-        rt_slots=args.rt_slots,
-        pt_slots=args.pt_slots,
-        pt_stages=args.stages,
-        max_recirculations=args.recirc,
-        track_handshake=args.handshake,
-    )
-    leg_filter = build_leg_filter(args)
-    if getattr(args, "shards", 1) > 1:
-        from ..cluster import ShardedDart
+def build_options(args) -> MonitorOptions:
+    """One options bundle configuring every selected monitor."""
+    is_client = None
+    if args.internal:
+        network, length = parse_prefix(args.internal)
 
-        return ShardedDart(config, shards=args.shards,
-                           parallel=args.parallel, leg_filter=leg_filter)
-    return Dart(config, leg_filter=leg_filter)
+        def is_client(addr: int) -> bool:
+            return prefix_of(addr, length) == network
+
+    return MonitorOptions(
+        config=DartConfig(
+            rt_slots=args.rt_slots,
+            pt_slots=args.pt_slots,
+            pt_stages=args.stages,
+            max_recirculations=args.recirc,
+            track_handshake=args.handshake,
+        ),
+        leg_filter=build_leg_filter(args),
+        track_handshake=args.handshake,
+        is_client=is_client,
+    )
+
+
+def build_monitor(name: str, args, options: MonitorOptions):
+    """One serial monitor, or a flow-sharded cluster of them."""
+    if args.shards > 1:
+        from ..cluster import ShardedMonitor
+        from ..engine import monitor_factory
+
+        return ShardedMonitor(
+            shards=args.shards,
+            parallel=args.parallel,
+            monitor_factory=monitor_factory(name, options),
+        )
+    return create(name, options)
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.shards < 1:
         raise SystemExit("--shards must be positive")
-    dart = build_dart(args)
-    sharded = args.shards > 1
+    monitors = list(dict.fromkeys(args.monitors or ["dart"]))
+    kinds = {get_spec(name).record_kind for name in monitors}
+    if len(kinds) > 1:
+        raise SystemExit(
+            "cannot mix TCP monitors with spinbit in one replay: a capture "
+            "decodes as either TCP segments or QUIC datagrams"
+        )
+    kind = kinds.pop()
+    if kind == "quic" and args.shards > 1:
+        raise SystemExit("--shards applies to TCP monitors only")
+    options = build_options(args)
 
     from ..export import CsvSink, FlowSummarySink, JsonlSink, ReportFileSink
 
@@ -124,30 +166,28 @@ def main(argv: Optional[list] = None) -> int:
     summaries = FlowSummarySink() if args.flows else None
     if summaries is not None:
         extra_sinks.append(summaries)
-    if not sharded:
-        collector = dart.analytics
-        if extra_sinks:
-            from ..core import TeeSink
 
-            dart.analytics = TeeSink([collector] + extra_sinks)
+    engine = MonitorEngine()
+    for index, name in enumerate(monitors):
+        engine.add_monitor(
+            build_monitor(name, args, options),
+            name=name,
+            # Export sinks carry one stream: the primary monitor's.
+            sinks=extra_sinks if index == 0 else (),
+            record_kind=kind,
+        )
 
-    report = replay_pcap(args.pcap, dart)
-    if sharded:
-        # Workers keep their sinks out of subprocesses; the merged,
-        # time-ordered sample stream feeds the export sinks here.
-        samples = dart.samples
-        for sink in extra_sinks:
-            for sample in samples:
-                sink.add(sample)
+    if kind == "quic":
+        from ..quic import read_quic_capture
+
+        records = read_quic_capture(args.pcap)
     else:
-        samples = collector.samples
-    for sink in extra_sinks:
-        flush = getattr(sink, "flush", None)
-        if flush is not None:
-            flush()
-        close = getattr(sink, "close", None)
-        if close is not None:
-            close()
+        from ..net.pcapng import read_any_capture
+
+        records = read_any_capture(args.pcap)
+    report = engine.run(records)
+    primary = engine[monitors[0]].monitor
+    samples = primary.samples
 
     if args.dump:
         for sample in samples:
@@ -158,13 +198,13 @@ def main(argv: Optional[list] = None) -> int:
         return 0
 
     rtts = [s.rtt_ms for s in samples]
-    stats = dart.stats
+    stats = primary.stats
     rows = [
-        ["packets replayed", report.packets],
-        ["replay rate (pkts/s)", f"{report.packets_per_second:,.0f}"],
+        ["packets replayed", report.records],
+        ["replay rate (pkts/s)", f"{report.records_per_second:,.0f}"],
         ["RTT samples", len(rtts)],
     ]
-    if sharded:
+    if args.shards > 1:
         rows.append(["shards", f"{args.shards} ({args.parallel})"])
     if rtts:
         rows += [
@@ -173,14 +213,40 @@ def main(argv: Optional[list] = None) -> int:
             ["p99 RTT (ms)", f"{percentile(rtts, 99):.3f}"],
             ["max RTT (ms)", f"{max(rtts):.3f}"],
         ]
-    collapses = (dart.range_collapses() if sharded
-                 else dart.range_tracker.stats.total_collapses)
-    rows += [
-        ["recirculations/pkt", f"{stats.recirculations_per_packet():.4f}"],
-        ["range collapses", collapses],
-        ["SYNs ignored", stats.ignored_syn],
-    ]
-    print(render_table(["quantity", "value"], rows, title="dart-replay"))
+    recirc = getattr(stats, "recirculations_per_packet", None)
+    if callable(recirc):
+        rows.append(["recirculations/pkt", f"{recirc():.4f}"])
+    range_collapses = getattr(primary, "range_collapses", None)
+    if callable(range_collapses):
+        rows.append(["range collapses", range_collapses()])
+    elif getattr(primary, "range_tracker", None) is not None:
+        rows.append(
+            ["range collapses", primary.range_tracker.stats.total_collapses]
+        )
+    ignored_syn = getattr(stats, "ignored_syn", None)
+    if ignored_syn is not None:
+        rows.append(["SYNs ignored", ignored_syn])
+    title = "dart-replay" if len(monitors) == 1 else (
+        f"dart-replay ({monitors[0]})"
+    )
+    print(render_table(["quantity", "value"], rows, title=title))
+    if len(monitors) > 1:
+        comparison = []
+        for run in engine.runs:
+            run_rtts = [s.rtt_ms for s in run.monitor.samples]
+            comparison.append([
+                run.name,
+                len(run_rtts),
+                f"{percentile(run_rtts, 50):.3f}" if run_rtts else "-",
+                f"{percentile(run_rtts, 95):.3f}" if run_rtts else "-",
+                f"{percentile(run_rtts, 99):.3f}" if run_rtts else "-",
+            ])
+        print()
+        print(render_table(
+            ["monitor", "samples", "median (ms)", "p95 (ms)", "p99 (ms)"],
+            comparison,
+            title="monitor comparison (one trace pass)",
+        ))
     if summaries is not None:
         print()
         print(f"busiest {args.flows} flows:")

@@ -9,9 +9,12 @@ into one cluster-wide view.
 
 Public surface:
 
-* :class:`ShardedDart` — the coordinator façade with the serial Dart's
-  ``process_trace`` / ``finalize`` / ``stats`` / ``samples`` surface
-  and a ``parallel="process" | "thread" | "serial"`` execution knob.
+* :class:`ShardedDart` (alias :class:`ShardedMonitor`) — the
+  coordinator façade with the serial monitor's ``process_trace`` /
+  ``finalize`` / ``stats`` / ``samples`` surface and a
+  ``parallel="process" | "thread" | "serial"`` execution knob.  Via
+  ``monitor_factory`` it shards any registered
+  :class:`repro.engine.RttMonitor`, not just Dart.
 * :class:`ShardFailure` / :class:`ShardResult` — the failure and result
   types of the worker layer.
 * :func:`shard_of` / :func:`shard_of_flow` / :func:`split_trace` /
@@ -20,7 +23,7 @@ Public surface:
   and analytics window histories.
 """
 
-from .coordinator import PARALLEL_MODES, ShardedDart
+from .coordinator import PARALLEL_MODES, ShardedDart, ShardedMonitor
 from .merge import (
     absorb_window_history,
     merge_collectors,
@@ -41,6 +44,7 @@ from .worker import (
     DEFAULT_JOIN_TIMEOUT,
     DEFAULT_QUEUE_DEPTH,
     InlineWorker,
+    MonitorFactory,
     ProcessWorker,
     ShardFailure,
     ShardResult,
@@ -54,12 +58,14 @@ __all__ = [
     "DEFAULT_JOIN_TIMEOUT",
     "DEFAULT_QUEUE_DEPTH",
     "InlineWorker",
+    "MonitorFactory",
     "PARALLEL_MODES",
     "ProcessWorker",
     "SHARD_SALT",
     "ShardFailure",
     "ShardResult",
     "ShardedDart",
+    "ShardedMonitor",
     "ThreadWorker",
     "absorb_window_history",
     "harvest",

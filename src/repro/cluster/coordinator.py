@@ -1,11 +1,20 @@
-"""``ShardedDart``: the cluster façade with the serial Dart's surface.
+"""``ShardedDart``: the cluster façade with the serial monitor surface.
 
 A :class:`ShardedDart` looks like a :class:`~repro.core.pipeline.Dart`
 — ``process_trace`` / ``finalize`` / ``stats`` / ``samples`` — but fans
 the packet stream out across N flow-sharded workers and merges their
-results.  ``shards=1`` degenerates to the serial pipeline (the worker
+results.  ``shards=1`` degenerates to the serial monitor (the worker
 machinery is bypassed entirely), so callers can treat the shard count
 as just another sizing knob.
+
+Despite the name, the shards need not run Dart: ``monitor_factory``
+accepts any zero-argument factory building a
+:class:`repro.engine.RttMonitor` (``repro.engine.monitor_factory("tcptrace")``
+shards the tcptrace oracle, for instance).  Flow-consistent sharding is
+what makes this sound: every monitor in this library keys all its state
+by canonical flow, so a flow's packets landing on one shard reproduce
+the serial monitor's per-flow decisions exactly.  ``ShardedMonitor`` is
+the name-accurate alias.
 
 Failure model: any worker crash or hang surfaces as a
 :class:`~repro.cluster.worker.ShardFailure` carrying the failed shard's
@@ -17,11 +26,11 @@ merge as if it were complete.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from ..core.analytics import WindowMinimum
 from ..core.config import DartConfig
-from ..core.pipeline import Dart, DartStats, LegFilter, TargetFilter
+from ..core.pipeline import Dart, LegFilter, TargetFilter
 from ..core.samples import RttSample
 from ..net.packet import PacketRecord
 from .merge import merge_results
@@ -29,7 +38,7 @@ from .sharding import DEFAULT_BATCH_SIZE, BatchDispatcher
 from .worker import (
     DEFAULT_JOIN_TIMEOUT,
     DEFAULT_QUEUE_DEPTH,
-    DartFactory,
+    MonitorFactory,
     ShardFailure,
     ShardResult,
     WORKER_MODES,
@@ -50,10 +59,14 @@ class ShardedDart:
         parallel: ``"process"`` (multi-core, the default), ``"thread"``
             (GIL-bound; overlaps I/O only), or ``"serial"`` (inline, for
             debugging and ground-truth comparisons).
-        dart_factory: build one shard's Dart; overrides ``config`` /
-            ``analytics_factory`` / filters.  Must be callable in the
-            worker context (any callable under fork; picklable under
-            spawn).
+        monitor_factory: build one shard's monitor — any
+            :class:`repro.engine.RttMonitor` factory; overrides
+            ``config`` / ``analytics_factory`` / filters.  Must be
+            callable in the worker context (any callable under fork;
+            picklable under spawn).
+        dart_factory: backward-compatible alias for
+            ``monitor_factory`` (the parameter's name before shards
+            could run non-Dart monitors).  Passing both is an error.
         analytics_factory: build one shard's analytics module (a shared
             analytics *instance* cannot be handed to N workers).
         leg_filter / target_filter: as for :class:`Dart`.
@@ -70,7 +83,8 @@ class ShardedDart:
         *,
         shards: int = 1,
         parallel: str = "process",
-        dart_factory: Optional[DartFactory] = None,
+        monitor_factory: Optional[MonitorFactory] = None,
+        dart_factory: Optional[MonitorFactory] = None,
         analytics_factory: Optional[Callable[[], object]] = None,
         leg_filter: Optional[LegFilter] = None,
         target_filter: Optional[TargetFilter] = None,
@@ -85,8 +99,15 @@ class ShardedDart:
                 f"parallel must be one of {sorted(WORKER_MODES)}, "
                 f"got {parallel!r}"
             )
-        if dart_factory is None:
-            def dart_factory() -> Dart:
+        if monitor_factory is not None and dart_factory is not None:
+            raise ValueError(
+                "pass monitor_factory or dart_factory, not both "
+                "(dart_factory is the deprecated alias)"
+            )
+        if monitor_factory is None:
+            monitor_factory = dart_factory
+        if monitor_factory is None:
+            def monitor_factory() -> Dart:
                 analytics = (
                     analytics_factory() if analytics_factory is not None
                     else None
@@ -99,6 +120,10 @@ class ShardedDart:
                 )
         self.shards = shards
         self.parallel = parallel if shards > 1 else "serial"
+        #: Multi-shard runs surface samples only after :meth:`finalize`
+        #: (workers retain them until harvest); the engine reads this to
+        #: route retained samples post-finalize instead of per batch.
+        self.defers_samples = shards > 1
         self._join_timeout = join_timeout
         self._results: Optional[List[ShardResult]] = None
         self._merged: Optional[ShardResult] = None
@@ -106,17 +131,17 @@ class ShardedDart:
         #: open analytics windows at this global end-of-trace time, so
         #: flush windows match a serial run's bit for bit.
         self._end_ns: Optional[int] = None
-        self.dart: Optional[Dart] = None
+        self.dart: Optional[Any] = None
         self._workers: List = []
         self._dispatcher: Optional[BatchDispatcher] = None
         if shards == 1:
-            # Degenerate case: the serial pipeline itself, no workers,
+            # Degenerate case: the serial monitor itself, no workers,
             # no batching, live stats.
-            self.dart = dart_factory()
+            self.dart = monitor_factory()
             return
         worker_cls = WORKER_MODES[parallel]
         self._workers = [
-            worker_cls(shard, dart_factory, queue_depth=queue_depth)
+            worker_cls(shard, monitor_factory, queue_depth=queue_depth)
             for shard in range(shards)
         ]
         self._dispatcher = BatchDispatcher(
@@ -184,18 +209,24 @@ class ShardedDart:
 
     # -- Shutdown and results ----------------------------------------------
 
-    def finalize(self) -> None:
+    def finalize(self, at_ns: Optional[int] = None) -> None:
         """Flush batches, join every worker, and merge their results.
 
-        Idempotent.  Raises :class:`ShardFailure` (with the completed
-        shards' results attached as ``partial``) if any worker crashed
-        or missed the join timeout.
+        Idempotent.  ``at_ns`` overrides the end-of-trace timestamp the
+        shards flush their analytics windows at, exactly like
+        :meth:`Dart.finalize` — useful when this cluster saw only part
+        of a stream whose true end is later.  Raises
+        :class:`ShardFailure` (with the completed shards' results
+        attached as ``partial``) if any worker crashed or missed the
+        join timeout.
         """
         if self.dart is not None:
-            self.dart.finalize()
+            self.dart.finalize(at_ns)
             return
         if self._results is not None:
             return
+        if at_ns is not None and (self._end_ns is None or at_ns > self._end_ns):
+            self._end_ns = at_ns
         self._dispatcher.flush()
         completed: Dict[int, ShardResult] = {}
         failure: Optional[ShardFailure] = None
@@ -229,7 +260,7 @@ class ShardedDart:
     # -- The Dart-shaped read surface --------------------------------------
 
     @property
-    def stats(self) -> DartStats:
+    def stats(self) -> Any:
         """Cluster-wide counters (per-shard stats summed).
 
         Reading this (or :attr:`samples`) finalizes the cluster if the
@@ -251,7 +282,8 @@ class ShardedDart:
     def window_history(self) -> List[WindowMinimum]:
         """Merged analytics window history, ordered by close time."""
         if self.dart is not None:
-            return list(getattr(self.dart.analytics, "history", ()))
+            analytics = getattr(self.dart, "analytics", None)
+            return list(getattr(analytics, "history", ()))
         return self._require_merged().window_history
 
     @property
@@ -266,12 +298,24 @@ class ShardedDart:
         return list(self._results)
 
     @property
-    def shard_stats(self) -> List[DartStats]:
+    def shard_stats(self) -> List[Any]:
         """Per-shard counters, e.g. eviction/recirculation breakdowns."""
         return [result.stats for result in self.shard_results]
 
     def range_collapses(self) -> int:
-        """Total Range Tracker collapses across shards."""
+        """Total Range Tracker collapses across shards.
+
+        Zero for monitors without a Range Tracker (the baselines).
+        """
         if self.dart is not None:
-            return self.dart.range_tracker.stats.total_collapses
+            range_tracker = getattr(self.dart, "range_tracker", None)
+            if range_tracker is None:
+                return 0
+            return range_tracker.stats.total_collapses
         return self._require_merged().rt_collapses
+
+
+#: Name-accurate alias: the coordinator shards any registered monitor,
+#: not just Dart.  ``ShardedDart`` remains the primary name for
+#: backward compatibility.
+ShardedMonitor = ShardedDart

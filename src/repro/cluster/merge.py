@@ -17,7 +17,7 @@ merged output is bit-identical to a serial run versus multiset-equal.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, Iterable, List, Sequence
 
 from ..core.analytics import MinFilterAnalytics, WindowMinimum
 from ..core.pipeline import DartStats
@@ -25,10 +25,24 @@ from ..core.samples import RttSample, SampleCollector
 from .worker import ShardResult
 
 
-def merge_stats(stats: Iterable[DartStats]) -> DartStats:
-    """Sum a set of per-shard stats into a fresh DartStats."""
-    merged = DartStats()
-    for s in stats:
+def merge_stats(stats: Iterable[Any]) -> Any:
+    """Sum per-shard stats into a fresh object of the same stats type.
+
+    Works for any monitor's counters dataclass: a zero-argument
+    construction of the first item's type seeds the fold, and each
+    item's own ``merge`` (field-wise addition, or
+    :meth:`~repro.core.pipeline.DartStats.merge`'s histogram-aware
+    variant) accumulates into it.  An empty input merges to an empty
+    :class:`DartStats` — the historical behaviour, kept for callers that
+    merge zero shards.
+    """
+    iterator = iter(stats)
+    first = next(iterator, None)
+    if first is None:
+        return DartStats()
+    merged = type(first)()
+    merged.merge(first)
+    for s in iterator:
         merged.merge(s)
     return merged
 

@@ -1,11 +1,13 @@
-"""Per-shard workers: one Dart instance each, three execution modes.
+"""Per-shard workers: one monitor instance each, three execution modes.
 
-A worker owns exactly one :class:`~repro.core.pipeline.Dart` and
-consumes packet batches for its shard.  Three interchangeable
-implementations share the ``submit(batch)`` / ``finish()`` / ``abort()``
-surface:
+A worker owns exactly one RTT monitor (historically always a
+:class:`~repro.core.pipeline.Dart`; now any
+:class:`repro.engine.RttMonitor` — tcptrace, the strawman, Dapper —
+built from a zero-argument factory) and consumes packet batches for its
+shard.  Three interchangeable implementations share the
+``submit(batch)`` / ``finish()`` / ``abort()`` surface:
 
-* :class:`InlineWorker` — runs the Dart synchronously in the caller
+* :class:`InlineWorker` — runs the monitor synchronously in the caller
   (the ``parallel="serial"`` mode; useful for debugging and as the
   ground truth the parallel modes are tested against).
 * :class:`ThreadWorker` — a daemon thread fed through a bounded
@@ -31,14 +33,21 @@ import threading
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.analytics import WindowMinimum
-from ..core.pipeline import Dart, DartStats
 from ..core.samples import RttSample
 from ..net.packet import PacketRecord
 
-DartFactory = Callable[[], Dart]
+#: Builds one shard's monitor.  Any object satisfying the
+#: :class:`repro.engine.RttMonitor` protocol works; the callable must be
+#: usable in the worker context (any callable under fork; picklable
+#: under spawn).  Typed loosely so this module never imports the engine
+#: (or Dart) and stays dependency-light in subprocesses.
+MonitorFactory = Callable[[], Any]
+
+#: Backward-compatible alias from when workers only ran Dart.
+DartFactory = MonitorFactory
 
 #: Batches a worker queue holds before the dispatcher blocks.
 DEFAULT_QUEUE_DEPTH = 8
@@ -83,12 +92,17 @@ class ShardResult:
 
     All fields are plain data (no live table state, no closures), so a
     result pickles cleanly across the process boundary regardless of
-    what analytics object or leg filter the Dart was built with.
+    what analytics object or leg filter the monitor was built with.
+
+    ``stats`` is whatever counters dataclass the shard's monitor type
+    exposes (:class:`~repro.core.pipeline.DartStats` for Dart shards,
+    ``TcpTraceStats`` for tcptrace shards, ...); all of them merge by
+    field-wise addition.
     """
 
     shard_id: int
     packets: int
-    stats: DartStats
+    stats: Any
     samples: List[RttSample] = field(default_factory=list)
     window_history: List[WindowMinimum] = field(default_factory=list)
     rt_collapses: int = 0
@@ -99,49 +113,63 @@ class ShardResult:
 
 def harvest(
     shard_id: int,
-    dart: Dart,
+    monitor: Any,
     *,
     partial: bool = False,
     end_ns: Optional[int] = None,
 ) -> ShardResult:
-    """Extract a shard's transportable results from its Dart.
+    """Extract a shard's transportable results from its monitor.
 
-    Finalizes the Dart (flushing open analytics windows) unless the
+    Finalizes the monitor (flushing open analytics windows) unless the
     harvest is partial — a crashed worker's analytics may be
     mid-update, so its open windows are left unflushed.  ``end_ns`` is
     the global end-of-trace timestamp: flushing there (not at the
     shard's own last packet) keeps flush-time windows bit-identical to
     a serial run's.
+
+    Dart-specific surfaces (``analytics.history``, the Range Tracker's
+    collapse counter) are read through ``getattr`` guards so baseline
+    monitors — which have neither — harvest with empty history and zero
+    collapses.
     """
     if not partial:
-        dart.finalize(end_ns)
+        monitor.finalize(end_ns)
+    range_tracker = getattr(monitor, "range_tracker", None)
     return ShardResult(
         shard_id=shard_id,
-        packets=dart.stats.packets_processed,
-        stats=dart.stats,
-        samples=list(dart.samples),
-        window_history=list(getattr(dart.analytics, "history", ())),
-        rt_collapses=dart.range_tracker.stats.total_collapses,
+        packets=monitor.stats.packets_processed,
+        stats=monitor.stats,
+        samples=list(monitor.samples),
+        window_history=list(
+            getattr(getattr(monitor, "analytics", None), "history", ())
+        ),
+        rt_collapses=(
+            range_tracker.stats.total_collapses
+            if range_tracker is not None
+            else 0
+        ),
         partial=partial,
     )
 
 
 class InlineWorker:
-    """Runs the shard's Dart synchronously in the calling thread."""
+    """Runs the shard's monitor synchronously in the calling thread."""
 
-    def __init__(self, shard_id: int, dart_factory: DartFactory, **_: object) -> None:
+    def __init__(
+        self, shard_id: int, monitor_factory: MonitorFactory, **_: object
+    ) -> None:
         self.shard_id = shard_id
-        self._dart = dart_factory()
+        self._monitor = monitor_factory()
 
     def submit(self, batch: List[PacketRecord]) -> None:
-        self._dart.process_batch(batch)
+        self._monitor.process_batch(batch)
 
     def finish(
         self,
         timeout: float = DEFAULT_JOIN_TIMEOUT,
         end_ns: Optional[int] = None,
     ) -> ShardResult:
-        return harvest(self.shard_id, self._dart, end_ns=end_ns)
+        return harvest(self.shard_id, self._monitor, end_ns=end_ns)
 
     def abort(self) -> None:
         pass
@@ -160,7 +188,7 @@ class ThreadWorker:
     def __init__(
         self,
         shard_id: int,
-        dart_factory: DartFactory,
+        monitor_factory: MonitorFactory,
         *,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         **_: object,
@@ -172,16 +200,16 @@ class ThreadWorker:
         self._error: Optional[str] = None
         self._thread = threading.Thread(
             target=self._run,
-            args=(dart_factory,),
+            args=(monitor_factory,),
             name=f"dart-shard-{shard_id}",
             daemon=True,
         )
         self._thread.start()
 
-    def _run(self, dart_factory: DartFactory) -> None:
-        dart: Optional[Dart] = None
+    def _run(self, monitor_factory: MonitorFactory) -> None:
+        monitor: Optional[Any] = None
         try:
-            dart = dart_factory()
+            monitor = monitor_factory()
             end_ns: Optional[int] = None
             finish = False
             while True:
@@ -191,14 +219,16 @@ class ThreadWorker:
                 if isinstance(batch, tuple) and batch[0] is _FINISH:
                     finish, end_ns = True, batch[1]
                     break
-                dart.process_batch(batch)
+                monitor.process_batch(batch)
             if finish:
-                self._result = harvest(self.shard_id, dart, end_ns=end_ns)
+                self._result = harvest(self.shard_id, monitor, end_ns=end_ns)
         except BaseException as exc:  # surfaced to the coordinator
             self._error = f"{exc!r}\n{traceback.format_exc()}"
-            if dart is not None:
+            if monitor is not None:
                 try:
-                    self._partial = harvest(self.shard_id, dart, partial=True)
+                    self._partial = harvest(
+                        self.shard_id, monitor, partial=True
+                    )
                 except Exception:
                     pass
 
@@ -273,14 +303,14 @@ def decode_batch(encoded: List[Tuple]) -> List[PacketRecord]:
 
 def _worker_main(
     shard_id: int,
-    dart_factory: DartFactory,
+    monitor_factory: MonitorFactory,
     batch_queue,
     result_queue,
 ) -> None:
     """Subprocess entry point: consume batches until the sentinel."""
-    dart: Optional[Dart] = None
+    monitor: Optional[Any] = None
     try:
-        dart = dart_factory()
+        monitor = monitor_factory()
         end_ns: Optional[int] = None
         while True:
             encoded = batch_queue.get()
@@ -291,13 +321,13 @@ def _worker_main(
             if isinstance(encoded, tuple) and encoded[0] == _FINISH:
                 end_ns = encoded[1]
                 break
-            dart.process_batch(decode_batch(encoded))
-        result_queue.put(("ok", harvest(shard_id, dart, end_ns=end_ns)))
+            monitor.process_batch(decode_batch(encoded))
+        result_queue.put(("ok", harvest(shard_id, monitor, end_ns=end_ns)))
     except BaseException as exc:
         partial = None
-        if dart is not None:
+        if monitor is not None:
             try:
-                partial = harvest(shard_id, dart, partial=True)
+                partial = harvest(shard_id, monitor, partial=True)
             except Exception:
                 partial = None
         try:
@@ -310,7 +340,7 @@ def _worker_main(
 
 
 def _default_context():
-    """Prefer fork (closures in dart factories work); fall back cleanly."""
+    """Prefer fork (closures in monitor factories work); fall back cleanly."""
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # platform without fork
@@ -320,17 +350,17 @@ def _default_context():
 class ProcessWorker:
     """A shard worker in a subprocess — the multi-core mode.
 
-    With the (Linux-default) fork start method the Dart factory may be
-    any callable, closures included; under spawn it must be picklable.
-    Results travel back as plain-data :class:`ShardResult` objects, so
-    unpicklable analytics internals (lambda key functions, open sinks)
-    never cross the process boundary.
+    With the (Linux-default) fork start method the monitor factory may
+    be any callable, closures included; under spawn it must be
+    picklable.  Results travel back as plain-data :class:`ShardResult`
+    objects, so unpicklable analytics internals (lambda key functions,
+    open sinks) never cross the process boundary.
     """
 
     def __init__(
         self,
         shard_id: int,
-        dart_factory: DartFactory,
+        monitor_factory: MonitorFactory,
         *,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         mp_context=None,
@@ -342,7 +372,7 @@ class ProcessWorker:
         self._results = ctx.Queue()
         self._proc = ctx.Process(
             target=_worker_main,
-            args=(shard_id, dart_factory, self._batches, self._results),
+            args=(shard_id, monitor_factory, self._batches, self._results),
             name=f"dart-shard-{shard_id}",
             daemon=True,
         )

@@ -1,0 +1,36 @@
+"""Shared stats behaviour for monitor counter dataclasses.
+
+Every monitor in this library exposes a ``stats`` dataclass of plain
+additive counters.  The sharded cluster (:mod:`repro.cluster`) merges
+per-shard stats by summation; :class:`AdditiveCounters` provides that
+``merge`` once, so each baseline's stats class stays a bare field list.
+
+:class:`~repro.core.pipeline.DartStats` implements its own ``merge``
+(its verdict histograms need per-key addition); everything else inherits
+this mixin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+
+class AdditiveCounters:
+    """Mixin: fold another stats object in by summing every field.
+
+    ``__slots__`` is empty so ``slots=True`` dataclass subclasses keep
+    their per-instance dict-free layout (the PR 2 fast-path convention).
+    """
+
+    __slots__ = ()
+
+    def merge(self, other: "AdditiveCounters") -> "AdditiveCounters":
+        """Add ``other``'s counters into this object; returns self."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+        for f in fields(self):  # type: ignore[arg-type]
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self

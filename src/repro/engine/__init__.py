@@ -1,0 +1,45 @@
+"""repro.engine — one layer that runs every RTT monitor the same way.
+
+The engine separates three concerns the frontends used to interleave:
+
+* **what a monitor is** (:mod:`.protocol`): the :class:`RttMonitor`
+  structural protocol — ``stats``, ``samples``, ``process``,
+  ``process_batch``, ``finalize``;
+* **which monitors exist** (:mod:`.registry`): name → factory specs
+  with a record kind, so CLIs take ``--monitor <name>`` and the cluster
+  shards any registered monitor;
+* **how a trace pass works** (:mod:`.engine`): :class:`MonitorEngine`
+  owns ingest, batching, TCP/QUIC partitioning, sample routing
+  (:class:`.SampleRouter`) and finalization for any number of monitors
+  in one pass over the records.
+"""
+
+from .engine import EngineReport, MonitorEngine, MonitorRun
+from .protocol import RttMonitor, SampleSink, conforms_to_monitor
+from .registry import (
+    MonitorOptions,
+    MonitorSpec,
+    available,
+    create,
+    get_spec,
+    monitor_factory,
+    register,
+)
+from .router import SampleRouter
+
+__all__ = [
+    "EngineReport",
+    "MonitorEngine",
+    "MonitorOptions",
+    "MonitorRun",
+    "MonitorSpec",
+    "RttMonitor",
+    "SampleRouter",
+    "SampleSink",
+    "available",
+    "conforms_to_monitor",
+    "create",
+    "get_spec",
+    "monitor_factory",
+    "register",
+]

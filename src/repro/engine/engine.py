@@ -1,0 +1,179 @@
+"""MonitorEngine: one trace pass feeding any number of monitors.
+
+The engine owns the plumbing every frontend used to duplicate:
+
+* **ingest + batching** — drains the record iterable in
+  ``TRACE_CHUNK``-sized chunks so each monitor gets its loop-hoisted
+  ``process_batch`` fast path without materialising the trace;
+* **record partitioning** — when TCP and QUIC monitors run in the same
+  pass, each chunk is split by record type and each monitor sees only
+  its kind (``None`` gaps from partial decodes are preserved for TCP
+  monitors, which skip them);
+* **sample routing** — each monitor gets a :class:`.SampleRouter`; the
+  samples returned by ``process_batch`` are fanned out immediately, so
+  streaming sinks (files, detectors, live analytics) see samples in
+  emission order;
+* **finalization** — after the trace drains, every monitor's
+  ``finalize(end_ns)`` runs with the last observed timestamp, then
+  routers flush and close.  Monitors that defer samples until finalize
+  (``defers_samples = True``, e.g. a multi-shard
+  :class:`~repro.cluster.coordinator.ShardedDart`) have their retained
+  ``samples`` routed at that point instead.
+
+The engine assumes records are time-ordered (every producer in this
+repo emits them that way), so the end-of-trace timestamp is read from
+each chunk's last non-``None`` record — O(1) per chunk, not per packet.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.pipeline import TRACE_CHUNK
+from ..quic.packet import QuicPacketRecord
+from .protocol import RttMonitor, conforms_to_monitor
+from .router import SampleRouter
+
+
+@dataclass(slots=True)
+class MonitorRun:
+    """One monitor's slot in an engine pass."""
+
+    name: str
+    monitor: RttMonitor
+    router: SampleRouter
+    record_kind: str  # "tcp" | "quic"
+    records_seen: int = 0
+    samples_routed: int = 0
+
+
+@dataclass(slots=True)
+class EngineReport:
+    """What one :meth:`MonitorEngine.run` pass did."""
+
+    records: int = 0
+    wall_seconds: float = 0.0
+    end_ns: Optional[int] = None
+    runs: List[MonitorRun] = field(default_factory=list)
+
+    @property
+    def records_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.records / self.wall_seconds
+
+
+class MonitorEngine:
+    """Drives registered monitors through a single trace pass."""
+
+    def __init__(self, *, chunk_size: int = TRACE_CHUNK) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self._chunk_size = chunk_size
+        self._runs: List[MonitorRun] = []
+        self._names: Dict[str, MonitorRun] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def add_monitor(
+        self,
+        monitor: RttMonitor,
+        *,
+        name: Optional[str] = None,
+        sinks: Iterable = (),
+        record_kind: str = "tcp",
+    ) -> MonitorRun:
+        """Attach a monitor (with optional sample sinks) to this engine."""
+        if not conforms_to_monitor(monitor):
+            raise TypeError(
+                f"{type(monitor).__name__} does not satisfy the RttMonitor "
+                "protocol (needs stats, samples, process, process_batch, "
+                "finalize)"
+            )
+        if record_kind not in ("tcp", "quic"):
+            raise ValueError(f"unknown record kind {record_kind!r}")
+        if name is None:
+            name = type(monitor).__name__.lower()
+        if name in self._names:
+            raise ValueError(f"monitor name {name!r} already attached")
+        run = MonitorRun(
+            name=name,
+            monitor=monitor,
+            router=SampleRouter(sinks),
+            record_kind=record_kind,
+        )
+        self._runs.append(run)
+        self._names[name] = run
+        return run
+
+    @property
+    def runs(self) -> Tuple[MonitorRun, ...]:
+        return tuple(self._runs)
+
+    def __getitem__(self, name: str) -> MonitorRun:
+        return self._names[name]
+
+    # -- the trace pass -------------------------------------------------------
+
+    def run(self, records: Iterable[Any]) -> EngineReport:
+        """Feed every record to every attached monitor, then finalize."""
+        if not self._runs:
+            raise RuntimeError("no monitors attached (call add_monitor first)")
+        report = EngineReport(runs=list(self._runs))
+        kinds = {run.record_kind for run in self._runs}
+        mixed = len(kinds) == 2
+        quic_only = kinds == {"quic"}
+        iterator = iter(records)
+        chunk_size = self._chunk_size
+        end_ns: Optional[int] = None
+        started = time.perf_counter()
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                break
+            report.records += len(chunk)
+            if mixed:
+                tcp_chunk = [
+                    r
+                    for r in chunk
+                    if r is not None and not isinstance(r, QuicPacketRecord)
+                ]
+                quic_chunk = [
+                    r for r in chunk if isinstance(r, QuicPacketRecord)
+                ]
+            elif quic_only:
+                tcp_chunk = []
+                quic_chunk = chunk
+            else:
+                tcp_chunk = chunk
+                quic_chunk = []
+            # Records are time-ordered: the chunk's last decoded record
+            # carries the most recent timestamp.
+            for record in reversed(chunk):
+                if record is not None:
+                    end_ns = record.timestamp_ns
+                    break
+            for run in self._runs:
+                part = quic_chunk if run.record_kind == "quic" else tcp_chunk
+                if not part:
+                    continue
+                run.records_seen += len(part)
+                samples = run.monitor.process_batch(part)
+                if samples:
+                    run.samples_routed += len(samples)
+                    run.router.route_batch(samples)
+        for run in self._runs:
+            run.monitor.finalize(end_ns)
+            if getattr(run.monitor, "defers_samples", False):
+                # Sharded monitors only surface samples after finalize
+                # (their shards retain samples locally until harvest).
+                samples = run.monitor.samples
+                run.samples_routed += len(samples)
+                run.router.route_batch(samples)
+            run.router.close()
+        report.wall_seconds = time.perf_counter() - started
+        report.end_ns = end_ns
+        return report

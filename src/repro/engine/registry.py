@@ -1,0 +1,191 @@
+"""Monitor registry: name -> factory, with per-monitor record kinds.
+
+The CLIs (``dart-replay``, ``dart-bench``, ``dart-detect``) select
+monitors by name (``--monitor dart --monitor tcptrace ...``); the
+cluster builds per-shard monitors from a factory.  Both go through this
+registry so adding a monitor is one :func:`register` call, not edits in
+every frontend.
+
+Each :class:`MonitorSpec` carries a ``record_kind`` (``"tcp"`` or
+``"quic"``) because the two record streams decode differently: TCP
+monitors consume :class:`~repro.net.packet.PacketRecord`; the spin-bit
+monitor consumes :class:`~repro.quic.packet.QuicPacketRecord`.  The
+engine uses the kind to partition a mixed stream; the CLIs use it to
+pick the capture decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..baselines.dapper import DapperMonitor
+from ..baselines.strawman import Strawman
+from ..baselines.tcptrace import TcpTrace
+from ..core.pipeline import Dart, DartConfig
+from ..quic.monitor import SpinBitMonitor
+from .protocol import RttMonitor, conforms_to_monitor
+
+
+@dataclass(slots=True)
+class MonitorOptions:
+    """Construction-time knobs shared across monitor factories.
+
+    Each factory picks the fields it understands and ignores the rest,
+    so one options object can configure a heterogeneous monitor set.
+    """
+
+    config: Optional[DartConfig] = None  # dart
+    leg_filter: Optional[Callable] = None  # dart, tcptrace, strawman, dapper
+    target_filter: Optional[Callable] = None  # dart
+    analytics: Optional[object] = None  # dart
+    track_handshake: bool = False  # tcptrace, strawman, dapper
+    table_slots: Optional[int] = None  # strawman
+    timeout_ns: Optional[int] = None  # strawman
+    is_client: Optional[Callable[[int], bool]] = None  # spinbit
+
+
+@dataclass(frozen=True, slots=True)
+class MonitorSpec:
+    """One registered monitor: name, factory, and record kind."""
+
+    name: str
+    factory: Callable[[MonitorOptions], RttMonitor]
+    record_kind: str  # "tcp" | "quic"
+    description: str = ""
+
+
+_REGISTRY: Dict[str, MonitorSpec] = {}
+
+
+def register(spec: MonitorSpec) -> MonitorSpec:
+    """Register (or replace) a monitor spec under its name."""
+    if spec.record_kind not in ("tcp", "quic"):
+        raise ValueError(f"unknown record kind {spec.record_kind!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> MonitorSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown monitor {name!r} (known: {known})") from None
+
+
+def available() -> Tuple[str, ...]:
+    """Registered monitor names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create(name: str, options: Optional[MonitorOptions] = None) -> RttMonitor:
+    """Instantiate a registered monitor from an options bundle."""
+    spec = get_spec(name)
+    monitor = spec.factory(options or MonitorOptions())
+    if not conforms_to_monitor(monitor):
+        raise TypeError(
+            f"factory for {name!r} built a {type(monitor).__name__} that "
+            "does not satisfy the RttMonitor protocol"
+        )
+    return monitor
+
+
+def monitor_factory(
+    name: str, options: Optional[MonitorOptions] = None
+) -> Callable[[], RttMonitor]:
+    """A zero-argument factory (what the cluster's shards consume)."""
+    opts = options or MonitorOptions()
+
+    def build() -> RttMonitor:
+        return create(name, opts)
+
+    return build
+
+
+# -- built-in monitors --------------------------------------------------------
+
+
+def _build_dart(opts: MonitorOptions) -> Dart:
+    return Dart(
+        opts.config or DartConfig(),
+        analytics=opts.analytics,
+        leg_filter=opts.leg_filter,
+        target_filter=opts.target_filter,
+    )
+
+
+def _build_tcptrace(opts: MonitorOptions) -> TcpTrace:
+    return TcpTrace(
+        track_handshake=opts.track_handshake,
+        leg_filter=opts.leg_filter,
+    )
+
+
+def _build_strawman(opts: MonitorOptions) -> Strawman:
+    return Strawman(
+        opts.table_slots,
+        timeout_ns=opts.timeout_ns,
+        track_handshake=opts.track_handshake,
+        leg_filter=opts.leg_filter,
+    )
+
+
+def _build_dapper(opts: MonitorOptions) -> DapperMonitor:
+    return DapperMonitor(
+        track_handshake=opts.track_handshake,
+        leg_filter=opts.leg_filter,
+    )
+
+
+def _every_direction(ip: int) -> bool:
+    return True
+
+
+def _build_spinbit(opts: MonitorOptions) -> SpinBitMonitor:
+    # Without an orientation predicate, observe every direction; edges
+    # still only advance on the client's flips (RFC 9000 §17.4).
+    is_client = opts.is_client if opts.is_client is not None else _every_direction
+    return SpinBitMonitor(is_client=is_client)
+
+
+register(
+    MonitorSpec(
+        name="dart",
+        factory=_build_dart,
+        record_kind="tcp",
+        description="the paper's Range Tracker + Packet Tracker pipeline",
+    )
+)
+register(
+    MonitorSpec(
+        name="tcptrace",
+        factory=_build_tcptrace,
+        record_kind="tcp",
+        description="offline oracle: per-segment matching, Karn's algorithm",
+    )
+)
+register(
+    MonitorSpec(
+        name="strawman",
+        factory=_build_strawman,
+        record_kind="tcp",
+        description="§2.1 single-table strawman (ambiguous under loss)",
+    )
+)
+register(
+    MonitorSpec(
+        name="dapper",
+        factory=_build_dapper,
+        record_kind="tcp",
+        description="one in-flight measurement per flow (low sample rate)",
+    )
+)
+register(
+    MonitorSpec(
+        name="spinbit",
+        factory=_build_spinbit,
+        record_kind="quic",
+        description="QUIC spin-bit edge observer (one sample per RTT)",
+    )
+)

@@ -9,6 +9,12 @@ traffic simulator for evaluating it against Dart's TCP sample rates.
 from .monitor import SpinBitMonitor, SpinBitStats
 from .packet import QuicPacketRecord
 from .sim import QuicScenarioConfig, QuicTrace, generate_quic_trace
+from .wire import (
+    quic_from_wire_bytes,
+    quic_to_wire_bytes,
+    read_quic_capture,
+    write_quic_capture,
+)
 
 __all__ = [
     "QuicPacketRecord",
@@ -17,4 +23,8 @@ __all__ = [
     "SpinBitMonitor",
     "SpinBitStats",
     "generate_quic_trace",
+    "quic_from_wire_bytes",
+    "quic_to_wire_bytes",
+    "read_quic_capture",
+    "write_quic_capture",
 ]

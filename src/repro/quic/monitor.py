@@ -20,15 +20,16 @@ measurable in the benchmarks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..core.flow import FlowKey
 from ..core.samples import RttSample
+from ..core.stats import AdditiveCounters
 from .packet import QuicPacketRecord
 
 
-@dataclass
-class SpinBitStats:
+@dataclass(slots=True)
+class SpinBitStats(AdditiveCounters):
     packets_processed: int = 0
     long_header_skipped: int = 0
     wrong_direction_skipped: int = 0
@@ -100,7 +101,31 @@ class SpinBitMonitor:
         self.stats.samples += 1
         return [sample]
 
+    def process_batch(
+        self, records: Iterable[Optional[QuicPacketRecord]]
+    ) -> List[RttSample]:
+        """Process a batch of datagrams; ``None`` entries are skipped.
+
+        Part of the :class:`repro.engine.RttMonitor` surface — identical
+        to calling :meth:`process` per record, so callers drive QUIC and
+        TCP monitors through one loop.
+        """
+        process = self.process
+        out: List[RttSample] = []
+        for record in records:
+            if record is not None:
+                out.extend(process(record))
+        return out
+
     def process_trace(self, records) -> "SpinBitMonitor":
         for record in records:
             self.process(record)
         return self
+
+    def finalize(self, at_ns: Optional[int] = None) -> None:
+        """End-of-trace hook (spin state needs no flushing).
+
+        Exists so callers never special-case the QUIC monitor: its
+        surface matches the TCP monitors' (`stats`, `samples`,
+        ``process_batch``, ``finalize``).
+        """

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis.perfgate import (
     SCHEMA,
     PerfGateError,
+    check_engine_overhead,
     compare,
     load_report,
     main,
@@ -90,6 +91,56 @@ class TestCompare:
         report = make_report()
         with pytest.raises(PerfGateError):
             compare(report, report, threshold=bad)
+
+
+class TestEngineOverhead:
+    def test_skipped_without_engine_section(self):
+        assert check_engine_overhead(make_report()) is None
+
+    def test_within_budget_passes(self):
+        report = make_report(
+            serial_engine={"packets_per_second": 97_000.0}
+        )
+        overhead = check_engine_overhead(report)
+        assert overhead is not None
+        assert not overhead.exceeded
+        assert overhead.overhead_percent == pytest.approx(3.0)
+
+    def test_beyond_budget_fails(self):
+        report = make_report(
+            serial_engine={"packets_per_second": 90_000.0}  # -10%
+        )
+        overhead = check_engine_overhead(report)
+        assert overhead is not None
+        assert overhead.exceeded
+
+    def test_engine_faster_than_direct_is_fine(self):
+        report = make_report(
+            serial_engine={"packets_per_second": 110_000.0}
+        )
+        overhead = check_engine_overhead(report)
+        assert not overhead.exceeded
+        assert overhead.overhead_percent < 0
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_threshold_must_be_a_fraction(self, bad):
+        with pytest.raises(PerfGateError):
+            check_engine_overhead(make_report(), threshold=bad)
+
+    def test_cli_fails_on_engine_overhead(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", make_report())
+        fresh = write(tmp_path, "fresh.json", make_report(
+            serial_engine={"packets_per_second": 80_000.0}
+        ))
+        assert main([base, fresh]) == 1
+        assert "engine overhead" in capsys.readouterr().out
+
+    def test_cli_engine_overhead_flag_relaxes(self, tmp_path):
+        base = write(tmp_path, "base.json", make_report())
+        fresh = write(tmp_path, "fresh.json", make_report(
+            serial_engine={"packets_per_second": 80_000.0}
+        ))
+        assert main([base, fresh, "--engine-overhead", "0.5"]) == 0
 
 
 class TestLoadReport:

@@ -1,0 +1,1 @@
+"""Tests for the repro.engine layer (protocol, registry, router, engine)."""

@@ -1,0 +1,95 @@
+"""SampleRouter: sink validation, fan-out, and lifecycle."""
+
+import pytest
+
+from repro.core.samples import RttSample
+from repro.engine import SampleRouter
+
+
+def sample(i=0):
+    return RttSample(flow=(1, 2, 3, 4), rtt_ns=1000 + i,
+                     timestamp_ns=10_000 + i, eack=i)
+
+
+class ListSink:
+    def __init__(self):
+        self.items = []
+        self.flushed = 0
+        self.closed = 0
+
+    def add(self, s):
+        self.items.append(s)
+
+    def flush(self):
+        self.flushed += 1
+
+    def close(self):
+        self.closed += 1
+
+
+class ExplodingSink(ListSink):
+    def close(self):
+        raise IOError("disk full")
+
+
+class TestAttach:
+    def test_rejects_objects_without_add(self):
+        with pytest.raises(TypeError, match="add"):
+            SampleRouter([object()])
+
+    def test_accepts_anything_with_callable_add(self):
+        sink = ListSink()
+        router = SampleRouter([sink])
+        assert router.sinks == (sink,)
+        assert len(router) == 1
+
+
+class TestRouting:
+    def test_route_fans_out_to_all_sinks(self):
+        a, b = ListSink(), ListSink()
+        router = SampleRouter([a, b])
+        s = sample()
+        router.route(s)
+        assert a.items == [s] and b.items == [s]
+
+    def test_route_batch_zero_sinks_is_a_noop(self):
+        SampleRouter().route_batch([sample(i) for i in range(3)])
+
+    @pytest.mark.parametrize("fanout", [1, 2, 3])
+    def test_route_batch_preserves_order(self, fanout):
+        sinks = [ListSink() for _ in range(fanout)]
+        router = SampleRouter(sinks)
+        batch = [sample(i) for i in range(5)]
+        router.route_batch(batch)
+        for sink in sinks:
+            assert sink.items == batch
+
+    def test_router_is_itself_a_sink(self):
+        inner_sink = ListSink()
+        inner = SampleRouter([inner_sink])
+        outer = SampleRouter([inner])  # nesting via add = route
+        s = sample()
+        outer.route(s)
+        assert inner_sink.items == [s]
+
+
+class TestLifecycle:
+    def test_close_flushes_then_closes(self):
+        sink = ListSink()
+        router = SampleRouter([sink])
+        router.close()
+        assert sink.flushed == 1 and sink.closed == 1
+
+    def test_close_is_idempotent(self):
+        sink = ListSink()
+        router = SampleRouter([sink])
+        router.close()
+        router.close()
+        assert sink.closed == 1
+
+    def test_one_failing_sink_does_not_strand_the_rest(self):
+        bad, good = ExplodingSink(), ListSink()
+        router = SampleRouter([bad, good])
+        with pytest.raises(IOError, match="disk full"):
+            router.close()
+        assert good.closed == 1  # closed despite the earlier failure
