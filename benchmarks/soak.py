@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Nightly soak: every monitor, one big mixed trace, telemetry on.
+
+The nightly CI workflow runs this at REPRO_BENCH_CONNECTIONS=5000 — a
+campus-scale TCP trace plus a QUIC spin-bit session interleaved by
+timestamp, pushed through one :class:`~repro.engine.MonitorEngine`
+pass with all five registered monitors attached (Dart flow-sharded
+across process workers) and a Prometheus telemetry emitter writing
+periodic snapshots to disk.
+
+Pass criteria (exit 0):
+
+* the pass completes — no :class:`~repro.cluster.ShardFailure` raised,
+  no :class:`~repro.cluster.ClusterPartialResultWarning` observed, and
+  every shard result is complete (``partial=False``, zero windows
+  lost);
+* every monitor produced RTT samples;
+* the telemetry snapshot file exists and parses back as well-formed
+  Prometheus text exposition with zero partial shards recorded.
+
+The final snapshot (``--telemetry-out``) is the workflow's uploaded
+artifact: one complete end-of-trace exposition, atomically rewritten
+per emission, so a failed night still leaves the last good state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+import warnings
+from pathlib import Path
+from typing import List, Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cluster import ClusterPartialResultWarning, ShardedMonitor  # noqa: E402
+from repro.engine import (  # noqa: E402
+    MonitorEngine,
+    MonitorOptions,
+    available,
+    get_spec,
+    create,
+    monitor_factory,
+)
+from repro.obs import TelemetryEmitter, parse_prometheus  # noqa: E402
+from repro.quic import QuicScenarioConfig, generate_quic_trace  # noqa: E402
+from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
+
+DEFAULT_CONNECTIONS = int(os.environ.get("REPRO_BENCH_CONNECTIONS", "5000"))
+SEED = 19
+SHARDS = 4
+
+
+def build_records(connections: int):
+    """One time-ordered mixed trace: campus TCP + a QUIC session."""
+    trace = generate_campus_trace(
+        CampusTraceConfig(connections=connections, seed=SEED)
+    )
+    tcp_records = trace.records
+    duration_ns = tcp_records[-1].timestamp_ns - tcp_records[0].timestamp_ns
+    quic_trace = generate_quic_trace(
+        QuicScenarioConfig(duration_ns=max(duration_ns, 1_000_000_000))
+    )
+    merged = list(tcp_records) + list(quic_trace.records)
+    merged.sort(key=lambda r: r.timestamp_ns)
+    return trace, quic_trace, merged
+
+
+def build_engine(trace, emitter) -> MonitorEngine:
+    """All five registered monitors on one engine; Dart sharded."""
+    engine = MonitorEngine(telemetry=emitter)
+    options = MonitorOptions(
+        is_client=lambda addr: trace.is_internal(addr)
+    )
+    for name in available():
+        spec = get_spec(name)
+        if name == "dart":
+            monitor = ShardedMonitor(
+                shards=SHARDS,
+                parallel="process",
+                monitor_factory=monitor_factory(name, options),
+            )
+        else:
+            monitor = create(name, options)
+        engine.add_monitor(monitor, name=name, record_kind=spec.record_kind)
+    return engine
+
+
+def check_cluster_health(engine, failures: List[str]) -> None:
+    dart = engine["dart"].monitor
+    for result in dart.shard_results:
+        if result.partial:
+            failures.append(f"shard {result.shard_id} finished partial")
+        if result.windows_lost:
+            failures.append(
+                f"shard {result.shard_id} lost {result.windows_lost} windows"
+            )
+
+
+def check_samples(engine, failures: List[str]) -> None:
+    for run in engine.runs:
+        if not run.monitor.samples:
+            failures.append(f"monitor {run.name!r} produced zero samples")
+
+
+def check_snapshot(path: str, failures: List[str]) -> None:
+    try:
+        snapshot = parse_prometheus(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        failures.append(f"telemetry snapshot unreadable: {exc}")
+        return
+    if len(snapshot) == 0:
+        failures.append("telemetry snapshot carries no metrics")
+        return
+    partial = snapshot.get("dart_cluster_partial_shards_total")
+    if partial is not None and sum(partial.values.values()) != 0:
+        failures.append("telemetry recorded partial shards")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Soak every monitor over one large mixed trace.",
+    )
+    parser.add_argument("--connections", type=int,
+                        default=DEFAULT_CONNECTIONS,
+                        help="campus trace size (default: "
+                             "$REPRO_BENCH_CONNECTIONS or 5000)")
+    parser.add_argument("--telemetry-out", default="soak_telemetry.prom",
+                        help="Prometheus snapshot file (default: "
+                             "soak_telemetry.prom)")
+    parser.add_argument("--telemetry-interval", type=float, default=2.0,
+                        help="seconds between emissions (default 2.0)")
+    args = parser.parse_args(argv)
+
+    print(f"generating traces ({args.connections} connections, seed {SEED})"
+          "...", file=sys.stderr)
+    trace, quic_trace, records = build_records(args.connections)
+    print(f"trace: {len(records)} records ({trace.packets} TCP + "
+          f"{quic_trace.packets} QUIC)", file=sys.stderr)
+
+    emitter = TelemetryEmitter(
+        "prom", interval_s=args.telemetry_interval, path=args.telemetry_out
+    )
+    engine = build_engine(trace, emitter)
+
+    failures: List[str] = []
+    started = time.perf_counter()
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = engine.run(records)
+    elapsed = time.perf_counter() - started
+    for warning in caught:
+        if issubclass(warning.category, ClusterPartialResultWarning):
+            failures.append(f"partial-result warning: {warning.message}")
+
+    check_cluster_health(engine, failures)
+    check_samples(engine, failures)
+    check_snapshot(args.telemetry_out, failures)
+
+    print(f"soak: {report.records} records in {elapsed:.1f}s "
+          f"({report.records_per_second:,.0f} rec/s)", file=sys.stderr)
+    for run in engine.runs:
+        print(f"  {run.name:<10} {len(run.monitor.samples):>8} samples",
+              file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"soak: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("soak: ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

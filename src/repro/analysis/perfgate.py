@@ -22,6 +22,10 @@ Rules:
   (default 5%) over calling ``Dart.process_batch`` directly.  This is a
   *within-report* check (both numbers come from the same run, so shared
   noise cancels); it is skipped for reports without an engine section.
+* When the fresh report also carries ``serial_engine_telemetry``, the
+  gate asserts a live :class:`repro.obs.TelemetryEmitter` costs at most
+  ``--telemetry-overhead`` (default 3%) over the telemetry-off engine
+  pass — the telemetry overhead budget from DESIGN §9.
 
 Usage::
 
@@ -43,12 +47,17 @@ from typing import Dict, List, Optional
 #: apples to oranges.
 #: v2 added the ``serial_engine`` section (Dart driven through
 #: ``repro.engine.MonitorEngine``) and the engine-overhead check.
-SCHEMA = "dart-perf-baseline/2"
+#: v3 added ``serial_engine_telemetry`` (same engine pass with a live
+#: :class:`repro.obs.TelemetryEmitter`) and the telemetry-overhead check.
+SCHEMA = "dart-perf-baseline/3"
 
 DEFAULT_THRESHOLD = 0.15
 #: Allowed fractional throughput cost of the engine layer vs calling
 #: ``process_batch`` directly (same run, same records).
 ENGINE_OVERHEAD_THRESHOLD = 0.05
+#: Allowed fractional throughput cost of telemetry-on vs telemetry-off
+#: for the same engine pass (DESIGN §9's overhead budget).
+TELEMETRY_OVERHEAD_THRESHOLD = 0.03
 
 
 class PerfGateError(ValueError):
@@ -147,7 +156,12 @@ def compare(
 
 @dataclass(slots=True)
 class EngineOverhead:
-    """Within-report engine-vs-direct throughput comparison."""
+    """Within-report throughput comparison: a layer vs its baseline.
+
+    Used for both the engine-vs-direct and the telemetry-on-vs-off
+    checks; ``direct_pps`` is the cheaper configuration, ``engine_pps``
+    the one paying the layer under test.
+    """
 
     direct_pps: float
     engine_pps: float
@@ -180,6 +194,27 @@ def check_engine_overhead(
     if direct is None or engine is None:
         return None
     return EngineOverhead(direct_pps=direct, engine_pps=engine,
+                          threshold=threshold)
+
+
+def check_telemetry_overhead(
+    report: dict, *, threshold: float = TELEMETRY_OVERHEAD_THRESHOLD
+) -> Optional[EngineOverhead]:
+    """Compare ``serial_engine_telemetry`` against ``serial_engine``.
+
+    A within-report check like :func:`check_engine_overhead`: both
+    numbers come from the same run, so shared-machine noise cancels.
+    Returns ``None`` (check skipped) when the report has no telemetry
+    section.
+    """
+    if not 0 < threshold < 1:
+        raise PerfGateError("telemetry-overhead threshold must be in (0, 1)")
+    flat = _flatten(report)
+    plain = flat.get("serial_engine.packets_per_second")
+    telemetry = flat.get("serial_engine_telemetry.packets_per_second")
+    if plain is None or telemetry is None:
+        return None
+    return EngineOverhead(direct_pps=plain, engine_pps=telemetry,
                           threshold=threshold)
 
 
@@ -217,6 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=ENGINE_OVERHEAD_THRESHOLD, metavar="FRAC",
                         help="allowed engine-vs-direct throughput cost "
                              f"(default {ENGINE_OVERHEAD_THRESHOLD})")
+    parser.add_argument("--telemetry-overhead", type=float,
+                        default=TELEMETRY_OVERHEAD_THRESHOLD, metavar="FRAC",
+                        help="allowed telemetry-on-vs-off throughput cost "
+                             f"(default {TELEMETRY_OVERHEAD_THRESHOLD})")
     args = parser.parse_args(argv)
     try:
         fresh = load_report(args.fresh)
@@ -228,6 +267,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         overhead = check_engine_overhead(fresh,
                                          threshold=args.engine_overhead)
+        telemetry_overhead = check_telemetry_overhead(
+            fresh, threshold=args.telemetry_overhead
+        )
     except PerfGateError as exc:
         print(f"perfgate: {exc}", file=sys.stderr)
         return 2
@@ -250,6 +292,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "perfgate: MonitorEngine costs more than "
                 f"{args.engine_overhead:.0%} over direct process_batch",
+                file=sys.stderr,
+            )
+            failed = True
+    if telemetry_overhead is not None:
+        verdict = "FAIL" if telemetry_overhead.exceeded else "ok"
+        print(f"telemetry overhead: "
+              f"{telemetry_overhead.overhead_percent:+.1f}% "
+              f"vs telemetry-off engine pass (limit "
+              f"{telemetry_overhead.threshold:.0%})  {verdict}")
+        if telemetry_overhead.exceeded:
+            print(
+                "perfgate: telemetry costs more than "
+                f"{args.telemetry_overhead:.0%} over a telemetry-off run",
                 file=sys.stderr,
             )
             failed = True

@@ -28,6 +28,7 @@ from ..engine import (
     create,
     get_spec,
 )
+from ..obs import add_telemetry_arguments, emitter_from_args
 from ..traces import CampusTraceConfig, generate_campus_trace, replay
 
 LARGE_RT = 1 << 18
@@ -62,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="process",
                         help="execution mode for --shards > 1 "
                              "(default: process)")
+    add_telemetry_arguments(parser)
     return parser
 
 
@@ -111,10 +113,39 @@ def main(argv: Optional[list] = None) -> int:
                                parallel=args.parallel, leg_filter=leg())
         return Dart(config, leg_filter=leg())
 
+    extra = list(dict.fromkeys(args.monitors or ()))
+    emitter = emitter_from_args(args)
+    points = [(label, build_monitor(config))
+              for label, config in sweep_points(args)]
+    reference_monitors = []
+    if emitter is not None:
+        # Telemetry wants one observable trace pass: every sweep point
+        # and reference monitor rides the same engine, so the emitter
+        # sees the whole run (per-monitor chunk timings included).
+        engine = MonitorEngine(telemetry=emitter)
+        options = MonitorOptions(leg_filter=leg())
+        for label, dart in points:
+            engine.add_monitor(dart, name=f"sweep-{label}")
+        for name in extra:
+            monitor = create(name, options)
+            engine.add_monitor(monitor, name=name)
+            reference_monitors.append((name, monitor))
+        engine.run(trace.records)
+    else:
+        for _, dart in points:
+            replay(trace.records, dart)
+        if extra:
+            # All reference monitors share one engine pass over the trace.
+            engine = MonitorEngine()
+            options = MonitorOptions(leg_filter=leg())
+            for name in extra:
+                monitor = create(name, options)
+                engine.add_monitor(monitor, name=name)
+                reference_monitors.append((name, monitor))
+            engine.run(trace.records)
+
     rows = []
-    for label, config in sweep_points(args):
-        dart = build_monitor(config)
-        replay(trace.records, dart)
+    for label, dart in points:
         perf = evaluate_dart(
             reference,
             [s.rtt_ns for s in dart.samples],
@@ -126,27 +157,19 @@ def main(argv: Optional[list] = None) -> int:
             perf.error_worst_5_95, perf.fraction_collected,
             perf.recirculations_per_packet,
         ])
-    extra = list(dict.fromkeys(args.monitors or ()))
-    if extra:
-        # All reference monitors share one engine pass over the trace.
-        engine = MonitorEngine()
-        options = MonitorOptions(leg_filter=leg())
-        for name in extra:
-            engine.add_monitor(create(name, options), name=name)
-        engine.run(trace.records)
-        for run in engine.runs:
-            stats = run.monitor.stats
-            perf = evaluate_dart(
-                reference,
-                [s.rtt_ns for s in run.monitor.samples],
-                recirculations=getattr(stats, "recirculations", 0),
-                packets_processed=stats.packets_processed,
-            )
-            rows.append([
-                f"[{run.name}]", perf.error_p50, perf.error_p95,
-                perf.error_p99, perf.error_worst_5_95,
-                perf.fraction_collected, perf.recirculations_per_packet,
-            ])
+    for name, monitor in reference_monitors:
+        stats = monitor.stats
+        perf = evaluate_dart(
+            reference,
+            [s.rtt_ns for s in monitor.samples],
+            recirculations=getattr(stats, "recirculations", 0),
+            packets_processed=stats.packets_processed,
+        )
+        rows.append([
+            f"[{name}]", perf.error_p50, perf.error_p95,
+            perf.error_p99, perf.error_worst_5_95,
+            perf.fraction_collected, perf.recirculations_per_packet,
+        ])
     print(render_table(
         [args.sweep, "err p50 (%)", "err p95 (%)", "err p99 (%)",
          "worst [5,95] (%)", "fraction (%)", "recirc/pkt"],

@@ -34,6 +34,7 @@ from ..engine import (
 )
 from ..net.inet import format_prefix, ipv4_to_int, prefix_of
 from ..net.pcapng import read_any_capture
+from ..obs import add_telemetry_arguments, emitter_from_args
 
 SEC = 1_000_000_000
 
@@ -59,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="min-RTT window size in samples (default 8)")
     parser.add_argument("--rise-factor", type=float, default=2.0,
                         help="abrupt-rise threshold (default 2.0x)")
+    add_telemetry_arguments(parser)
     return parser
 
 
@@ -133,7 +135,7 @@ def main(argv: Optional[list] = None) -> int:
     monitor = create(args.monitor, options)
     sink = DetectionSink(prefix_len=args.prefix_len, window=args.window,
                          rise_factor=args.rise_factor)
-    engine = MonitorEngine()
+    engine = MonitorEngine(telemetry=emitter_from_args(args))
     engine.add_monitor(monitor, name=args.monitor, sinks=[sink])
     engine.run(read_any_capture(args.pcap))
 

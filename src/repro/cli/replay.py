@@ -25,6 +25,7 @@ from ..analysis import percentile, render_table
 from ..core import DartConfig, make_leg_filter
 from ..engine import MonitorEngine, MonitorOptions, available, create, get_spec
 from ..net.inet import ipv4_to_int, prefix_of
+from ..obs import add_telemetry_arguments, emitter_from_args
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flows", type=int, metavar="N", default=0,
                         help="print per-flow summaries for the N busiest "
                              "flows")
+    add_telemetry_arguments(parser)
     return parser
 
 
@@ -167,7 +169,7 @@ def main(argv: Optional[list] = None) -> int:
     if summaries is not None:
         extra_sinks.append(summaries)
 
-    engine = MonitorEngine()
+    engine = MonitorEngine(telemetry=emitter_from_args(args))
     for index, name in enumerate(monitors):
         engine.add_monitor(
             build_monitor(name, args, options),

@@ -30,6 +30,7 @@ from .merge import (
     merge_results,
     merge_sample_lists,
     merge_stats,
+    merge_telemetry,
     merge_window_histories,
 )
 from .sharding import (
@@ -43,6 +44,7 @@ from .sharding import (
 from .worker import (
     DEFAULT_JOIN_TIMEOUT,
     DEFAULT_QUEUE_DEPTH,
+    ClusterPartialResultWarning,
     InlineWorker,
     MonitorFactory,
     ProcessWorker,
@@ -54,6 +56,7 @@ from .worker import (
 
 __all__ = [
     "BatchDispatcher",
+    "ClusterPartialResultWarning",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_JOIN_TIMEOUT",
     "DEFAULT_QUEUE_DEPTH",
@@ -73,6 +76,7 @@ __all__ = [
     "merge_results",
     "merge_sample_lists",
     "merge_stats",
+    "merge_telemetry",
     "merge_window_histories",
     "shard_of",
     "shard_of_flow",

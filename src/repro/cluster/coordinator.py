@@ -302,6 +302,69 @@ class ShardedDart:
         """Per-shard counters, e.g. eviction/recirculation breakdowns."""
         return [result.stats for result in self.shard_results]
 
+    # -- Telemetry ----------------------------------------------------------
+
+    def collect_telemetry(self, registry: Any, name: str) -> None:
+        """Sample cluster state into an obs registry (emission-time hook).
+
+        The engine's telemetry collector calls this instead of the
+        generic monitor path because reading :attr:`stats` mid-run
+        would finalize the cluster.  What it reports depends on phase:
+
+        * mid-flight — coordinator-side observables only: per-shard
+          inbox depth, worker liveness, and packets dispatched (the
+          workers' own counters live in other processes until harvest);
+        * after finalize — the per-shard worker snapshots that shipped
+          home inside each ``ShardResult``, summed into the registry,
+          plus merge/partial/window-loss accounting.
+        """
+        if self.dart is not None:
+            from ..obs.collect import collect_monitor
+
+            collect_monitor(registry, self.dart, name)
+            return
+        shard_labels = ("monitor", "shard")
+        queue_depth = registry.gauge(
+            "dart_cluster_queue_depth",
+            "Batches waiting in this shard's inbox (-1: unknown)",
+            shard_labels,
+        )
+        alive = registry.gauge(
+            "dart_cluster_worker_alive",
+            "1 while the shard's worker is alive", shard_labels,
+        )
+        for worker in self._workers:
+            depth, live = worker.telemetry_probe()
+            labels = (name, str(worker.shard_id))
+            queue_depth.set(labels, depth)
+            alive.set(labels, 1 if live else 0)
+        dispatched = registry.counter(
+            "dart_cluster_dispatched_total",
+            "Packets routed to this shard so far", shard_labels,
+        )
+        for shard, count in self._dispatcher.dispatched.items():
+            dispatched.set_cumulative((name, str(shard)), count)
+        if self._merged is None:
+            return
+        registry.counter(
+            "dart_cluster_merges_total",
+            "Cluster-wide result merges performed", ("monitor",),
+        ).set_cumulative((name,), 1)
+        registry.counter(
+            "dart_cluster_partial_shards_total",
+            "Shards whose results were partial (failed mid-trace)",
+            ("monitor",),
+        ).set_cumulative(
+            (name,), sum(1 for r in self._results if r.partial)
+        )
+        registry.counter(
+            "dart_cluster_windows_lost_total",
+            "In-flight analytics windows dropped by partial harvests",
+            ("monitor", "shard"),
+        ).set_cumulative((name, ""), self._merged.windows_lost)
+        if self._merged.telemetry is not None:
+            registry.absorb(self._merged.telemetry)
+
     def range_collapses(self) -> int:
         """Total Range Tracker collapses across shards.
 

@@ -17,12 +17,13 @@ merged output is bit-identical to a serial run versus multiset-equal.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+import warnings
+from typing import Any, Iterable, List, Optional, Sequence
 
 from ..core.analytics import MinFilterAnalytics, WindowMinimum
 from ..core.pipeline import DartStats
 from ..core.samples import RttSample, SampleCollector
-from .worker import ShardResult
+from .worker import ClusterPartialResultWarning, ShardResult
 
 
 def merge_stats(stats: Iterable[Any]) -> Any:
@@ -108,13 +109,37 @@ def absorb_window_history(
     return analytics
 
 
+def merge_telemetry(results: Sequence[ShardResult]) -> Optional[Any]:
+    """Sum the shards' obs snapshots (None when no shard carried one)."""
+    snapshots = [r.telemetry for r in results if r.telemetry is not None]
+    if not snapshots:
+        return None
+    from ..obs.snapshot import merge_snapshots
+
+    return merge_snapshots(snapshots)
+
+
 def merge_results(results: Iterable[ShardResult]) -> ShardResult:
     """Collapse per-shard results into one cluster-wide ShardResult.
 
     The merged object uses shard id -1 (it belongs to no single shard)
-    and is marked partial if any contributing result was.
+    and is marked partial if any contributing result was.  Merging a
+    partial result is loud: the failed shard's in-flight analytics
+    windows are gone, so a :class:`ClusterPartialResultWarning` names
+    the failed shards and the window count lost — salvaged views must
+    never read as complete ones.
     """
     ordered = sorted(results, key=lambda r: r.shard_id)
+    failed = [r.shard_id for r in ordered if r.partial]
+    if failed:
+        lost = sum(r.windows_lost for r in ordered)
+        warnings.warn(
+            f"merging partial results: shard(s) {failed} failed "
+            f"mid-trace; {lost} in-flight analytics window(s) lost "
+            "(their samples are absent from the merged view)",
+            ClusterPartialResultWarning,
+            stacklevel=2,
+        )
     return ShardResult(
         shard_id=-1,
         packets=sum(r.packets for r in ordered),
@@ -125,4 +150,6 @@ def merge_results(results: Iterable[ShardResult]) -> ShardResult:
         ),
         rt_collapses=sum(r.rt_collapses for r in ordered),
         partial=any(r.partial for r in ordered),
+        windows_lost=sum(r.windows_lost for r in ordered),
+        telemetry=merge_telemetry(ordered),
     )

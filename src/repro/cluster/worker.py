@@ -60,6 +60,16 @@ DEFAULT_JOIN_TIMEOUT = 30.0
 _POLL_S = 0.1
 
 
+class ClusterPartialResultWarning(UserWarning):
+    """Partial (failed-shard) results entered a merge.
+
+    Raised as a *warning*, not an error, because the caller explicitly
+    opted into salvaging ``ShardFailure.partial`` — but the merged view
+    silently missing the failed shard's in-flight analytics windows is
+    exactly the kind of quiet data loss an operator must see.
+    """
+
+
 class ShardFailure(RuntimeError):
     """A shard's worker crashed, died, or missed its join deadline.
 
@@ -109,6 +119,14 @@ class ShardResult:
     #: True when the worker failed before end-of-trace and these are
     #: the counters it had accumulated at the point of failure.
     partial: bool = False
+    #: Open analytics windows (windows that had accumulated samples but
+    #: never closed) dropped by a partial harvest — a crashed worker's
+    #: in-flight window state cannot be flushed safely, so the loss is
+    #: counted here and surfaced by the merge instead of vanishing.
+    windows_lost: int = 0
+    #: Worker-side :class:`repro.obs.Snapshot`; plain data, so it ships
+    #: across the process boundary and merges by summation.
+    telemetry: Optional[Any] = None
 
 
 def harvest(
@@ -135,6 +153,7 @@ def harvest(
     if not partial:
         monitor.finalize(end_ns)
     range_tracker = getattr(monitor, "range_tracker", None)
+    windows_lost = _open_window_count(monitor) if partial else 0
     return ShardResult(
         shard_id=shard_id,
         packets=monitor.stats.packets_processed,
@@ -149,7 +168,42 @@ def harvest(
             else 0
         ),
         partial=partial,
+        windows_lost=windows_lost,
+        telemetry=_shard_telemetry(shard_id, monitor),
     )
+
+
+def _open_window_count(monitor: Any) -> int:
+    """How many in-flight analytics windows a partial harvest drops.
+
+    Only windows that had already accumulated samples count — an empty
+    time window carries no information (the same rule
+    ``MinFilterAnalytics._close`` applies on flush).
+    """
+    state = getattr(getattr(monitor, "analytics", None), "_state", None)
+    if not state:
+        return 0
+    return sum(
+        1 for window in state.values()
+        if getattr(window, "min_rtt_ns", None) is not None
+    )
+
+
+def _shard_telemetry(shard_id: int, monitor: Any):
+    """Freeze the shard's metric state for the trip home.
+
+    Runs once per shard at harvest (never per packet), in the worker
+    context, so the coordinator can aggregate worker-side counters by
+    merging plain-data snapshots instead of sharing any live state.
+    """
+    from ..obs.collect import collect_monitor
+    from ..obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    collect_monitor(
+        registry, monitor, type(monitor).__name__.lower(), str(shard_id)
+    )
+    return registry.snapshot()
 
 
 class InlineWorker:
@@ -170,6 +224,11 @@ class InlineWorker:
         end_ns: Optional[int] = None,
     ) -> ShardResult:
         return harvest(self.shard_id, self._monitor, end_ns=end_ns)
+
+    def telemetry_probe(self) -> Tuple[int, bool]:
+        """(queue depth, liveness) — inline work has neither queue nor
+        separate liveness, so it reports an empty queue and alive."""
+        return 0, True
 
     def abort(self) -> None:
         pass
@@ -253,6 +312,10 @@ class ThreadWorker:
         if self._error is not None:
             raise self._failure()
         self._checked_put(batch)
+
+    def telemetry_probe(self) -> Tuple[int, bool]:
+        """(inbox depth in batches, worker thread liveness)."""
+        return self._batches.qsize(), self._thread.is_alive()
 
     def finish(
         self,
@@ -410,6 +473,19 @@ class ProcessWorker:
         if not self._proc.is_alive():
             raise self._died()
         self._checked_put(encode_batch(batch))
+
+    def telemetry_probe(self) -> Tuple[int, bool]:
+        """(inbox depth in batches, subprocess liveness).
+
+        ``multiprocessing.Queue.qsize`` is unimplemented on some
+        platforms (macOS); report -1 ("unknown") there rather than
+        breaking the probe.
+        """
+        try:
+            depth = self._batches.qsize()
+        except NotImplementedError:
+            depth = -1
+        return depth, self._proc.is_alive()
 
     def finish(
         self,

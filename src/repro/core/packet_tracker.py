@@ -169,6 +169,10 @@ class StagedPacketTable:
         self._stages: List[List[Optional[PtRecord]]] = [
             [None] * self._stage_slots for _ in range(stages)
         ]
+        # Maintained at every None<->record transition so occupancy() is
+        # O(1) — telemetry samples it per emission, and a slot scan
+        # would dominate the emission cost.
+        self._occupied = 0
         self.stats = PacketTrackerStats()
 
     def __len__(self) -> int:
@@ -201,6 +205,7 @@ class StagedPacketTable:
             occupant = self._stages[stage][index]
             if occupant is None:
                 self._stages[stage][index] = record
+                self._occupied += 1
                 self.stats.placed_empty += 1
                 return InsertOutcome(InsertStatus.PLACED)
             if occupant.matches(record.signature, record.eack):
@@ -233,6 +238,7 @@ class StagedPacketTable:
             occupant = self._stages[stage][index]
             if occupant is not None and occupant.matches(signature, ack):
                 self._stages[stage][index] = None
+                self._occupied -= 1
                 self.stats.matches += 1
                 return occupant
         self.stats.lookup_misses += 1
@@ -247,12 +253,11 @@ class StagedPacketTable:
                 if occupant is not None and occupant.signature == signature:
                     stage[index] = None
                     dropped += 1
+        self._occupied -= dropped
         return dropped
 
     def occupancy(self) -> int:
-        return sum(
-            1 for stage in self._stages for slot in stage if slot is not None
-        )
+        return self._occupied
 
     def records(self) -> List[PtRecord]:
         """All live records (introspection for tests and examples)."""

@@ -164,6 +164,10 @@ class HashedRangeTable:
         self._slots: list = [None] * slots
         self._size = slots
         self._overwrite_collapsed = overwrite_collapsed
+        # Maintained at every None<->entry transition so occupancy() is
+        # O(1) — telemetry samples it per emission, and a slot scan over
+        # 2^18 entries would dominate the emission cost.
+        self._occupied = 0
 
     def __len__(self) -> int:
         return self._size
@@ -185,6 +189,8 @@ class HashedRangeTable:
         index = self._index(flow)
         occupant = self._slots[index]
         if occupant is None or occupant.signature == entry.signature:
+            if occupant is None:
+                self._occupied += 1
             self._slots[index] = entry
             return True, False
         if self._overwrite_collapsed and occupant.collapsed:
@@ -197,6 +203,7 @@ class HashedRangeTable:
         occupant = self._slots[index]
         if occupant is not None and occupant.signature == flow.signature:
             self._slots[index] = None
+            self._occupied -= 1
 
     def purge_expired(self, flow: FlowKey, now_ns: int,
                       timeout_ns: int) -> bool:
@@ -210,11 +217,12 @@ class HashedRangeTable:
         occupant = self._slots[index]
         if occupant is not None and now_ns - occupant.touched_ns > timeout_ns:
             self._slots[index] = None
+            self._occupied -= 1
             return True
         return False
 
     def occupancy(self) -> int:
-        return sum(1 for slot in self._slots if slot is not None)
+        return self._occupied
 
 
 class RangeTracker:

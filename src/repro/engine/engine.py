@@ -48,6 +48,7 @@ class MonitorRun:
     record_kind: str  # "tcp" | "quic"
     records_seen: int = 0
     samples_routed: int = 0
+    finalize_seconds: float = 0.0
 
 
 @dataclass(slots=True)
@@ -67,14 +68,40 @@ class EngineReport:
 
 
 class MonitorEngine:
-    """Drives registered monitors through a single trace pass."""
+    """Drives registered monitors through a single trace pass.
 
-    def __init__(self, *, chunk_size: int = TRACE_CHUNK) -> None:
+    ``telemetry`` attaches a :class:`repro.obs.TelemetryEmitter`: the
+    engine registers a collector covering itself and every attached
+    monitor, times each monitor's per-chunk ``process_batch`` into a
+    histogram, and gives the emitter one interval check per ingest
+    chunk — so a live run periodically exports its metric state while
+    the trace is still flowing.  With ``telemetry=None`` (the default)
+    the loop contains a single ``is None`` test per chunk and the obs
+    machinery is never imported, keeping the telemetry-off fast path
+    allocation-free.
+    """
+
+    def __init__(self, *, chunk_size: int = TRACE_CHUNK,
+                 telemetry: Optional[Any] = None) -> None:
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
         self._chunk_size = chunk_size
         self._runs: List[MonitorRun] = []
         self._names: Dict[str, MonitorRun] = {}
+        self._telemetry = telemetry
+        self._chunk_seconds: Optional[Any] = None
+        self._chunk_pps: Optional[Any] = None
+        if telemetry is not None:
+            telemetry.add_collector(self._collect_telemetry)
+            self._chunk_seconds = telemetry.registry.histogram(
+                "dart_engine_chunk_seconds",
+                "Wall time one monitor spends on one ingest chunk",
+                ("monitor",),
+            )
+            self._chunk_pps = telemetry.registry.gauge(
+                "dart_engine_chunk_pps",
+                "Throughput over the most recent chunk", ("monitor",),
+            )
 
     # -- wiring ---------------------------------------------------------------
 
@@ -122,6 +149,7 @@ class MonitorEngine:
         """Feed every record to every attached monitor, then finalize."""
         if not self._runs:
             raise RuntimeError("no monitors attached (call add_monitor first)")
+        telemetry = self._telemetry
         report = EngineReport(runs=list(self._runs))
         kinds = {run.record_kind for run in self._runs}
         mixed = len(kinds) == 2
@@ -161,12 +189,26 @@ class MonitorEngine:
                 if not part:
                     continue
                 run.records_seen += len(part)
-                samples = run.monitor.process_batch(part)
+                if telemetry is not None:
+                    chunk_started = time.perf_counter()
+                    samples = run.monitor.process_batch(part)
+                    elapsed = time.perf_counter() - chunk_started
+                    self._chunk_seconds.observe(elapsed, (run.name,))
+                    if elapsed > 0:
+                        # Per-batch throughput: the live pps this monitor
+                        # sustained over its most recent chunk.
+                        self._chunk_pps.set((run.name,), len(part) / elapsed)
+                else:
+                    samples = run.monitor.process_batch(part)
                 if samples:
                     run.samples_routed += len(samples)
                     run.router.route_batch(samples)
+            if telemetry is not None:
+                telemetry.maybe_emit()
         for run in self._runs:
+            finalize_started = time.perf_counter()
             run.monitor.finalize(end_ns)
+            run.finalize_seconds = time.perf_counter() - finalize_started
             if getattr(run.monitor, "defers_samples", False):
                 # Sharded monitors only surface samples after finalize
                 # (their shards retain samples locally until harvest).
@@ -176,4 +218,39 @@ class MonitorEngine:
             run.router.close()
         report.wall_seconds = time.perf_counter() - started
         report.end_ns = end_ns
+        if telemetry is not None:
+            # End-of-trace emission: even a sub-interval run exports its
+            # final state (and sharded monitors their merged counters).
+            telemetry.close()
         return report
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _collect_telemetry(self, registry: Any) -> None:
+        """Sample engine + per-monitor state (runs once per emission)."""
+        from ..obs.collect import collect_monitor
+
+        records_total = registry.counter(
+            "dart_engine_records_total",
+            "Records this monitor has been fed", ("monitor",),
+        )
+        routed_total = registry.counter(
+            "dart_engine_samples_routed_total",
+            "RTT samples fanned out to this monitor's sinks", ("monitor",),
+        )
+        fanout = registry.gauge(
+            "dart_engine_sink_fanout",
+            "Sinks attached to this monitor's sample router", ("monitor",),
+        )
+        finalize_seconds = registry.gauge(
+            "dart_engine_finalize_seconds",
+            "Wall time of this monitor's end-of-trace finalize",
+            ("monitor",),
+        )
+        for run in self._runs:
+            labels = (run.name,)
+            records_total.set_cumulative(labels, run.records_seen)
+            routed_total.set_cumulative(labels, run.samples_routed)
+            fanout.set(labels, len(run.router))
+            finalize_seconds.set(labels, run.finalize_seconds)
+            collect_monitor(registry, run.monitor, run.name)

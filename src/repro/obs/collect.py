@@ -1,0 +1,115 @@
+"""Collectors: sample existing monitor state into a metrics registry.
+
+The monitors already maintain cumulative counters (``DartStats``,
+``TcpTraceStats``, ``RangeTrackerStats``, ...) on their hot paths; the
+telemetry layer does not add per-packet work on top.  Instead, a
+collector runs once per emission interval and copies those counters
+into the registry (:meth:`~repro.obs.metrics.Counter.set_cumulative`),
+plus point-in-time gauges (table occupancy).
+
+Metric naming scheme (DESIGN §9): ``dart_<subsystem>_<what>[_total]``
+with subsystems ``monitor`` (per-monitor core counters), ``engine``
+(trace-pass plumbing), and ``cluster`` (shard coordination).  Every
+per-monitor metric carries ``monitor`` and ``shard`` labels; serial
+monitors use ``shard=""`` so the labelset shape is identical either
+side of the cluster merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from enum import Enum
+from typing import Any, Tuple
+
+from .metrics import MetricsRegistry
+
+#: Labels every per-monitor metric carries.
+MONITOR_LABELS: Tuple[str, ...] = ("monitor", "shard")
+VERDICT_LABELS: Tuple[str, ...] = ("monitor", "shard", "verdict")
+
+
+def _verdict_name(verdict: Any) -> str:
+    if isinstance(verdict, Enum):
+        return verdict.name.lower()
+    return str(verdict)
+
+
+def collect_stats(registry: MetricsRegistry, stats: Any,
+                  monitor: str, shard: str = "",
+                  prefix: str = "dart_monitor") -> None:
+    """Copy a stats dataclass into cumulative counters.
+
+    Integer fields become ``<prefix>_<field>_total{monitor=,shard=}``;
+    dict-valued fields (the verdict histograms) fan out into one
+    counter per verdict with a ``verdict`` label.
+    """
+    if not is_dataclass(stats):
+        return
+    labels = (monitor, shard)
+    for f in fields(stats):
+        value = getattr(stats, f.name)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            registry.counter(
+                f"{prefix}_{f.name}_total", label_names=MONITOR_LABELS
+            ).set_cumulative(labels, value)
+        elif isinstance(value, dict):
+            counter = registry.counter(
+                f"{prefix}_{f.name}_total", label_names=VERDICT_LABELS
+            )
+            for verdict, count in value.items():
+                counter.set_cumulative(
+                    (monitor, shard, _verdict_name(verdict)), count
+                )
+
+
+def collect_monitor(registry: MetricsRegistry, monitor: Any,
+                    name: str, shard: str = "") -> None:
+    """Sample one monitor's observable state into the registry.
+
+    A monitor may define ``collect_telemetry(registry, name)`` to take
+    over entirely (the cluster coordinator does — reading ``stats`` on
+    a mid-flight :class:`~repro.cluster.ShardedDart` would finalize
+    it).  Otherwise this generic path reads:
+
+    * the ``stats`` counters dataclass (every monitor has one),
+    * Range Tracker verdict/collapse counters and RT/PT occupancy
+      (Dart only; read through ``getattr`` guards like the cluster's
+      ``harvest`` does, so baselines collect cleanly).
+    """
+    custom = getattr(monitor, "collect_telemetry", None)
+    if callable(custom):
+        custom(registry, name)
+        return
+    labels = (name, shard)
+    collect_stats(registry, monitor.stats, name, shard)
+    range_tracker = getattr(monitor, "range_tracker", None)
+    if range_tracker is not None:
+        collect_stats(registry, range_tracker.stats, name, shard,
+                      prefix="dart_monitor_rt")
+        registry.counter(
+            "dart_monitor_rt_collapses_total",
+            "Total Range Tracker collapses (congestion signal, paper §3.1)",
+            MONITOR_LABELS,
+        ).set_cumulative(labels, range_tracker.stats.total_collapses)
+    occupancy = getattr(monitor, "occupancy", None)
+    if callable(occupancy):
+        occupied = occupancy()
+        if isinstance(occupied, tuple):
+            # Dart: (RT, PT) occupied-slot counts.
+            rt_occupied, pt_occupied = occupied
+            registry.gauge(
+                "dart_monitor_rt_occupancy",
+                "Occupied Range Tracker slots", MONITOR_LABELS,
+            ).set(labels, rt_occupied)
+            registry.gauge(
+                "dart_monitor_pt_occupancy",
+                "Occupied Packet Tracker slots", MONITOR_LABELS,
+            ).set(labels, pt_occupied)
+        else:
+            # Baselines expose one flow-table occupancy count.
+            registry.gauge(
+                "dart_monitor_table_occupancy",
+                "Occupied flow-table slots", MONITOR_LABELS,
+            ).set(labels, occupied)

@@ -1,0 +1,262 @@
+"""Exporters: Prometheus text exposition and JSON lines.
+
+Both formats render a :class:`~repro.obs.snapshot.Snapshot`:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``name{label="v"} value`` samples,
+  ``_bucket``/``_sum``/``_count`` expansion for histograms).  A scraper
+  or ``promtool check metrics`` consumes it as-is.
+* :func:`to_json` — one self-contained JSON object per emission
+  (schema ``dart-telemetry/1``), designed for ``jq``-friendly JSON
+  lines files: stable key order, labels as objects, histograms with
+  explicit bucket bounds.
+
+:func:`parse_prometheus` parses this module's own exposition output
+back into a Snapshot — the round-trip property the exporter tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .snapshot import MetricSnapshot, Snapshot
+
+#: Stamped into every JSON emission; bump on breaking shape changes.
+TELEMETRY_SCHEMA = "dart-telemetry/1"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, ch + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(label_names: Tuple[str, ...], labels: Tuple[str, ...],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(label_names, labels)
+    ]
+    pairs.extend(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in extra
+    )
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def to_prometheus(snapshot: Snapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(snapshot.metrics):
+        metric = snapshot.metrics[name]
+        if metric.help:
+            escaped = metric.help.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind == "histogram":
+            for labels in sorted(metric.bucket_counts):
+                counts = metric.bucket_counts[labels]
+                cumulative = 0
+                for bound, count in zip(
+                    metric.buckets + (math.inf,), counts
+                ):
+                    cumulative += count
+                    le = "+Inf" if bound == math.inf else _format_value(bound)
+                    labels_text = _labels_text(
+                        metric.label_names, labels, (("le", le),)
+                    )
+                    lines.append(f"{name}_bucket{labels_text} {cumulative}")
+                plain = _labels_text(metric.label_names, labels)
+                lines.append(
+                    f"{name}_sum{plain} "
+                    f"{_format_value(metric.sums.get(labels, 0.0))}"
+                )
+                lines.append(
+                    f"{name}_count{plain} {metric.counts.get(labels, 0)}"
+                )
+        else:
+            for labels in sorted(metric.values):
+                labels_text = _labels_text(metric.label_names, labels)
+                lines.append(
+                    f"{name}{labels_text} "
+                    f"{_format_value(metric.values[labels])}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def to_json(snapshot: Snapshot, *,
+            timestamp_unix_ns: Optional[int] = None) -> str:
+    """Render a snapshot as one JSON line (schema ``dart-telemetry/1``)."""
+    metrics = []
+    for name in sorted(snapshot.metrics):
+        metric = snapshot.metrics[name]
+        entry: Dict[str, object] = {
+            "name": name,
+            "kind": metric.kind,
+            "labels": list(metric.label_names),
+        }
+        if metric.kind == "histogram":
+            entry["buckets"] = list(metric.buckets)
+            entry["series"] = [
+                {
+                    "labels": list(labels),
+                    "bucket_counts": list(metric.bucket_counts[labels]),
+                    "sum": metric.sums.get(labels, 0.0),
+                    "count": metric.counts.get(labels, 0),
+                }
+                for labels in sorted(metric.bucket_counts)
+            ]
+        else:
+            entry["series"] = [
+                {"labels": list(labels), "value": metric.values[labels]}
+                for labels in sorted(metric.values)
+            ]
+        metrics.append(entry)
+    payload: Dict[str, object] = {
+        "schema": TELEMETRY_SCHEMA,
+        "sequence": snapshot.sequence,
+        "metrics": metrics,
+    }
+    if timestamp_unix_ns is not None:
+        payload["timestamp_unix_ns"] = timestamp_unix_ns
+    return json.dumps(payload, separators=(",", ":"), sort_keys=False)
+
+
+def _parse_sample_line(line: str) -> Tuple[str, Dict[str, str], float]:
+    """One exposition sample line -> (name, labels, value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        labels_text, value_text = rest.rsplit("} ", 1)
+        labels: Dict[str, str] = {}
+        i = 0
+        while i < len(labels_text):
+            eq = labels_text.index("=", i)
+            key = labels_text[i:eq]
+            assert labels_text[eq + 1] == '"'
+            j = eq + 2
+            while labels_text[j] != '"':
+                if labels_text[j] == "\\":
+                    j += 1
+                j += 1
+            labels[key] = _unescape_label_value(labels_text[eq + 2:j])
+            i = j + 1
+            if i < len(labels_text) and labels_text[i] == ",":
+                i += 1
+    else:
+        name, value_text = line.rsplit(" ", 1)
+        labels = {}
+    value_text = value_text.strip()
+    if value_text == "+Inf":
+        value = math.inf
+    elif value_text == "-Inf":
+        value = -math.inf
+    else:
+        value = float(value_text)
+    return name.strip(), labels, value
+
+
+def parse_prometheus(text: str) -> Snapshot:
+    """Parse :func:`to_prometheus` output back into a Snapshot.
+
+    Supports the subset this module emits (which is what the round-trip
+    tests need): counters, gauges, and histograms with cumulative
+    ``le`` buckets.  ``# HELP`` text survives the round trip.
+    """
+    kinds: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            kinds[name] = kind
+        elif line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            helps[name] = help_text.replace(r"\n", "\n").replace(r"\\", "\\")
+        elif line.startswith("#"):
+            continue
+        else:
+            samples.append(_parse_sample_line(line))
+
+    def base_name(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = sample_name[: -len(suffix)]
+            if sample_name.endswith(suffix) and kinds.get(trimmed) == \
+                    "histogram":
+                return trimmed
+        return sample_name
+
+    snapshot = Snapshot()
+    for sample_name, labels, value in samples:
+        name = base_name(sample_name)
+        kind = kinds.get(name, "gauge")
+        metric = snapshot.metrics.get(name)
+        if metric is None:
+            label_names = tuple(k for k in labels if k != "le")
+            metric = MetricSnapshot(
+                name=name, kind=kind, help=helps.get(name, ""),
+                label_names=label_names,
+            )
+            snapshot.metrics[name] = metric
+        labelset = tuple(
+            labels[k] for k in metric.label_names
+        )
+        if kind != "histogram":
+            metric.values[labelset] = value
+        elif sample_name.endswith("_sum"):
+            metric.sums[labelset] = value
+        elif sample_name.endswith("_count"):
+            metric.counts[labelset] = int(value)
+        else:  # _bucket
+            le = labels["le"]
+            bound = math.inf if le == "+Inf" else float(le)
+            # Cumulative counts arrive in ascending-bound order; stash
+            # them raw and de-cumulate once the labelset is complete.
+            raw_buckets = metric.bucket_counts.get(labelset, ())
+            metric.bucket_counts[labelset] = raw_buckets + (int(value),)
+            if bound != math.inf and bound not in metric.buckets:
+                metric.buckets = metric.buckets + (bound,)
+    # De-cumulate histogram buckets back to per-bucket counts.
+    for metric in snapshot.metrics.values():
+        if metric.kind != "histogram":
+            continue
+        metric.buckets = tuple(sorted(metric.buckets))
+        for labelset, cumulative in metric.bucket_counts.items():
+            counts = []
+            previous = 0
+            for value in cumulative:
+                counts.append(int(value) - previous)
+                previous = int(value)
+            metric.bucket_counts[labelset] = tuple(counts)
+    return snapshot

@@ -1,0 +1,249 @@
+"""Metric primitives: Counter, Gauge, Histogram, and their registry.
+
+Design constraints (DESIGN §9):
+
+* **Hot-path increments are one dict operation.**  Every primitive
+  stores its per-labelset values in a plain dict keyed by the label
+  *value* tuple; ``inc``/``set``/``observe`` are a ``dict.get`` plus a
+  store — no locks, no attribute indirection, no allocation beyond the
+  key tuple the caller already holds.
+* **No locks in the serial path.**  A registry belongs to one run (one
+  engine pass, one worker); cross-shard aggregation happens by merging
+  :class:`~repro.obs.snapshot.Snapshot` objects, never by sharing a
+  registry between threads or processes.
+* **Sampling beats instrumenting.**  The monitors already maintain
+  additive counters (``DartStats`` and friends); collectors copy those
+  cumulative values into the registry at emission time via
+  :meth:`Counter.set_cumulative`, so enabling telemetry adds *zero*
+  work per packet — only work per emission interval.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+LabelValues = Tuple[str, ...]
+
+_NO_LABELS: LabelValues = ()
+
+#: Prometheus metric/label name syntax (colons reserved for rules).
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default buckets for wall-clock durations in seconds (chunk timings,
+#: finalize durations): 1ms .. 10s, roughly log-spaced.
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str, what: str = "metric") -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid {what} name {name!r}")
+    return name
+
+
+class _Metric:
+    """Shared surface of the three primitives."""
+
+    __slots__ = ("name", "help", "label_names")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names = tuple(label_names)
+        for label in self.label_names:
+            _check_name(label, "label")
+
+    def _check_labels(self, labels: LabelValues) -> None:
+        if len(labels) != len(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected {len(self.label_names)} label "
+                f"value(s) {self.label_names}, got {labels!r}"
+            )
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, one value per labelset."""
+
+    __slots__ = ("values",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self.values: Dict[LabelValues, float] = {}
+
+    def inc(self, labels: LabelValues = _NO_LABELS,
+            amount: Union[int, float] = 1) -> None:
+        """Add ``amount`` (one dict get + store; the hot-path write)."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only go up")
+        values = self.values
+        values[labels] = values.get(labels, 0) + amount
+
+    def set_cumulative(self, labels: LabelValues,
+                       value: Union[int, float]) -> None:
+        """Overwrite with an externally maintained cumulative total.
+
+        The collector fast path: upstream counters (``DartStats`` et al.)
+        are already cumulative, so sampling them is a single store —
+        cheaper and race-free compared to computing deltas.
+        """
+        self.values[labels] = value
+
+    def value(self, labels: LabelValues = _NO_LABELS) -> float:
+        return self.values.get(labels, 0)
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (occupancy, queue depth)."""
+
+    __slots__ = ("values",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = ()) -> None:
+        super().__init__(name, help, label_names)
+        self.values: Dict[LabelValues, float] = {}
+
+    def set(self, labels: LabelValues = _NO_LABELS,
+            value: Union[int, float] = 0) -> None:
+        self.values[labels] = value
+
+    def inc(self, labels: LabelValues = _NO_LABELS,
+            amount: Union[int, float] = 1) -> None:
+        values = self.values
+        values[labels] = values.get(labels, 0) + amount
+
+    def dec(self, labels: LabelValues = _NO_LABELS,
+            amount: Union[int, float] = 1) -> None:
+        self.inc(labels, -amount)
+
+    def value(self, labels: LabelValues = _NO_LABELS) -> float:
+        return self.values.get(labels, 0)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the rest.  Per labelset the histogram keeps one bucket-count
+    list plus a running sum and count — ``observe`` is a bisect and
+    three stores.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sums", "counts")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Tuple[str, ...] = (),
+                 buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS) -> None:
+        super().__init__(name, help, label_names)
+        ordered = tuple(sorted(buckets))
+        if not ordered:
+            raise ValueError(f"{self.name}: need at least one bucket bound")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError(f"{self.name}: duplicate bucket bounds")
+        self.buckets = ordered
+        self.bucket_counts: Dict[LabelValues, List[int]] = {}
+        self.sums: Dict[LabelValues, float] = {}
+        self.counts: Dict[LabelValues, int] = {}
+
+    def observe(self, value: Union[int, float],
+                labels: LabelValues = _NO_LABELS) -> None:
+        counts = self.bucket_counts.get(labels)
+        if counts is None:
+            counts = [0] * (len(self.buckets) + 1)
+            self.bucket_counts[labels] = counts
+        counts[bisect_left(self.buckets, value)] += 1
+        self.sums[labels] = self.sums.get(labels, 0.0) + value
+        self.counts[labels] = self.counts.get(labels, 0) + 1
+
+    def count(self, labels: LabelValues = _NO_LABELS) -> int:
+        return self.counts.get(labels, 0)
+
+    def sum(self, labels: LabelValues = _NO_LABELS) -> float:
+        return self.sums.get(labels, 0.0)
+
+
+class MetricsRegistry:
+    """One run's metrics, keyed by name; get-or-create accessors.
+
+    Re-requesting a name returns the existing metric when the kind and
+    label names match, and raises when they do not — two call sites
+    cannot silently fork one metric into incompatible shapes.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       label_names: Tuple[str, ...], **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if type(metric) is not cls:
+                raise ValueError(
+                    f"{name!r} already registered as a {metric.kind}"
+                )
+            if metric.label_names != tuple(label_names):
+                raise ValueError(
+                    f"{name!r} already registered with labels "
+                    f"{metric.label_names}, requested {tuple(label_names)}"
+                )
+            return metric
+        metric = cls(name, help, label_names, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                label_names: Tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(self, name: str, help: str = "",
+              label_names: Tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
+
+    def histogram(self, name: str, help: str = "",
+                  label_names: Tuple[str, ...] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_TIME_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, label_names,
+                                   buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self, *, sequence: int = 0):
+        """Freeze current values into a transportable Snapshot."""
+        from .snapshot import snapshot_registry
+
+        return snapshot_registry(self, sequence=sequence)
+
+    def absorb(self, snapshot) -> None:
+        """Fold a (possibly remote) snapshot's values into this registry.
+
+        Every value adds, per labelset — the same summation rules as
+        :meth:`~repro.obs.snapshot.Snapshot.merge`.  This is how a
+        coordinator surfaces worker-side snapshots that crossed the
+        process boundary inside a ShardResult.
+        """
+        from .snapshot import absorb_into_registry
+
+        absorb_into_registry(self, snapshot)

@@ -1,0 +1,216 @@
+"""Snapshots: frozen, transportable, mergeable metric state.
+
+A :class:`Snapshot` is plain data (dataclasses of dicts and tuples), so
+it pickles cleanly across the cluster's process boundary inside a
+``ShardResult``.  Merging follows the repo's ``AdditiveCounters``
+convention: every value adds per labelset, which makes merge
+associative and commutative — the order shards report in cannot change
+the cluster-wide view.  Gauges add too; per-shard gauges therefore
+carry the shard id as a label so the merged snapshot keeps them
+distinguishable (and their unlabeled sum is the cluster total, which is
+what an operator wants for occupancy and queue depth anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .metrics import Counter, Gauge, Histogram, LabelValues, MetricsRegistry
+
+
+@dataclass(slots=True)
+class MetricSnapshot:
+    """One metric's frozen values (all labelsets)."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str = ""
+    label_names: Tuple[str, ...] = ()
+    #: counter/gauge: labelset -> value.  Unused for histograms.
+    values: Dict[LabelValues, float] = field(default_factory=dict)
+    #: histogram only: finite upper bounds (the +Inf bucket is implicit).
+    buckets: Tuple[float, ...] = ()
+    #: histogram only: labelset -> per-bucket counts (len(buckets) + 1).
+    bucket_counts: Dict[LabelValues, Tuple[int, ...]] = field(
+        default_factory=dict
+    )
+    sums: Dict[LabelValues, float] = field(default_factory=dict)
+    counts: Dict[LabelValues, int] = field(default_factory=dict)
+
+    def merge(self, other: "MetricSnapshot") -> "MetricSnapshot":
+        """Add ``other``'s values into this snapshot; returns self."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge metric {other.name!r} into {self.name!r}"
+            )
+        if other.kind != self.kind or other.label_names != self.label_names:
+            raise ValueError(
+                f"{self.name}: incompatible shapes "
+                f"({other.kind}{other.label_names} vs "
+                f"{self.kind}{self.label_names})"
+            )
+        if self.kind == "histogram" and other.buckets != self.buckets:
+            raise ValueError(f"{self.name}: bucket bounds differ")
+        for labels, value in other.values.items():
+            self.values[labels] = self.values.get(labels, 0) + value
+        for labels, counts in other.bucket_counts.items():
+            mine = self.bucket_counts.get(labels)
+            if mine is None:
+                self.bucket_counts[labels] = tuple(counts)
+            else:
+                self.bucket_counts[labels] = tuple(
+                    a + b for a, b in zip(mine, counts)
+                )
+        for labels, total in other.sums.items():
+            self.sums[labels] = self.sums.get(labels, 0.0) + total
+        for labels, count in other.counts.items():
+            self.counts[labels] = self.counts.get(labels, 0) + count
+        return self
+
+
+@dataclass(slots=True)
+class Snapshot:
+    """A full registry's values at one instant, keyed by metric name.
+
+    ``sequence`` is the emitter's emission index (0 for ad-hoc
+    snapshots); merged snapshots keep the maximum, so a merged view is
+    stamped with the newest contributing emission.
+    """
+
+    sequence: int = 0
+    metrics: Dict[str, MetricSnapshot] = field(default_factory=dict)
+
+    def merge(self, other: "Snapshot") -> "Snapshot":
+        """Fold ``other`` in (the AdditiveCounters convention); self."""
+        self.sequence = max(self.sequence, other.sequence)
+        for name, metric in other.metrics.items():
+            mine = self.metrics.get(name)
+            if mine is None:
+                self.metrics[name] = _copy_metric(metric)
+            else:
+                mine.merge(metric)
+        return self
+
+    def get(self, name: str) -> Optional[MetricSnapshot]:
+        return self.metrics.get(name)
+
+    def value(self, name: str, labels: LabelValues = ()) -> float:
+        """Convenience: one counter/gauge value (0 when absent)."""
+        metric = self.metrics.get(name)
+        if metric is None:
+            return 0
+        return metric.values.get(labels, 0)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+
+def _copy_metric(metric: MetricSnapshot) -> MetricSnapshot:
+    return MetricSnapshot(
+        name=metric.name,
+        kind=metric.kind,
+        help=metric.help,
+        label_names=metric.label_names,
+        values=dict(metric.values),
+        buckets=metric.buckets,
+        bucket_counts=dict(metric.bucket_counts),
+        sums=dict(metric.sums),
+        counts=dict(metric.counts),
+    )
+
+
+def snapshot_registry(registry: MetricsRegistry, *,
+                      sequence: int = 0) -> Snapshot:
+    """Freeze a registry's current values into a Snapshot."""
+    metrics: Dict[str, MetricSnapshot] = {}
+    for metric in registry:
+        if isinstance(metric, Histogram):
+            metrics[metric.name] = MetricSnapshot(
+                name=metric.name,
+                kind=metric.kind,
+                help=metric.help,
+                label_names=metric.label_names,
+                buckets=metric.buckets,
+                bucket_counts={
+                    labels: tuple(counts)
+                    for labels, counts in metric.bucket_counts.items()
+                },
+                sums=dict(metric.sums),
+                counts=dict(metric.counts),
+            )
+        else:
+            metrics[metric.name] = MetricSnapshot(
+                name=metric.name,
+                kind=metric.kind,
+                help=metric.help,
+                label_names=metric.label_names,
+                values=dict(metric.values),  # type: ignore[attr-defined]
+            )
+    return Snapshot(sequence=sequence, metrics=metrics)
+
+
+def merge_snapshots(snapshots: Iterable[Snapshot]) -> Snapshot:
+    """Sum any number of snapshots into a fresh one (input order free)."""
+    merged = Snapshot()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged
+
+
+def absorb_into_registry(registry: MetricsRegistry,
+                         snapshot: Snapshot) -> None:
+    """Add a snapshot's values into live registry metrics.
+
+    Counters add via :meth:`~repro.obs.metrics.Counter.inc`, gauges via
+    :meth:`~repro.obs.metrics.Gauge.inc`, histograms bucket-wise — so
+    absorbing N worker snapshots into a coordinator registry yields the
+    same totals as merging the snapshots first.
+    """
+    for metric in snapshot.metrics.values():
+        if metric.kind == "counter":
+            counter: Counter = registry.counter(
+                metric.name, metric.help, metric.label_names
+            )
+            for labels, value in metric.values.items():
+                counter.inc(labels, value)
+        elif metric.kind == "gauge":
+            gauge: Gauge = registry.gauge(
+                metric.name, metric.help, metric.label_names
+            )
+            for labels, value in metric.values.items():
+                gauge.inc(labels, value)
+        elif metric.kind == "histogram":
+            histogram: Histogram = registry.histogram(
+                metric.name, metric.help, metric.label_names,
+                buckets=metric.buckets,
+            )
+            for labels, counts in metric.bucket_counts.items():
+                mine = histogram.bucket_counts.get(labels)
+                if mine is None:
+                    histogram.bucket_counts[labels] = list(counts)
+                else:
+                    for i, count in enumerate(counts):
+                        mine[i] += count
+                histogram.sums[labels] = (
+                    histogram.sums.get(labels, 0.0)
+                    + metric.sums.get(labels, 0.0)
+                )
+                histogram.counts[labels] = (
+                    histogram.counts.get(labels, 0)
+                    + metric.counts.get(labels, 0)
+                )
+        else:
+            raise ValueError(
+                f"{metric.name}: unknown metric kind {metric.kind!r}"
+            )
+
+
+#: Re-exported for callers that only need the list-of-names view.
+__all__: List[str] = [
+    "MetricSnapshot",
+    "Snapshot",
+    "absorb_into_registry",
+    "merge_snapshots",
+    "snapshot_registry",
+]

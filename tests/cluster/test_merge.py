@@ -2,7 +2,10 @@
 
 from collections import Counter
 
+import pytest
+
 from repro.cluster import (
+    ClusterPartialResultWarning,
     absorb_window_history,
     merge_collectors,
     merge_results,
@@ -154,4 +157,6 @@ class TestMergeResults:
         r0 = ShardResult(shard_id=0, packets=1, stats=DartStats())
         r1 = ShardResult(shard_id=1, packets=1, stats=DartStats(),
                          partial=True)
-        assert merge_results([r0, r1]).partial
+        with pytest.warns(ClusterPartialResultWarning, match=r"shard\(s\) \[1\]"):
+            merged = merge_results([r0, r1])
+        assert merged.partial

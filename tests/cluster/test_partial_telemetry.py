@@ -1,0 +1,131 @@
+"""Partial results must not silently drop in-flight window state.
+
+A crashed worker's open analytics windows cannot be flushed safely, so
+they are *dropped* — but the drop has to be loud: counted on the
+partial ``ShardResult``, warned about at merge time, and exported as
+cluster telemetry.  These are the regression tests for that contract.
+"""
+
+import warnings
+
+import pytest
+
+from repro.cluster import (
+    ClusterPartialResultWarning,
+    ShardFailure,
+    ShardedDart,
+    merge_results,
+)
+from repro.core import Dart, MinFilterAnalytics, ideal_config
+from repro.obs import MetricsRegistry
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_campus_trace(
+        CampusTraceConfig(connections=60, seed=5)
+    ).records
+
+
+class CrashingWindowedDart(Dart):
+    """Windowed analytics + a crash before any window can close.
+
+    A large ``window_samples`` keeps every window open for the whole
+    (short) run, so the partial harvest is guaranteed to have in-flight
+    state to lose.
+    """
+
+    def __init__(self, crash_after: int) -> None:
+        super().__init__(
+            ideal_config(),
+            analytics=MinFilterAnalytics(window_samples=10_000),
+        )
+        self._crash_after = crash_after
+
+    def process(self, record):
+        if self.stats.packets_processed >= self._crash_after:
+            raise RuntimeError("injected crash")
+        return super().process(record)
+
+
+def crash_one_shard(records, *, crash_after=800):
+    """Run a 2-shard thread cluster where one shard crashes mid-trace."""
+    cluster = ShardedDart(
+        shards=2, parallel="thread", batch_size=64, join_timeout=10.0,
+        dart_factory=lambda: CrashingWindowedDart(crash_after=crash_after),
+    )
+    with pytest.raises(ShardFailure) as excinfo:
+        cluster.process_trace(records)
+        cluster.finalize()
+    return cluster, excinfo.value
+
+
+class TestWindowsLostAccounting:
+    def test_partial_result_counts_open_windows(self, records):
+        _, failure = crash_one_shard(records)
+        partial = failure.partial.get(failure.shard_id)
+        assert partial is not None
+        assert partial.partial
+        # The crashed shard had processed packets through a windowed
+        # analytics stage that never got to close: the loss is counted,
+        # not silently zero.
+        assert partial.windows_lost > 0
+
+    def test_merge_warns_and_propagates_loss(self, records):
+        _, failure = crash_one_shard(records)
+        results = list(failure.partial.values())
+        with pytest.warns(ClusterPartialResultWarning,
+                          match=r"in-flight analytics window"):
+            merged = merge_results(results)
+        assert merged.partial
+        assert merged.windows_lost == sum(r.windows_lost for r in results)
+
+    def test_clean_run_loses_nothing(self, records):
+        cluster = ShardedDart(shards=2, parallel="thread", batch_size=64,
+                              join_timeout=10.0)
+        cluster.process_trace(records)
+        cluster.finalize()
+        for result in cluster.shard_results:
+            assert not result.partial
+            assert result.windows_lost == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ClusterPartialResultWarning)
+            merge_results(list(cluster.shard_results))
+
+
+class TestClusterTelemetryExposure:
+    def test_partial_counters_exported(self, records):
+        cluster, failure = crash_one_shard(records)
+        # Salvage path: merge whatever shipped home, then sample the
+        # coordinator's telemetry as the engine's emitter would.
+        salvaged = list(failure.partial.values())
+        with pytest.warns(ClusterPartialResultWarning):
+            cluster._merged = merge_results(salvaged)
+        cluster._results = salvaged
+        registry = MetricsRegistry()
+        cluster.collect_telemetry(registry, "dart")
+        partial_shards = registry.get("dart_cluster_partial_shards_total")
+        assert partial_shards.value(("dart",)) == sum(
+            1 for r in salvaged if r.partial
+        )
+        assert partial_shards.value(("dart",)) >= 1
+        windows_lost = registry.get("dart_cluster_windows_lost_total")
+        assert windows_lost.value(("dart", "")) == (
+            cluster._merged.windows_lost
+        )
+        assert cluster._merged.windows_lost > 0
+
+    def test_clean_run_exports_zero_partials(self, records):
+        cluster = ShardedDart(shards=2, parallel="thread", batch_size=64,
+                              join_timeout=10.0)
+        cluster.process_trace(records)
+        cluster.finalize()
+        registry = MetricsRegistry()
+        cluster.collect_telemetry(registry, "dart")
+        assert registry.get(
+            "dart_cluster_partial_shards_total"
+        ).value(("dart",)) == 0
+        assert registry.get(
+            "dart_cluster_windows_lost_total"
+        ).value(("dart", "")) == 0

@@ -1,0 +1,152 @@
+"""TelemetryEmitter: interval clocking, output modes, CLI glue."""
+
+import argparse
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    TelemetryEmitter,
+    add_telemetry_arguments,
+    emitter_from_args,
+    parse_prometheus,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestInterval:
+    def test_not_due_before_interval(self):
+        clock = FakeClock()
+        buf = io.StringIO()
+        emitter = TelemetryEmitter("json", interval_s=1.0, stream=buf,
+                                   clock=clock)
+        assert not emitter.due()
+        assert emitter.maybe_emit() is None
+        assert buf.getvalue() == ""
+
+    def test_emits_when_interval_elapses(self):
+        clock = FakeClock()
+        buf = io.StringIO()
+        emitter = TelemetryEmitter("json", interval_s=1.0, stream=buf,
+                                   clock=clock)
+        clock.now = 1.0
+        assert emitter.maybe_emit() is not None
+        assert emitter.emissions == 1
+        # Interval re-arms from the emission time.
+        assert not emitter.due()
+        clock.now = 1.5
+        assert emitter.maybe_emit() is None
+        clock.now = 2.0
+        assert emitter.maybe_emit() is not None
+        assert emitter.emissions == 2
+
+    def test_collectors_run_per_emission(self):
+        clock = FakeClock()
+        emitter = TelemetryEmitter("json", interval_s=1.0,
+                                   stream=io.StringIO(), clock=clock)
+        calls = []
+        emitter.add_collector(lambda registry: calls.append(registry))
+        clock.now = 1.0
+        emitter.maybe_emit()
+        assert calls == [emitter.registry]
+
+    def test_close_always_emits_final_state(self):
+        clock = FakeClock()
+        buf = io.StringIO()
+        emitter = TelemetryEmitter("json", interval_s=100.0, stream=buf,
+                                   clock=clock)
+        emitter.registry.counter("t_total").inc(())
+        emitter.close()
+        emitter.close()  # idempotent
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 1
+        assert emitter.emissions == 1
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            TelemetryEmitter("json", interval_s=0.0)
+        with pytest.raises(ValueError, match="'json' or 'prom'"):
+            TelemetryEmitter("off")
+        with pytest.raises(ValueError, match="not both"):
+            TelemetryEmitter("json", stream=io.StringIO(), path="x")
+
+
+class TestOutputs:
+    def test_json_lines_accumulate(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        clock = FakeClock()
+        emitter = TelemetryEmitter("json", interval_s=1.0, path=str(path),
+                                   clock=clock)
+        emitter.registry.counter("t_total").inc(())
+        emitter.emit()
+        emitter.close()
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert len(lines) == 2
+        assert [line["sequence"] for line in lines] == [1, 2]
+
+    def test_prom_path_rewrites_atomically(self, tmp_path):
+        path = tmp_path / "telemetry.prom"
+        emitter = TelemetryEmitter("prom", interval_s=1.0, path=str(path),
+                                   clock=FakeClock())
+        counter = emitter.registry.counter("t_total")
+        counter.inc(())
+        emitter.emit()
+        counter.inc(())
+        emitter.close()
+        # One complete exposition only -- the final one.
+        text = path.read_text()
+        assert text.count("# TYPE t_total counter") == 1
+        assert parse_prometheus(text).value("t_total") == 2
+
+    def test_prom_stream_banner_carries_sequence(self):
+        buf = io.StringIO()
+        emitter = TelemetryEmitter("prom", interval_s=1.0, stream=buf,
+                                   clock=FakeClock())
+        emitter.emit()
+        emitter.emit()
+        banners = [line for line in buf.getvalue().splitlines()
+                   if line.startswith("# dart-telemetry emission=")]
+        assert len(banners) == 2
+        assert "emission=1" in banners[0]
+        assert "emission=2" in banners[1]
+
+
+class TestCliGlue:
+    def parse(self, argv):
+        parser = argparse.ArgumentParser()
+        add_telemetry_arguments(parser)
+        return parser.parse_args(argv)
+
+    def test_off_builds_no_emitter(self):
+        assert emitter_from_args(self.parse([])) is None
+        assert emitter_from_args(self.parse(["--telemetry", "off"])) is None
+
+    def test_modes_and_interval(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        args = self.parse(["--telemetry", "json",
+                           "--telemetry-interval", "0.5",
+                           "--telemetry-out", str(path)])
+        emitter = emitter_from_args(args)
+        assert emitter.mode == "json"
+        assert emitter.interval_s == 0.5
+        emitter.close()
+        assert path.exists()
+
+    def test_bad_interval_exits(self):
+        args = self.parse(["--telemetry", "json",
+                           "--telemetry-interval", "0"])
+        with pytest.raises(SystemExit):
+            emitter_from_args(args)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            self.parse(["--telemetry", "csv"])

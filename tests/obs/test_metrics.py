@@ -1,0 +1,108 @@
+"""Metric primitives: dict-backed values, label discipline, registry."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_accumulates_per_labelset(self):
+        c = Counter("t_total", label_names=("monitor",))
+        c.inc(("dart",))
+        c.inc(("dart",), 4)
+        c.inc(("tcptrace",), 2)
+        assert c.value(("dart",)) == 5
+        assert c.value(("tcptrace",)) == 2
+        assert c.value(("absent",)) == 0
+
+    def test_negative_increment_rejected(self):
+        c = Counter("t_total")
+        with pytest.raises(ValueError, match="only go up"):
+            c.inc((), -1)
+
+    def test_set_cumulative_overwrites(self):
+        c = Counter("t_total", label_names=("monitor",))
+        c.set_cumulative(("dart",), 100)
+        c.set_cumulative(("dart",), 250)
+        assert c.value(("dart",)) == 250
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("has space")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("ok_total", label_names=("bad-label",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("t_occupancy", label_names=("shard",))
+        g.set(("0",), 10)
+        g.inc(("0",), 5)
+        g.dec(("0",), 3)
+        assert g.value(("0",)) == 12
+
+    def test_gauge_may_go_negative(self):
+        g = Gauge("t")
+        g.dec((), 7)
+        assert g.value(()) == -7
+
+
+class TestHistogram:
+    def test_observe_places_into_buckets(self):
+        h = Histogram("t_seconds", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)  # +Inf bucket
+        assert h.bucket_counts[()] == [1, 1, 1, 1]
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(55.55)
+
+    def test_boundary_lands_in_its_bucket(self):
+        # Prometheus buckets are le= (inclusive upper bounds).
+        h = Histogram("t_seconds", buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.bucket_counts[()] == [1, 0, 0]
+
+    def test_buckets_sorted_and_unique(self):
+        h = Histogram("t_seconds", buckets=(5.0, 1.0, 2.5))
+        assert h.buckets == (1.0, 2.5, 5.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Histogram("t_seconds", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("t_seconds", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        a = r.counter("t_total", "help", ("monitor",))
+        b = r.counter("t_total", "ignored", ("monitor",))
+        assert a is b
+        assert len(r) == 1
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("t")
+        with pytest.raises(ValueError, match="already registered as a"):
+            r.gauge("t")
+
+    def test_label_shape_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("t_total", label_names=("monitor",))
+        with pytest.raises(ValueError, match="already registered with"):
+            r.counter("t_total", label_names=("monitor", "shard"))
+
+    def test_wrong_labelset_width_raises_on_use(self):
+        c = Counter("t_total", label_names=("monitor", "shard"))
+        c._check_labels(("dart", "0"))
+        with pytest.raises(ValueError, match="expected 2 label"):
+            c._check_labels(("dart",))
+
+    def test_iteration_and_get(self):
+        r = MetricsRegistry()
+        r.counter("a_total")
+        r.gauge("b")
+        assert {m.name for m in r} == {"a_total", "b"}
+        assert r.get("a_total").kind == "counter"
+        assert r.get("missing") is None

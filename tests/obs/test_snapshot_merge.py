@@ -1,0 +1,112 @@
+"""Snapshot merge algebra: associative, commutative, absorb-equivalent.
+
+Merging follows the repo's AdditiveCounters convention (everything adds
+per labelset), which the cluster depends on: shard snapshots may arrive
+in any order and any grouping, and the cluster-wide view must not
+change.  The hypothesis tests pin exactly that, over integer-valued
+operations so float addition cannot blur equality.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs import MetricsRegistry, merge_snapshots
+
+LABELS = ("x", "y", "z")
+
+#: One telemetry "event": which metric kind it touches, which labelset,
+#: and the integer amount/observation.
+op_strategy = st.tuples(
+    st.sampled_from(["counter", "gauge", "histogram"]),
+    st.sampled_from(LABELS),
+    st.integers(min_value=0, max_value=8),
+)
+ops_strategy = st.lists(op_strategy, max_size=24)
+
+
+def build_snapshot(ops, sequence=0):
+    """Replay ops against a fresh registry; every run has equal shapes."""
+    registry = MetricsRegistry()
+    counter = registry.counter("t_events_total", "events", ("k",))
+    gauge = registry.gauge("t_depth", "depth", ("k",))
+    histogram = registry.histogram("t_cost", "cost", ("k",),
+                                   buckets=(1.0, 3.0, 6.0))
+    for kind, label, amount in ops:
+        if kind == "counter":
+            counter.inc((label,), amount)
+        elif kind == "gauge":
+            gauge.inc((label,), amount)
+        else:
+            histogram.observe(amount, (label,))
+    return registry.snapshot(sequence=sequence)
+
+
+class TestMergeAlgebra:
+    @given(a=ops_strategy, b=ops_strategy)
+    def test_commutative(self, a, b):
+        ab = merge_snapshots([build_snapshot(a), build_snapshot(b)])
+        ba = merge_snapshots([build_snapshot(b), build_snapshot(a)])
+        assert ab == ba
+
+    @given(a=ops_strategy, b=ops_strategy, c=ops_strategy)
+    def test_associative(self, a, b, c):
+        left = merge_snapshots([
+            merge_snapshots([build_snapshot(a), build_snapshot(b)]),
+            build_snapshot(c),
+        ])
+        right = merge_snapshots([
+            build_snapshot(a),
+            merge_snapshots([build_snapshot(b), build_snapshot(c)]),
+        ])
+        assert left == right
+
+    @given(a=ops_strategy, b=ops_strategy)
+    def test_merge_equals_concatenated_history(self, a, b):
+        # Merging two shards' snapshots == one shard seeing both streams.
+        merged = merge_snapshots([build_snapshot(a), build_snapshot(b)])
+        combined = build_snapshot(list(a) + list(b))
+        assert merged == combined
+
+    @given(ops=ops_strategy)
+    def test_identity(self, ops):
+        snapshot = build_snapshot(ops)
+        assert merge_snapshots([snapshot]) == build_snapshot(ops)
+
+    @given(a=ops_strategy, b=ops_strategy)
+    def test_absorb_matches_merge(self, a, b):
+        # Coordinator path: absorbing worker snapshots into a live
+        # registry must equal merging the snapshots directly.
+        registry = MetricsRegistry()
+        registry.absorb(build_snapshot(a))
+        registry.absorb(build_snapshot(b))
+        assert registry.snapshot() == merge_snapshots(
+            [build_snapshot(a), build_snapshot(b)]
+        )
+
+
+class TestMergeValidation:
+    def test_sequence_takes_max(self):
+        merged = merge_snapshots([
+            build_snapshot([], sequence=3),
+            build_snapshot([], sequence=7),
+        ])
+        assert merged.sequence == 7
+
+    def test_kind_mismatch_rejected(self):
+        a = build_snapshot([])
+        b = build_snapshot([])
+        b.metrics["t_depth"].kind = "counter"
+        with pytest.raises(ValueError, match="incompatible shapes"):
+            a.merge(b)
+
+    def test_bucket_mismatch_rejected(self):
+        a = build_snapshot([("histogram", "x", 1)])
+        b = build_snapshot([("histogram", "x", 1)])
+        b.metrics["t_cost"].buckets = (9.0,)
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(b)
+
+    def test_name_mismatch_rejected(self):
+        a = build_snapshot([])
+        with pytest.raises(ValueError, match="cannot merge"):
+            a.metrics["t_depth"].merge(a.metrics["t_events_total"])
