@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import tempfile
 import time
 import warnings
 from pathlib import Path
@@ -44,7 +45,15 @@ from repro.engine import (  # noqa: E402
     create,
     monitor_factory,
 )
+from repro.net.pcap import write_packets  # noqa: E402
 from repro.obs import TelemetryEmitter, parse_prometheus  # noqa: E402
+from repro.stream import (  # noqa: E402
+    CaptureFileSource,
+    GracefulShutdown,
+    ResumableSink,
+    StreamRunner,
+    read_checkpoint,
+)
 from repro.quic import QuicScenarioConfig, generate_quic_trace  # noqa: E402
 from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
 
@@ -119,6 +128,84 @@ def check_snapshot(path: str, failures: List[str]) -> None:
         failures.append("telemetry recorded partial shards")
 
 
+def check_streaming_kill_resume(tcp_records, failures: List[str]) -> None:
+    """The continuous-operation leg: stream, stop mid-run, resume.
+
+    A soak isn't only about one long pass — a daemon that runs for
+    weeks *will* be restarted.  This leg streams the TCP trace, forces
+    a shutdown partway through (the SIGTERM path, requested in-process
+    for determinism), resumes from the checkpoint with a fresh engine
+    and monitor, and requires the stitched-together CSV to be
+    byte-identical to an uninterrupted streaming run.
+    """
+    def fresh_engine():
+        monitor = create("dart", MonitorOptions())
+        engine = MonitorEngine()
+        return engine, monitor
+
+    with tempfile.TemporaryDirectory(prefix="soak-stream-") as tmpdir:
+        tmp = Path(tmpdir)
+        capture = tmp / "capture.pcap"
+        write_packets(capture, tcp_records)
+
+        # Uninterrupted streaming reference.
+        engine, monitor = fresh_engine()
+        ref_csv = ResumableSink("csv", tmp / "ref.csv")
+        engine.add_monitor(monitor, name="dart", sinks=[ref_csv])
+        StreamRunner(engine, CaptureFileSource(capture),
+                     sinks=[ref_csv], chunk_size=1024).run()
+
+        # Segment 1: stop after a handful of chunks, checkpoint.
+        stop = GracefulShutdown()
+        source = CaptureFileSource(capture)
+        inner_chunks = source.chunks
+
+        def stopping_chunks(max_records):
+            for i, chunk in enumerate(inner_chunks(max_records)):
+                yield chunk
+                if i == 1:
+                    stop.request()
+
+        source.chunks = stopping_chunks
+        engine, monitor = fresh_engine()
+        out_csv = ResumableSink("csv", tmp / "out.csv")
+        engine.add_monitor(monitor, name="dart", sinks=[out_csv])
+        ckpt = tmp / "state.ckpt"
+        segment = StreamRunner(engine, source, shutdown=stop,
+                               sinks=[out_csv], chunk_size=1024,
+                               checkpoint_path=str(ckpt)).run()
+        if not segment.stopped:
+            failures.append("streaming leg: stop request did not stop "
+                            "the run")
+            return
+
+        # Segment 2: fresh engine, restored monitor, resumed sink.
+        loaded = read_checkpoint(ckpt)
+        engine = MonitorEngine()
+        resumed_csv = ResumableSink.resume(loaded.header["sinks"][0])
+        engine.add_monitor(loaded.payload["monitors"]["dart"],
+                           name="dart", sinks=[resumed_csv])
+        source = CaptureFileSource(
+            capture,
+            capture_format=loaded.header["source"]["format"],
+            resume_offset=loaded.header["source"]["offset"],
+        )
+        runner = StreamRunner(engine, source, sinks=[resumed_csv],
+                              chunk_size=1024, checkpoint_path=str(ckpt))
+        runner.restore(loaded.header)
+        final = runner.run()
+        if not final.finalized:
+            failures.append("streaming leg: resumed run did not finalize")
+        if final.records != len(tcp_records):
+            failures.append(
+                f"streaming leg: resumed run saw {final.records} records, "
+                f"expected {len(tcp_records)}"
+            )
+        if (tmp / "out.csv").read_bytes() != (tmp / "ref.csv").read_bytes():
+            failures.append("streaming leg: kill/resume CSV differs from "
+                            "the uninterrupted streaming run")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Soak every monitor over one large mixed trace.",
@@ -158,6 +245,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     check_cluster_health(engine, failures)
     check_samples(engine, failures)
     check_snapshot(args.telemetry_out, failures)
+    print("streaming kill/resume leg...", file=sys.stderr)
+    check_streaming_kill_resume(trace.records, failures)
 
     print(f"soak: {report.records} records in {elapsed:.1f}s "
           f"({report.records_per_second:,.0f} rec/s)", file=sys.stderr)

@@ -44,6 +44,16 @@ class DapperMonitor:
         self.samples: List[RttSample] = []
         self.stats = DapperStats()
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) the retained samples.
+
+        Cumulative counters in :attr:`stats` are unaffected; only the
+        retained list is emptied (the streaming rotation primitive).
+        """
+        drained = self.samples
+        self.samples = []
+        return drained
+
     def process(self, record: PacketRecord) -> List[RttSample]:
         self.stats.packets_processed += 1
         if record.syn and not self._track_handshake:

@@ -75,6 +75,16 @@ class Strawman:
         self.samples: List[RttSample] = []
         self.stats = StrawmanStats()
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) the retained samples.
+
+        Cumulative counters in :attr:`stats` are unaffected; only the
+        retained list is emptied (the streaming rotation primitive).
+        """
+        drained = self.samples
+        self.samples = []
+        return drained
+
     # -- entry point -----------------------------------------------------------
 
     def process(self, record: PacketRecord) -> List[RttSample]:

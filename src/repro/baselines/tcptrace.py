@@ -86,6 +86,16 @@ class TcpTrace:
         self.samples: List[RttSample] = []
         self.stats = TcpTraceStats()
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) the retained samples.
+
+        Cumulative counters in :attr:`stats` are unaffected; only the
+        retained list is emptied (the streaming rotation primitive).
+        """
+        drained = self.samples
+        self.samples = []
+        return drained
+
     # -- packet entry point ---------------------------------------------------
 
     def process(self, record: PacketRecord) -> List[RttSample]:

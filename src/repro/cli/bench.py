@@ -118,31 +118,42 @@ def main(argv: Optional[list] = None) -> int:
     points = [(label, build_monitor(config))
               for label, config in sweep_points(args)]
     reference_monitors = []
-    if emitter is not None:
-        # Telemetry wants one observable trace pass: every sweep point
-        # and reference monitor rides the same engine, so the emitter
-        # sees the whole run (per-monitor chunk timings included).
-        engine = MonitorEngine(telemetry=emitter)
-        options = MonitorOptions(leg_filter=leg())
-        for label, dart in points:
-            engine.add_monitor(dart, name=f"sweep-{label}")
-        for name in extra:
-            monitor = create(name, options)
-            engine.add_monitor(monitor, name=name)
-            reference_monitors.append((name, monitor))
-        engine.run(trace.records)
-    else:
-        for _, dart in points:
-            replay(trace.records, dart)
-        if extra:
-            # All reference monitors share one engine pass over the trace.
-            engine = MonitorEngine()
+    from ..stream import GracefulShutdown
+
+    with GracefulShutdown() as stop:
+        # SIGTERM/SIGINT stops the sweep at the next record/point; what
+        # has been measured so far still finalizes and prints.
+        if emitter is not None:
+            # Telemetry wants one observable trace pass: every sweep
+            # point and reference monitor rides the same engine, so the
+            # emitter sees the whole run (per-monitor chunk timings
+            # included).
+            engine = MonitorEngine(telemetry=emitter)
             options = MonitorOptions(leg_filter=leg())
+            for label, dart in points:
+                engine.add_monitor(dart, name=f"sweep-{label}")
             for name in extra:
                 monitor = create(name, options)
                 engine.add_monitor(monitor, name=name)
                 reference_monitors.append((name, monitor))
-            engine.run(trace.records)
+            engine.run(stop.wrap(trace.records))
+        else:
+            for _, dart in points:
+                if stop.triggered:
+                    break
+                replay(trace.records, dart)
+            if extra:
+                # All reference monitors share one engine pass.
+                engine = MonitorEngine()
+                options = MonitorOptions(leg_filter=leg())
+                for name in extra:
+                    monitor = create(name, options)
+                    engine.add_monitor(monitor, name=name)
+                    reference_monitors.append((name, monitor))
+                engine.run(stop.wrap(trace.records))
+    if stop.triggered:
+        print("dart-bench: interrupted — reporting what completed",
+              file=sys.stderr)
 
     rows = []
     for label, dart in points:

@@ -187,7 +187,16 @@ def main(argv: Optional[list] = None) -> int:
         from ..net.pcapng import read_any_capture
 
         records = read_any_capture(args.pcap)
-    report = engine.run(records)
+    from ..stream import GracefulShutdown
+
+    with GracefulShutdown() as stop:
+        # A SIGTERM/SIGINT stops ingest at the next record; the engine
+        # then finalizes and flushes sinks normally, so an interrupted
+        # replay still exits 0 with complete partial results.
+        report = engine.run(stop.wrap(records))
+    if stop.triggered:
+        print("dart-replay: interrupted — finalized and flushed after "
+              f"{report.records} records", file=sys.stderr)
     primary = engine[monitors[0]].monitor
     samples = primary.samples
 

@@ -18,12 +18,23 @@ Provided components:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, List, Optional
 
 from ..net.inet import prefix_of
 from .flow import FlowKey
 from .samples import RttSample, SampleCollector
+
+
+def flow_key(sample: RttSample) -> Hashable:
+    """The default aggregation key: the sample's SEQ-direction flow.
+
+    A module-level function (not a lambda) so analytics objects pickle —
+    checkpointing a streaming run snapshots the whole monitor, analytics
+    included.
+    """
+    return sample.flow
 
 
 class CollectAllAnalytics:
@@ -43,6 +54,16 @@ class CollectAllAnalytics:
     def samples(self) -> List[RttSample]:
         return self.collector.samples
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) every retained sample.
+
+        The streaming runner calls this on its rotation interval so a
+        long run's retained list stays bounded; the samples were already
+        routed to sinks at emission time, so dropping the retained copy
+        loses nothing.
+        """
+        return self.collector.drain()
+
 
 @dataclass(frozen=True, slots=True)
 class WindowMinimum:
@@ -56,13 +77,15 @@ class WindowMinimum:
 
 
 class _WindowState:
-    __slots__ = ("window_index", "min_rtt_ns", "sample_count", "started_at_ns")
+    __slots__ = ("window_index", "min_rtt_ns", "sample_count",
+                 "started_at_ns", "last_sample_ns")
 
     def __init__(self, window_index: int, started_at_ns: int) -> None:
         self.window_index = window_index
         self.min_rtt_ns: Optional[int] = None
         self.sample_count = 0
         self.started_at_ns = started_at_ns
+        self.last_sample_ns = started_at_ns
 
 
 class MinFilterAnalytics:
@@ -76,6 +99,16 @@ class MinFilterAnalytics:
     flow 4-tuple).  Closed windows are appended to :attr:`history` and
     handed to ``on_window`` if provided, which is how the interception
     detector (:mod:`repro.detection`) consumes Dart output in real time.
+
+    Long-run memory: by default every closed window is retained forever
+    (the batch evaluation mode).  A continuous run bounds that two ways:
+    ``retain_windows=N`` caps the per-key index at the N most recent
+    closed windows per key, and :meth:`drain_windows` hands the whole
+    accumulated history to a caller (the streaming runner ships drained
+    windows to an export sink on its rotation interval, so retained
+    state stays O(live keys), not O(run length)).  :meth:`expire_idle`
+    additionally lets a long-lived run shed open-window state for keys
+    that have gone quiet.
     """
 
     def __init__(
@@ -85,6 +118,7 @@ class MinFilterAnalytics:
         window_ns: Optional[int] = None,
         key_fn: Optional[Callable[[RttSample], Hashable]] = None,
         on_window: Optional[Callable[[WindowMinimum], None]] = None,
+        retain_windows: Optional[int] = None,
     ) -> None:
         if (window_samples is None) == (window_ns is None):
             raise ValueError("give exactly one of window_samples / window_ns")
@@ -92,14 +126,19 @@ class MinFilterAnalytics:
             raise ValueError("window_samples must be positive")
         if window_ns is not None and window_ns <= 0:
             raise ValueError("window_ns must be positive")
+        if retain_windows is not None and retain_windows <= 0:
+            raise ValueError("retain_windows must be positive")
         self._window_samples = window_samples
         self._window_ns = window_ns
-        self._key_fn = key_fn or (lambda sample: sample.flow)
+        self._key_fn = key_fn if key_fn is not None else flow_key
         self._on_window = on_window
+        self._retain_windows = retain_windows
         self._state: Dict[Hashable, _WindowState] = {}
         self.history: List[WindowMinimum] = []
-        self._by_key: Dict[Hashable, List[WindowMinimum]] = {}
+        self._by_key: Dict[Hashable, deque] = {}
         self.sample_count = 0
+        self.windows_closed = 0
+        self.windows_evicted = 0
 
     def add(self, sample: RttSample) -> None:
         self.sample_count += 1
@@ -108,6 +147,7 @@ class MinFilterAnalytics:
         if state is None:
             state = _WindowState(0, sample.timestamp_ns)
             self._state[key] = state
+        state.last_sample_ns = sample.timestamp_ns
         if self._window_ns is not None:
             # Close any windows the clock has already passed (time-based
             # windows can close without a sample arriving in them).
@@ -149,10 +189,54 @@ class MinFilterAnalytics:
 
         The only write path into :attr:`history` — the cluster merge
         (:func:`repro.cluster.merge.absorb_window_history`) also funnels
-        through it so the index can never go stale.
+        through it so the index can never go stale.  With
+        ``retain_windows`` set the per-key index holds only the most
+        recent N windows per key (older ones are evicted and counted).
         """
         self.history.append(window)
-        self._by_key.setdefault(window.key, []).append(window)
+        self.windows_closed += 1
+        per_key = self._by_key.get(window.key)
+        if per_key is None:
+            # maxlen=None keeps the historical unbounded behaviour.
+            per_key = deque(maxlen=self._retain_windows)
+            self._by_key[window.key] = per_key
+        if per_key.maxlen is not None and len(per_key) == per_key.maxlen:
+            self.windows_evicted += 1
+        per_key.append(window)
+
+    def drain_windows(self) -> List[WindowMinimum]:
+        """Hand over (and forget) every retained closed window.
+
+        The streaming hand-off: the runner ships drained windows to an
+        export sink on its rotation interval, so in-process window state
+        stays bounded by the rotation interval rather than growing with
+        the run.  Open windows are untouched; :meth:`minima_for` answers
+        from the retained set, so it starts empty after a drain.
+        """
+        drained = self.history
+        self.history = []
+        self._by_key.clear()
+        return drained
+
+    def expire_idle(self, now_ns: int, idle_ns: int) -> int:
+        """Close and drop open-window state for keys gone quiet.
+
+        A key whose last sample is at least ``idle_ns`` old has its open
+        window closed (recorded like any other) and its state removed,
+        so a continuous run's per-key state tracks *live* keys instead
+        of every key ever seen.  Returns the number of keys expired.
+        """
+        if idle_ns <= 0:
+            raise ValueError("idle_ns must be positive")
+        expired = [
+            key
+            for key, state in self._state.items()
+            if now_ns - state.last_sample_ns >= idle_ns
+        ]
+        for key in expired:
+            state = self._state.pop(key)
+            self._close(key, state, now_ns)
+        return len(expired)
 
     def flush(self, now_ns: int) -> None:
         """Close all open windows (end of trace)."""
@@ -196,6 +280,21 @@ def _probe_sample(flow: FlowKey, now_ns: int) -> RttSample:
     return RttSample(flow=flow, rtt_ns=0, timestamp_ns=now_ns, eack=0)
 
 
+@dataclass(frozen=True, slots=True)
+class DstPrefixKey:
+    """Picklable key function: the data receiver's /N prefix.
+
+    A callable dataclass rather than a closure so analytics configured
+    with it survive pickling — both the cluster's process boundary and
+    the streaming checkpoint snapshot require it.
+    """
+
+    prefix_len: int = 24
+
+    def __call__(self, sample: RttSample) -> Hashable:
+        return prefix_of(sample.flow.dst_ip, self.prefix_len)
+
+
 def dst_prefix_key(prefix_len: int = 24) -> Callable[[RttSample], Hashable]:
     """Key function aggregating samples by the data receiver's prefix.
 
@@ -203,11 +302,7 @@ def dst_prefix_key(prefix_len: int = 24) -> Callable[[RttSample], Hashable]:
     the remote (Internet) host, so this aggregates per remote /24 — the
     paper's suggested congestion view (§3.1).
     """
-
-    def key_fn(sample: RttSample) -> Hashable:
-        return prefix_of(sample.flow.dst_ip, prefix_len)
-
-    return key_fn
+    return DstPrefixKey(prefix_len)
 
 
 class PrefixMinAnalytics(MinFilterAnalytics):

@@ -32,6 +32,7 @@ from itertools import islice
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..net import tcp as tcp_mod
+from ..net.inet import prefix_of
 from ..net.packet import PacketRecord
 from .analytics import CollectAllAnalytics
 from .config import DartConfig
@@ -503,9 +504,50 @@ class Dart:
         """Samples retained by the analytics (if it keeps any)."""
         return getattr(self.analytics, "samples", [])
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) the samples the analytics retained.
+
+        Counters in :attr:`stats` are cumulative and unaffected, so a
+        long-lived run can periodically empty the retained list (the
+        streaming rotation) without breaking ``stats`` or the live
+        sample stream, which was already routed at emission time.
+        Analytics that retain nothing (e.g. a bare
+        :class:`MinFilterAnalytics`) drain as empty.
+        """
+        drain = getattr(self.analytics, "drain_samples", None)
+        if callable(drain):
+            return drain()
+        retained = getattr(self.analytics, "samples", None)
+        if isinstance(retained, list):
+            drained = list(retained)
+            retained.clear()
+            return drained
+        return []
+
     def occupancy(self) -> Tuple[int, int]:
         """Current (RT, PT) occupied-slot counts."""
         return self.range_tracker.occupancy(), self.packet_tracker.occupancy()
+
+
+@dataclass(frozen=True)
+class PrefixLegFilter:
+    """Picklable leg filter: internal network given as a prefix.
+
+    Same semantics as :func:`make_leg_filter` over an "is the source
+    address inside this prefix?" predicate, but a frozen dataclass
+    instead of a closure so monitors configured with it can cross the
+    cluster's process boundary and be snapshotted into a streaming
+    checkpoint (closures don't pickle).
+    """
+
+    network: int
+    prefix_len: int
+    legs: Tuple[str, ...] = (EXTERNAL_LEG, INTERNAL_LEG)
+
+    def __call__(self, record: PacketRecord) -> Optional[str]:
+        internal = prefix_of(record.src_ip, self.prefix_len) == self.network
+        leg = EXTERNAL_LEG if internal else INTERNAL_LEG
+        return leg if leg in self.legs else None
 
 
 def make_leg_filter(

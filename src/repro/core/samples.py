@@ -69,6 +69,17 @@ class SampleCollector:
     def clear(self) -> None:
         self.samples.clear()
 
+    def drain(self) -> List[RttSample]:
+        """Hand over the retained samples and start an empty list.
+
+        The streaming rotation primitive: callers that already routed
+        the live sample stream elsewhere use this to empty the retained
+        copy without losing the list object they handed out.
+        """
+        drained = self.samples
+        self.samples = []
+        return drained
+
 
 class TeeSink:
     """Fans one sample stream out to several sinks."""

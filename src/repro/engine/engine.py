@@ -89,6 +89,11 @@ class MonitorEngine:
         self._runs: List[MonitorRun] = []
         self._names: Dict[str, MonitorRun] = {}
         self._telemetry = telemetry
+        self._records = 0
+        self._end_ns: Optional[int] = None
+        self._started: Optional[float] = None
+        self._finished = False
+        self._report: Optional[EngineReport] = None
         self._chunk_seconds: Optional[Any] = None
         self._chunk_pps: Optional[Any] = None
         if telemetry is not None:
@@ -145,69 +150,110 @@ class MonitorEngine:
 
     # -- the trace pass -------------------------------------------------------
 
-    def run(self, records: Iterable[Any]) -> EngineReport:
-        """Feed every record to every attached monitor, then finalize."""
+    @property
+    def records(self) -> int:
+        """Records ingested so far (across every ``ingest_chunk``)."""
+        return self._records
+
+    @property
+    def end_ns(self) -> Optional[int]:
+        """Timestamp of the most recent decoded record, if any."""
+        return self._end_ns
+
+    def restore_progress(self, *, records: int,
+                         end_ns: Optional[int]) -> None:
+        """Seed ingest counters when resuming from a checkpoint.
+
+        The monitors themselves are restored by unpickling; this only
+        re-aligns the engine's report counters so a resumed run's
+        :class:`EngineReport` describes the whole logical run.
+        """
+        if self._records:
+            raise RuntimeError("cannot restore progress after ingest started")
+        self._records = records
+        self._end_ns = end_ns
+
+    def ingest_chunk(self, chunk: List[Any]) -> None:
+        """Feed one chunk of records to every attached monitor.
+
+        The streaming entry point: callers that do not hold the whole
+        trace (a tailing source, a paced replay) push chunks as they
+        materialise and call :meth:`finish` when the stream ends.
+        Samples are routed as they are emitted, exactly as in
+        :meth:`run`.
+        """
         if not self._runs:
             raise RuntimeError("no monitors attached (call add_monitor first)")
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        if self._started is None:
+            self._started = time.perf_counter()
+        if not chunk:
+            return
         telemetry = self._telemetry
-        report = EngineReport(runs=list(self._runs))
+        self._records += len(chunk)
         kinds = {run.record_kind for run in self._runs}
-        mixed = len(kinds) == 2
-        quic_only = kinds == {"quic"}
-        iterator = iter(records)
-        chunk_size = self._chunk_size
-        end_ns: Optional[int] = None
-        started = time.perf_counter()
-        while True:
-            chunk = list(islice(iterator, chunk_size))
-            if not chunk:
+        if len(kinds) == 2:
+            tcp_chunk = [
+                r
+                for r in chunk
+                if r is not None and not isinstance(r, QuicPacketRecord)
+            ]
+            quic_chunk = [
+                r for r in chunk if isinstance(r, QuicPacketRecord)
+            ]
+        elif kinds == {"quic"}:
+            tcp_chunk = []
+            quic_chunk = chunk
+        else:
+            tcp_chunk = chunk
+            quic_chunk = []
+        # Records are time-ordered: the chunk's last decoded record
+        # carries the most recent timestamp.
+        for record in reversed(chunk):
+            if record is not None:
+                self._end_ns = record.timestamp_ns
                 break
-            report.records += len(chunk)
-            if mixed:
-                tcp_chunk = [
-                    r
-                    for r in chunk
-                    if r is not None and not isinstance(r, QuicPacketRecord)
-                ]
-                quic_chunk = [
-                    r for r in chunk if isinstance(r, QuicPacketRecord)
-                ]
-            elif quic_only:
-                tcp_chunk = []
-                quic_chunk = chunk
-            else:
-                tcp_chunk = chunk
-                quic_chunk = []
-            # Records are time-ordered: the chunk's last decoded record
-            # carries the most recent timestamp.
-            for record in reversed(chunk):
-                if record is not None:
-                    end_ns = record.timestamp_ns
-                    break
-            for run in self._runs:
-                part = quic_chunk if run.record_kind == "quic" else tcp_chunk
-                if not part:
-                    continue
-                run.records_seen += len(part)
-                if telemetry is not None:
-                    chunk_started = time.perf_counter()
-                    samples = run.monitor.process_batch(part)
-                    elapsed = time.perf_counter() - chunk_started
-                    self._chunk_seconds.observe(elapsed, (run.name,))
-                    if elapsed > 0:
-                        # Per-batch throughput: the live pps this monitor
-                        # sustained over its most recent chunk.
-                        self._chunk_pps.set((run.name,), len(part) / elapsed)
-                else:
-                    samples = run.monitor.process_batch(part)
-                if samples:
-                    run.samples_routed += len(samples)
-                    run.router.route_batch(samples)
+        for run in self._runs:
+            part = quic_chunk if run.record_kind == "quic" else tcp_chunk
+            if not part:
+                continue
+            run.records_seen += len(part)
             if telemetry is not None:
-                telemetry.maybe_emit()
+                chunk_started = time.perf_counter()
+                samples = run.monitor.process_batch(part)
+                elapsed = time.perf_counter() - chunk_started
+                self._chunk_seconds.observe(elapsed, (run.name,))
+                if elapsed > 0:
+                    # Per-batch throughput: the live pps this monitor
+                    # sustained over its most recent chunk.
+                    self._chunk_pps.set((run.name,), len(part) / elapsed)
+            else:
+                samples = run.monitor.process_batch(part)
+            if samples:
+                run.samples_routed += len(samples)
+                run.router.route_batch(samples)
+        if telemetry is not None:
+            telemetry.maybe_emit()
+
+    def finish(self) -> EngineReport:
+        """Finalize monitors, route deferred samples, close routers.
+
+        Idempotent: the second and later calls return the same report
+        without re-finalizing (so a signal handler and a normal exit
+        path can both call it safely).
+        """
+        if self._finished:
+            assert self._report is not None
+            return self._report
+        if not self._runs:
+            raise RuntimeError("no monitors attached (call add_monitor first)")
+        if self._started is None:
+            self._started = time.perf_counter()
+        report = EngineReport(records=self._records, runs=list(self._runs))
         for run in self._runs:
             finalize_started = time.perf_counter()
-            run.monitor.finalize(end_ns)
+            run.monitor.finalize(self._end_ns)
             run.finalize_seconds = time.perf_counter() - finalize_started
             if getattr(run.monitor, "defers_samples", False):
                 # Sharded monitors only surface samples after finalize
@@ -216,13 +262,55 @@ class MonitorEngine:
                 run.samples_routed += len(samples)
                 run.router.route_batch(samples)
             run.router.close()
-        report.wall_seconds = time.perf_counter() - started
-        report.end_ns = end_ns
-        if telemetry is not None:
+        report.wall_seconds = time.perf_counter() - self._started
+        report.end_ns = self._end_ns
+        if self._telemetry is not None:
             # End-of-trace emission: even a sub-interval run exports its
             # final state (and sharded monitors their merged counters).
-            telemetry.close()
+            self._telemetry.close()
+        self._finished = True
+        self._report = report
         return report
+
+    def run(self, records: Iterable[Any]) -> EngineReport:
+        """Feed every record to every attached monitor, then finalize."""
+        if not self._runs:
+            raise RuntimeError("no monitors attached (call add_monitor first)")
+        if self._started is None:
+            self._started = time.perf_counter()
+        iterator = iter(records)
+        chunk_size = self._chunk_size
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                break
+            self.ingest_chunk(chunk)
+        return self.finish()
+
+    # -- streaming hand-off ----------------------------------------------------
+
+    def drain_retained(self) -> int:
+        """Empty every monitor's retained sample copy; return the count.
+
+        Samples were already routed to sinks at emission time, so the
+        retained lists are pure memory growth in a continuous run.
+        Monitors that defer samples to finalize (``defers_samples``)
+        are skipped — their retained list is the only copy.  Monitors
+        without a ``drain_samples`` method are left alone.
+        """
+        drained = 0
+        for run in self._runs:
+            if getattr(run.monitor, "defers_samples", False):
+                continue
+            drain = getattr(run.monitor, "drain_samples", None)
+            if drain is not None:
+                drained += len(drain())
+        return drained
+
+    def flush_routers(self) -> None:
+        """Push buffered samples through to every attached sink."""
+        for run in self._runs:
+            run.router.flush()
 
     # -- telemetry ------------------------------------------------------------
 

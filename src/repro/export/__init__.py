@@ -15,7 +15,7 @@ from .records import (
     read_reports,
     write_reports,
 )
-from .sinks import CsvSink, JsonlSink, ReportFileSink
+from .sinks import CsvSink, JsonlSink, ReportFileSink, WindowJsonlSink
 from .summaries import FlowSummary, FlowSummarySink
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "RECORD_LEN",
     "ReportFileSink",
     "ReportFormatError",
+    "WindowJsonlSink",
     "decode_sample",
     "encode_sample",
     "read_reports",

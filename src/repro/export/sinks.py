@@ -56,10 +56,15 @@ class _FileSink:
 
 
 class ReportFileSink(_FileSink):
-    """Streams binary report records to a file (see records.py)."""
+    """Streams binary report records to a file (see records.py).
 
-    def __init__(self, path: PathLike) -> None:
-        super().__init__(open(path, "wb"))
+    ``append=True`` reopens an existing file and continues after its
+    current end — the streaming resume path, which truncates the file
+    to its checkpointed length first and then appends.
+    """
+
+    def __init__(self, path: PathLike, *, append: bool = False) -> None:
+        super().__init__(open(path, "ab" if append else "wb"))
 
     def add(self, sample: RttSample) -> None:
         self._stream.write(encode_sample(sample))
@@ -76,12 +81,17 @@ CSV_FIELDS = ("timestamp_ns", "rtt_ns", "src", "sport", "dst", "dport",
 
 
 class CsvSink(_FileSink):
-    """Streams samples as CSV rows (header written up front)."""
+    """Streams samples as CSV rows (header written up front).
 
-    def __init__(self, path: PathLike) -> None:
-        super().__init__(open(path, "w", newline=""))
+    ``append=True`` continues an existing file without re-writing the
+    header (the streaming resume path).
+    """
+
+    def __init__(self, path: PathLike, *, append: bool = False) -> None:
+        super().__init__(open(path, "a" if append else "w", newline=""))
         self._writer = csv.writer(self._stream)
-        self._writer.writerow(CSV_FIELDS)
+        if not append:
+            self._writer.writerow(CSV_FIELDS)
 
     def add(self, sample: RttSample) -> None:
         src, dst = _flow_strings(sample)
@@ -102,8 +112,8 @@ class CsvSink(_FileSink):
 class JsonlSink(_FileSink):
     """Streams samples as JSON lines (one object per sample)."""
 
-    def __init__(self, path: PathLike) -> None:
-        super().__init__(open(path, "w"))
+    def __init__(self, path: PathLike, *, append: bool = False) -> None:
+        super().__init__(open(path, "a" if append else "w"))
 
     def add(self, sample: RttSample) -> None:
         src, dst = _flow_strings(sample)
@@ -117,5 +127,43 @@ class JsonlSink(_FileSink):
             "eack": sample.eack,
             "leg": sample.leg,
             "handshake": sample.handshake,
+        }) + "\n")
+        self.count += 1
+
+
+def _describe_key(key) -> str:
+    """A stable, human-readable spelling for an analytics window key.
+
+    Flow keys describe themselves; prefix keys (plain ints from
+    :class:`~repro.core.analytics.DstPrefixKey`) render as dotted quads;
+    anything else falls back to ``str``.
+    """
+    describe = getattr(key, "describe", None)
+    if callable(describe):
+        return describe()
+    if isinstance(key, int):
+        return int_to_ipv4(key) if key < (1 << 32) else int_to_ipv6(key)
+    return str(key)
+
+
+class WindowJsonlSink(_FileSink):
+    """Streams closed analytics windows as JSON lines.
+
+    Consumes :class:`~repro.core.analytics.WindowMinimum` objects —
+    the streaming runner drains closed windows from the analytics on
+    its rotation interval and ships them here, so window history lives
+    on disk instead of growing in memory.
+    """
+
+    def __init__(self, path: PathLike, *, append: bool = False) -> None:
+        super().__init__(open(path, "a" if append else "w"))
+
+    def add(self, window) -> None:
+        self._stream.write(json.dumps({
+            "key": _describe_key(window.key),
+            "window": window.window_index,
+            "min_rtt_ns": window.min_rtt_ns,
+            "samples": window.sample_count,
+            "closed_at_ns": window.closed_at_ns,
         }) + "\n")
         self.count += 1

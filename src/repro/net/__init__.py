@@ -24,7 +24,16 @@ from .packet import (
     from_wire_bytes,
     to_wire_bytes,
 )
-from .pcap import PcapReader, PcapWriter, read_frames, read_packets, write_packets
+from .pcap import (
+    PcapFormatError,
+    PcapReader,
+    PcapWriter,
+    TruncatedCapture,
+    append_packets,
+    read_frames,
+    read_packets,
+    write_packets,
+)
 from .pcapng import read_any_capture, read_pcapng_packets, sniff_format
 from .tcp import (
     FLAG_ACK,
@@ -41,8 +50,10 @@ __all__ = [
     "IPv4Packet",
     "IPv6Packet",
     "PacketRecord",
+    "PcapFormatError",
     "PcapReader",
     "PcapWriter",
+    "TruncatedCapture",
     "TcpOptions",
     "TcpSegment",
     "FLAG_ACK",
@@ -53,6 +64,7 @@ __all__ = [
     "NS_PER_MS",
     "NS_PER_SEC",
     "NS_PER_US",
+    "append_packets",
     "format_prefix",
     "from_wire_bytes",
     "int_to_ipv4",

@@ -32,6 +32,27 @@ class PcapFormatError(ValueError):
     """Raised for malformed pcap files."""
 
 
+class TruncatedCapture(PcapFormatError):
+    """A capture ends mid-record — the file may still be growing.
+
+    Distinct from a *malformed* capture: every byte up to
+    ``resume_offset`` parsed cleanly, and the bytes after it look like
+    the beginning of a valid record that has not been fully written yet
+    (tcpdump flushes record-at-a-time, so an in-flight capture usually
+    ends this way).  A tailing reader catches this, waits for the file
+    to grow, and retries from ``resume_offset``; an offline reader
+    treats it as the fatal parse error it subclasses.
+
+    The raising reader seeks its stream back to ``resume_offset`` (when
+    the stream is seekable), so calling ``next()`` again after the file
+    has grown re-parses the whole record.
+    """
+
+    def __init__(self, message: str, *, resume_offset: int) -> None:
+        super().__init__(f"{message} (resume offset {resume_offset})")
+        self.resume_offset = resume_offset
+
+
 @dataclass(frozen=True)
 class PcapHeader:
     """Parsed pcap global header."""
@@ -67,23 +88,64 @@ def _parse_global_header(data: bytes) -> PcapHeader:
 
 
 class PcapReader:
-    """Iterates ``(timestamp_ns, frame_bytes)`` pairs from a pcap file."""
+    """Iterates ``(timestamp_ns, frame_bytes)`` pairs from a pcap file.
+
+    The reader is fully incremental: it reads one record at a time,
+    tracks the byte offset of the next unconsumed record in
+    :attr:`resume_offset`, and raises :class:`TruncatedCapture` (after
+    seeking back to the record start) when the file ends mid-record —
+    so a tailing caller can wait for more bytes and simply call
+    ``next()`` again on the same reader.
+    """
+
+    GLOBAL_HEADER_BYTES = 24
 
     def __init__(self, stream: BinaryIO):
         self._stream = stream
-        header_bytes = stream.read(24)
+        header_bytes = stream.read(self.GLOBAL_HEADER_BYTES)
+        if len(header_bytes) < self.GLOBAL_HEADER_BYTES:
+            # Could be an in-flight capture whose header write has not
+            # landed yet; a tailing caller waits and retries from 0.
+            self._rewind(0)
+            raise TruncatedCapture("partial pcap global header",
+                                   resume_offset=0)
         self.header = _parse_global_header(header_bytes)
         self._rec = struct.Struct(self.header.byte_order + "IIII")
+        self._offset = self.GLOBAL_HEADER_BYTES
+
+    @property
+    def resume_offset(self) -> int:
+        """Byte offset of the first record not yet fully consumed."""
+        return self._offset
+
+    def skip_to(self, offset: int) -> None:
+        """Position the reader at a previously recorded resume offset."""
+        if offset < self.GLOBAL_HEADER_BYTES:
+            raise PcapFormatError(
+                f"pcap resume offset {offset} is inside the global header"
+            )
+        self._stream.seek(offset)
+        self._offset = offset
+
+    def _rewind(self, offset: int) -> None:
+        """Back the stream up so a retry re-reads from a record start."""
+        try:
+            self._stream.seek(offset)
+        except (OSError, ValueError):
+            pass  # non-seekable stream; retry is not possible anyway
 
     def __iter__(self) -> Iterator[Tuple[int, bytes]]:
         return self
 
     def __next__(self) -> Tuple[int, bytes]:
+        start = self._offset
         header = self._stream.read(16)
         if not header:
             raise StopIteration
         if len(header) < 16:
-            raise PcapFormatError("truncated pcap record header")
+            self._rewind(start)
+            raise TruncatedCapture("partial pcap record header",
+                                   resume_offset=start)
         ts_sec, ts_frac, incl_len, orig_len = self._rec.unpack(header)
         if incl_len > orig_len and orig_len != 0:
             raise PcapFormatError(
@@ -91,7 +153,10 @@ class PcapReader:
             )
         data = self._stream.read(incl_len)
         if len(data) < incl_len:
-            raise PcapFormatError("truncated pcap record body")
+            self._rewind(start)
+            raise TruncatedCapture("partial pcap record body",
+                                   resume_offset=start)
+        self._offset = start + 16 + incl_len
         if self.header.nanosecond:
             timestamp_ns = ts_sec * 1_000_000_000 + ts_frac
         else:
@@ -163,5 +228,30 @@ def write_packets(
         writer = PcapWriter(stream, nanosecond=nanosecond)
         for record in records:
             writer.write(record.timestamp_ns, to_wire_bytes(record))
+            count += 1
+    return count
+
+
+def append_packets(path: PathLike, records: Iterable[PacketRecord]) -> int:
+    """Append packet records to an existing pcap file; returns the count.
+
+    Reads the file's global header first so appended records use the
+    capture's existing timestamp resolution and byte order — this is how
+    the stream tests and the CI smoke harness grow a "live" capture the
+    way a flushing tcpdump would (whole records, one write each).
+    """
+    with open(path, "rb") as stream:
+        header = _parse_global_header(stream.read(24))
+    rec = struct.Struct(header.byte_order + "IIII")
+    divisor = 1 if header.nanosecond else NS_PER_US
+    count = 0
+    with open(path, "ab") as stream:
+        for record in records:
+            frame = to_wire_bytes(record)
+            sec, rem_ns = divmod(record.timestamp_ns, 1_000_000_000)
+            stream.write(
+                rec.pack(sec, rem_ns // divisor, len(frame), len(frame))
+            )
+            stream.write(frame)
             count += 1
     return count

@@ -22,7 +22,13 @@ from dataclasses import dataclass
 from typing import BinaryIO, Iterator, List, Optional, Tuple
 
 from .packet import PacketRecord, from_wire_bytes
-from .pcap import LINKTYPE_ETHERNET, LINKTYPE_RAW, PathLike, PcapFormatError
+from .pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PathLike,
+    PcapFormatError,
+    TruncatedCapture,
+)
 
 BLOCK_SHB = 0x0A0D0D0A
 BLOCK_IDB = 0x00000001
@@ -65,54 +71,106 @@ def _tsresol_to_ticks(value: bytes) -> int:
 
 
 class PcapngReader:
-    """Iterates ``(timestamp_ns, linktype, frame_bytes)`` tuples."""
+    """Iterates ``(timestamp_ns, linktype, frame_bytes)`` tuples.
+
+    Like :class:`~repro.net.pcap.PcapReader`, the reader is fully
+    incremental: it consumes one block at a time, tracks the offset of
+    the next unconsumed block in :attr:`resume_offset`, and raises
+    :class:`~repro.net.pcap.TruncatedCapture` (after seeking back to
+    the block start) when the stream ends mid-block, so a tailing
+    caller can wait for more bytes and call ``next()`` again.
+    """
 
     def __init__(self, stream: BinaryIO):
         self._stream = stream
         self._order = "<"
         self._interfaces: List[_Interface] = []
-        first = self._read_block_header()
-        if first is None or first[0] != BLOCK_SHB:
+        self._offset = 0
+        block = self._read_block()
+        if block is None:
+            # Zero bytes so far: possibly an in-flight capture.
+            raise TruncatedCapture("empty pcapng stream", resume_offset=0)
+        if block[0] != BLOCK_SHB:
             raise PcapFormatError("not a pcapng file (no section header)")
-        self._handle_shb(self._read_block_body(first[1]))
+        self._handle_shb(block[1])
+
+    @property
+    def resume_offset(self) -> int:
+        """Byte offset of the first block not yet fully consumed."""
+        return self._offset
+
+    def skip_to(self, offset: int) -> None:
+        """Fast-forward to a previously recorded resume offset.
+
+        pcapng blocks carry section and interface state, so resuming
+        must replay the block *structure* (without decoding packets)
+        from the start of the file up to the offset.
+        """
+        while self._offset < offset:
+            block = self._read_block()
+            if block is None:
+                raise PcapFormatError(
+                    f"pcapng resume offset {offset} is beyond end of file"
+                )
+            block_type, body = block
+            if block_type == BLOCK_SHB:
+                self._handle_shb(body)
+            elif block_type == BLOCK_IDB:
+                self._handle_idb(body)
+        if self._offset != offset:
+            raise PcapFormatError(
+                f"pcapng resume offset {offset} is not on a block boundary"
+            )
 
     # -- low-level block framing ------------------------------------------------
 
-    def _read_block_header(self) -> Optional[Tuple[int, int]]:
+    def _rewind(self, offset: int) -> None:
+        """Back the stream up so a retry re-reads from a block start."""
+        try:
+            self._stream.seek(offset)
+        except (OSError, ValueError):
+            pass  # non-seekable stream; retry is not possible anyway
+
+    def _read_block(self) -> Optional[Tuple[int, bytes]]:
+        """Consume one whole block; None at a clean end-of-stream."""
+        start = self._offset
         header = self._stream.read(8)
         if not header:
             return None
         if len(header) < 8:
-            raise PcapFormatError("truncated pcapng block header")
+            self._rewind(start)
+            raise TruncatedCapture("partial pcapng block header",
+                                   resume_offset=start)
         block_type = struct.unpack_from(self._order + "I", header, 0)[0]
+        consumed = 8
         if block_type == BLOCK_SHB:
             # Byte order may change at a section boundary; peek at the
             # byte-order magic to decide how to read the length.
             magic_bytes = self._stream.read(4)
             if len(magic_bytes) < 4:
-                raise PcapFormatError("truncated section header")
+                self._rewind(start)
+                raise TruncatedCapture("partial section header",
+                                       resume_offset=start)
             (magic_le,) = struct.unpack("<I", magic_bytes)
             self._order = "<" if magic_le == BYTE_ORDER_MAGIC else ">"
-            (length,) = struct.unpack_from(self._order + "I", header, 4)
-            # Re-read length in the (possibly new) byte order.
-            length = struct.unpack(self._order + "I", header[4:8])[0]
-            # The body we return excludes the 4 magic bytes already read.
-            return BLOCK_SHB, length - 4
-        (length,) = struct.unpack_from(self._order + "I", header, 4)
-        return block_type, length
-
-    def _read_block_body(self, total_length: int) -> bytes:
-        # total_length covers: type(4) + length(4) + body + trailing length(4)
-        body_length = total_length - 12
+            consumed += 4
+        # total_length covers: type(4) + length(4) + body + trailer(4).
+        (total_length,) = struct.unpack(self._order + "I", header[4:8])
+        body_length = total_length - consumed - 4
         if body_length < 0:
             raise PcapFormatError(f"bad pcapng block length {total_length}")
         body = self._stream.read(body_length)
         if len(body) < body_length:
-            raise PcapFormatError("truncated pcapng block body")
+            self._rewind(start)
+            raise TruncatedCapture("partial pcapng block body",
+                                   resume_offset=start)
         trailer = self._stream.read(4)
         if len(trailer) < 4:
-            raise PcapFormatError("missing pcapng block trailer")
-        return body
+            self._rewind(start)
+            raise TruncatedCapture("missing pcapng block trailer",
+                                   resume_offset=start)
+        self._offset = start + total_length
+        return block_type, body
 
     # -- block handlers -----------------------------------------------------------
 
@@ -143,11 +201,10 @@ class PcapngReader:
 
     def __next__(self) -> Tuple[int, int, bytes]:
         while True:
-            header = self._read_block_header()
-            if header is None:
+            block = self._read_block()
+            if block is None:
                 raise StopIteration
-            block_type, length = header
-            body = self._read_block_body(length)
+            block_type, body = block
             if block_type == BLOCK_SHB:
                 self._handle_shb(body)
             elif block_type == BLOCK_IDB:

@@ -65,6 +65,16 @@ class SpinBitMonitor:
         self.samples: List[RttSample] = []
         self.stats = SpinBitStats()
 
+    def drain_samples(self) -> List[RttSample]:
+        """Hand over (and forget) the retained samples.
+
+        Cumulative counters in :attr:`stats` are unaffected; only the
+        retained list is emptied (the streaming rotation primitive).
+        """
+        drained = self.samples
+        self.samples = []
+        return drained
+
     def process(self, record: QuicPacketRecord) -> List[RttSample]:
         self.stats.packets_processed += 1
         if record.long_header:

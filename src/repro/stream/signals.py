@@ -1,0 +1,88 @@
+"""Graceful shutdown for long-lived runs.
+
+A continuous monitor is stopped from outside (systemd, an operator's
+Ctrl-C, a CI harness sending SIGTERM).  Stopping must not lose data:
+the run should finish the chunk in flight, flush its sinks, write a
+final checkpoint, and exit 0.  :class:`GracefulShutdown` is the shared
+mechanism — it turns the first SIGTERM/SIGINT into a flag the ingest
+loop polls, and restores the default handlers on the second signal so
+a stuck process can still be killed the ordinary way.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from types import FrameType
+from typing import Iterable, Iterator, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_SIGNALS: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulShutdown:
+    """Context manager translating SIGTERM/SIGINT into a drain flag.
+
+    Usage::
+
+        with GracefulShutdown() as stop:
+            engine.run(stop.wrap(records))   # stops ingesting when signaled
+        # ...flush/checkpoint/exit 0...
+
+    The first signal sets :attr:`triggered`; the second restores the
+    previously installed handlers, so repeating the signal interrupts
+    for real.  Handlers can only be installed from the main thread —
+    elsewhere (tests, embedded use) the object degrades to a manually
+    settable flag via :meth:`request`.
+    """
+
+    def __init__(self, signals: Iterable[int] = DEFAULT_SIGNALS) -> None:
+        self._signals = tuple(signals)
+        self._previous: dict = {}
+        self.triggered = False
+        self.signal_number: Optional[int] = None
+
+    # -- handler lifecycle -------------------------------------------------
+
+    def __enter__(self) -> "GracefulShutdown":
+        if threading.current_thread() is threading.main_thread():
+            for signum in self._signals:
+                self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        for signum, handler in self._previous.items():
+            signal.signal(signum, handler)
+        self._previous.clear()
+
+    def _handle(self, signum: int, frame: Optional[FrameType]) -> None:
+        if self.triggered:
+            # Second signal: stop being graceful about it.
+            self._restore()
+            return
+        self.triggered = True
+        self.signal_number = signum
+
+    # -- the drain flag ----------------------------------------------------
+
+    def request(self) -> None:
+        """Set the flag programmatically (tests, embedding without signals)."""
+        self.triggered = True
+
+    def __bool__(self) -> bool:
+        return self.triggered
+
+    def wrap(self, iterable: Iterable[T]) -> Iterator[T]:
+        """Yield from ``iterable`` until a shutdown is requested.
+
+        The check runs *before* each item, so the item being processed
+        when the signal lands is completed, and nothing after it starts.
+        """
+        for item in iterable:
+            if self.triggered:
+                return
+            yield item

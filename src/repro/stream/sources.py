@@ -1,0 +1,471 @@
+"""Packet sources: where a streaming run's records come from.
+
+A :class:`PacketSource` produces decoded TCP
+:class:`~repro.net.packet.PacketRecord` chunks and knows how to
+describe its own position (``resume_state``) so a checkpoint can record
+exactly which packet comes next.  Three implementations:
+
+* :class:`CaptureFileSource` — one pass over a finished pcap/pcapng
+  file (what ``dart-replay`` does, expressed as a source);
+* :class:`TailCaptureSource` — follows a *growing* capture the way
+  ``tail -F`` follows a log: reads every complete record, waits when
+  the file ends mid-record (tcpdump flushes record-at-a-time, so the
+  tail sees :class:`~repro.net.pcap.TruncatedCapture` routinely),
+  and starts over when the file is rotated out from under it;
+* :class:`PacedReplaySource` — replays a finished capture honoring the
+  trace's own timestamps in wall-clock time (optionally scaled), which
+  turns any archived trace into a live feed for rehearsing continuous
+  operation.
+
+Sources yield *possibly empty* chunks: an empty chunk means "nothing
+right now" and gives the runner a chance to checkpoint, emit telemetry,
+and notice shutdown signals while idle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..net.packet import PacketRecord, from_wire_bytes
+from ..net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PcapFormatError,
+    PcapReader,
+    TruncatedCapture,
+)
+from ..net.pcapng import PcapngReader, sniff_format
+
+PathLike = Union[str, Path]
+
+
+class PacketSource:
+    """Shared surface of the packet sources (see module docstring)."""
+
+    def chunks(self, max_records: int) -> Iterator[List[PacketRecord]]:
+        """Yield chunks of at most ``max_records`` decoded TCP records.
+
+        Chunks may be empty (idle poll).  The generator returning means
+        the source is exhausted for good.
+        """
+        raise NotImplementedError
+
+    def resume_state(self) -> Dict[str, Any]:
+        """Position metadata a checkpoint stores to continue this source."""
+        raise NotImplementedError
+
+    def lag_bytes(self) -> int:
+        """Bytes written to the capture that this source has not read."""
+        return 0
+
+    def close(self) -> None:
+        """Release the underlying file handle (idempotent)."""
+
+
+class CaptureFileSource(PacketSource):
+    """One incremental pass over a finished pcap or pcapng file.
+
+    ``resume_offset`` starts the pass at a checkpointed byte offset
+    instead of the beginning; ``capture_format`` pins the format when
+    the caller already knows it (otherwise it is sniffed).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        capture_format: Optional[str] = None,
+        resume_offset: Optional[int] = None,
+    ) -> None:
+        self.path = str(path)
+        self._format = capture_format
+        self._stream = None
+        self._reader: Optional[Union[PcapReader, PcapngReader]] = None
+        self._ethernet = True  # pcap: fixed per file; pcapng: per record
+        self._open(resume_offset)
+
+    # -- opening -----------------------------------------------------------
+
+    def _open(self, resume_offset: Optional[int]) -> None:
+        if self._format is None:
+            self._format = sniff_format(self.path)
+        self._stream = open(self.path, "rb")
+        try:
+            self._make_reader()
+            if resume_offset is not None:
+                self._reader.skip_to(resume_offset)
+        except BaseException:
+            self._stream.close()
+            self._stream = None
+            raise
+
+    def _make_reader(self) -> None:
+        if self._format == "pcapng":
+            self._reader = PcapngReader(self._stream)
+            return
+        reader = PcapReader(self._stream)
+        if reader.header.linktype == LINKTYPE_ETHERNET:
+            self._ethernet = True
+        elif reader.header.linktype == LINKTYPE_RAW:
+            self._ethernet = False
+        else:
+            raise PcapFormatError(
+                f"unsupported linktype {reader.header.linktype}"
+            )
+        self._reader = reader
+
+    # -- record pull -------------------------------------------------------
+
+    def _pull_raw(self) -> Optional[Tuple[int, bool, bytes]]:
+        """Next raw frame as ``(timestamp_ns, is_ethernet, frame)``.
+
+        Returns ``None`` at a clean end of stream; skips pcapng frames
+        on link layers the decoder does not speak.  Propagates
+        :class:`~repro.net.pcap.TruncatedCapture` — the one-shot source
+        treats it as the fatal parse error it subclasses, the tail
+        subclass catches it and waits.
+        """
+        while True:
+            try:
+                item = next(self._reader)
+            except StopIteration:
+                return None
+            if self._format == "pcapng":
+                timestamp_ns, linktype, frame = item
+                if linktype == LINKTYPE_ETHERNET:
+                    return timestamp_ns, True, frame
+                if linktype == LINKTYPE_RAW:
+                    return timestamp_ns, False, frame
+                continue  # unsupported link layer: skip, as read_pcapng does
+            timestamp_ns, frame = item
+            return timestamp_ns, self._ethernet, frame
+
+    def _next_record(self) -> Optional[Tuple[PacketRecord, int]]:
+        """Next decoded TCP record and the byte offset it began at."""
+        while True:
+            start = self._reader.resume_offset
+            raw = self._pull_raw()
+            if raw is None:
+                return None
+            timestamp_ns, ethernet, frame = raw
+            record = from_wire_bytes(frame, timestamp_ns,
+                                     linktype_ethernet=ethernet)
+            if record is not None:
+                return record, start
+
+    # -- PacketSource ------------------------------------------------------
+
+    def chunks(self, max_records: int) -> Iterator[List[PacketRecord]]:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        while True:
+            chunk: List[PacketRecord] = []
+            while len(chunk) < max_records:
+                pulled = self._next_record()
+                if pulled is None:
+                    if chunk:
+                        yield chunk
+                    return
+                chunk.append(pulled[0])
+            yield chunk
+
+    def resume_state(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "format": self._format,
+            "offset": self._reader.resume_offset,
+        }
+
+    def lag_bytes(self) -> int:
+        if self._stream is None:
+            return 0
+        try:
+            size = os.fstat(self._stream.fileno()).st_size
+        except OSError:
+            return 0
+        return max(0, size - self._reader.resume_offset)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class TailCaptureSource(PacketSource):
+    """Follows a growing capture file, ``tail -F`` style.
+
+    Reads every complete record currently in the file, yields an empty
+    chunk when it catches up, sleeps ``poll_interval_s``, and retries —
+    a file ending mid-record (:class:`TruncatedCapture`) is the normal
+    steady state of tailing a flushing tcpdump, not an error.  Rotation
+    (the path replaced by a new inode, or the file shrinking below the
+    committed offset) restarts the tail at the new file's beginning.
+
+    ``idle_timeout_s`` bounds how long the source waits without a
+    single new record before declaring the stream over — ``None`` (the
+    daemon default) waits forever.  ``sleep`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        poll_interval_s: float = 0.5,
+        idle_timeout_s: Optional[float] = None,
+        capture_format: Optional[str] = None,
+        resume_offset: Optional[int] = None,
+        sleep=time.sleep,
+    ) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError("poll_interval_s must be positive")
+        self.path = str(path)
+        self._poll_interval = poll_interval_s
+        self._idle_timeout = idle_timeout_s
+        self._pinned_format = capture_format
+        self._format = capture_format
+        self._sleep = sleep
+        self._stream = None
+        self._reader: Optional[Union[PcapReader, PcapngReader]] = None
+        self._ethernet = True
+        self._committed = 0  # offset after the last fully delivered record
+        if resume_offset is not None:
+            self._try_resume(resume_offset)
+
+    def _try_resume(self, offset: int) -> None:
+        """Start at a checkpointed offset when the file still matches.
+
+        If the capture was rotated since the checkpoint (missing, or
+        now shorter than the offset) the tail starts fresh at the new
+        file — the rotated-away bytes are gone either way.
+        """
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return
+        if size < offset:
+            return
+        try:
+            self._ensure_reader()
+        except (TruncatedCapture, OSError):
+            return
+        if self._reader is not None:
+            self._reader.skip_to(offset)
+            self._committed = offset
+
+    # -- (re)opening -------------------------------------------------------
+
+    def _ensure_reader(self) -> None:
+        """Open the file and parse its header once enough bytes exist."""
+        if self._reader is not None:
+            return
+        if self._stream is None:
+            try:
+                self._stream = open(self.path, "rb")
+            except OSError:
+                return  # file not there yet; keep polling
+        if self._format is None:
+            try:
+                self._format = sniff_format(self.path)
+            except PcapFormatError:
+                return  # fewer than 4 bytes so far
+        try:
+            self._make_reader()
+        except TruncatedCapture:
+            # Header still being written; readers rewound to 0 already.
+            self._reader = None
+
+    def _make_reader(self) -> None:
+        if self._format == "pcapng":
+            self._reader = PcapngReader(self._stream)
+            return
+        reader = PcapReader(self._stream)
+        if reader.header.linktype == LINKTYPE_ETHERNET:
+            self._ethernet = True
+        elif reader.header.linktype == LINKTYPE_RAW:
+            self._ethernet = False
+        else:
+            raise PcapFormatError(
+                f"unsupported linktype {reader.header.linktype}"
+            )
+        self._reader = reader
+
+    def _reopen(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+        self._stream = None
+        self._reader = None
+        self._format = self._pinned_format
+        self._committed = 0
+
+    def _check_rotation(self) -> None:
+        """Reopen when the path points at a new file.
+
+        Two tells: the inode changed (classic rename rotation), or the
+        file shrank below what this tail already consumed (truncate-in-
+        place rotation).
+        """
+        if self._stream is None:
+            return
+        try:
+            on_disk = os.stat(self.path)
+        except OSError:
+            return  # removed and not yet recreated; keep the old handle
+        opened = os.fstat(self._stream.fileno())
+        if on_disk.st_ino != opened.st_ino or on_disk.st_size < self._committed:
+            self._reopen()
+
+    # -- record pull -------------------------------------------------------
+
+    def _collect(self, max_records: int) -> List[PacketRecord]:
+        """Every decodable record available right now, up to the cap."""
+        chunk: List[PacketRecord] = []
+        self._ensure_reader()
+        if self._reader is None:
+            return chunk
+        while len(chunk) < max_records:
+            try:
+                item = next(self._reader)
+            except StopIteration:
+                break  # caught up with a record boundary
+            except TruncatedCapture:
+                break  # caught up mid-record; reader rewound for retry
+            if self._format == "pcapng":
+                timestamp_ns, linktype, frame = item
+                if linktype == LINKTYPE_ETHERNET:
+                    ethernet = True
+                elif linktype == LINKTYPE_RAW:
+                    ethernet = False
+                else:
+                    self._committed = self._reader.resume_offset
+                    continue
+            else:
+                timestamp_ns, frame = item
+                ethernet = self._ethernet
+            self._committed = self._reader.resume_offset
+            record = from_wire_bytes(frame, timestamp_ns,
+                                     linktype_ethernet=ethernet)
+            if record is not None:
+                chunk.append(record)
+        return chunk
+
+    # -- PacketSource ------------------------------------------------------
+
+    def chunks(self, max_records: int) -> Iterator[List[PacketRecord]]:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        idle = 0.0
+        while True:
+            chunk = self._collect(max_records)
+            yield chunk
+            if chunk:
+                idle = 0.0
+                continue
+            if (
+                self._idle_timeout is not None
+                and idle >= self._idle_timeout
+            ):
+                return
+            self._sleep(self._poll_interval)
+            idle += self._poll_interval
+            self._check_rotation()
+
+    def resume_state(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "format": self._format,
+            "offset": self._committed,
+        }
+
+    def lag_bytes(self) -> int:
+        try:
+            size = os.stat(self.path).st_size
+        except OSError:
+            return 0
+        return max(0, size - self._committed)
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+class PacedReplaySource(CaptureFileSource):
+    """Replays a finished capture at the trace's own pace.
+
+    The first record is released immediately and becomes the epoch;
+    every later record is released when ``(its timestamp - epoch) /
+    speed`` of wall-clock time has elapsed.  ``speed=10`` replays ten
+    times faster than the capture; ``speed`` must be positive.
+
+    A record pulled from the file but not yet due stays *pending*:
+    ``resume_state`` reports the offset **before** it, so a checkpoint
+    taken between chunks never skips the packet the pacer was holding.
+
+    ``clock``/``sleep`` are injectable so tests run instantly.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        speed: float = 1.0,
+        capture_format: Optional[str] = None,
+        resume_offset: Optional[int] = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        super().__init__(path, capture_format=capture_format,
+                         resume_offset=resume_offset)
+        self._speed = speed
+        self._clock = clock
+        self._pace_sleep = sleep
+        self._epoch_wall: Optional[float] = None
+        self._epoch_ts = 0
+        self._pending: Optional[PacketRecord] = None
+        self._pending_start = 0
+
+    def _due(self, record: PacketRecord) -> float:
+        if self._epoch_wall is None:
+            self._epoch_wall = self._clock()
+            self._epoch_ts = record.timestamp_ns
+        elapsed_ns = record.timestamp_ns - self._epoch_ts
+        return self._epoch_wall + max(0, elapsed_ns) / 1e9 / self._speed
+
+    def chunks(self, max_records: int) -> Iterator[List[PacketRecord]]:
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        while True:
+            chunk: List[PacketRecord] = []
+            while len(chunk) < max_records:
+                if self._pending is None:
+                    pulled = self._next_record()
+                    if pulled is None:
+                        if chunk:
+                            yield chunk
+                        return
+                    self._pending, self._pending_start = pulled
+                record = self._pending
+                due = self._due(record)
+                now = self._clock()
+                if now < due:
+                    if chunk:
+                        # Ship what is ripe; the held record stays
+                        # pending (and excluded from resume_state).
+                        break
+                    self._pace_sleep(due - now)
+                chunk.append(record)
+                self._pending = None
+            yield chunk
+
+    def resume_state(self) -> Dict[str, Any]:
+        offset = (
+            self._pending_start
+            if self._pending is not None
+            else self._reader.resume_offset
+        )
+        return {"path": self.path, "format": self._format, "offset": offset}

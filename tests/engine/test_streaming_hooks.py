@@ -1,0 +1,101 @@
+"""The engine's streaming surface: ingest_chunk/finish/drain/restore.
+
+``MonitorEngine.run`` is now sugar over ``ingest_chunk`` + ``finish``;
+these tests pin that refactor (identical results chunk-by-chunk) and
+the streaming-only hooks the StreamRunner depends on.
+"""
+
+import pytest
+
+from repro.engine import MonitorEngine, MonitorOptions, create, get_spec
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+TCP_MONITORS = ("dart", "tcptrace", "strawman", "dapper")
+
+
+@pytest.fixture(scope="module")
+def tcp_records():
+    return generate_campus_trace(
+        CampusTraceConfig(connections=60, seed=5)
+    ).records
+
+
+def engine_with(name):
+    monitor = create(name, MonitorOptions())
+    engine = MonitorEngine()
+    engine.add_monitor(monitor, name=name,
+                       record_kind=get_spec(name).record_kind)
+    return engine, monitor
+
+
+class TestChunkedIngestEquivalence:
+    @pytest.mark.parametrize("name", TCP_MONITORS)
+    def test_matches_run_for_any_chunking(self, name, tcp_records):
+        ref_engine, ref_monitor = engine_with(name)
+        ref_report = ref_engine.run(tcp_records)
+
+        engine, monitor = engine_with(name)
+        for start in range(0, len(tcp_records), 777):
+            engine.ingest_chunk(tcp_records[start : start + 777])
+        report = engine.finish()
+
+        assert list(monitor.samples) == list(ref_monitor.samples)
+        assert monitor.stats == ref_monitor.stats
+        assert report.records == ref_report.records == len(tcp_records)
+
+    def test_progress_properties_track_ingest(self, tcp_records):
+        engine, _ = engine_with("dart")
+        assert engine.records == 0
+        assert engine.end_ns is None
+        engine.ingest_chunk(tcp_records[:100])
+        assert engine.records == 100
+        assert engine.end_ns == tcp_records[99].timestamp_ns
+
+    def test_empty_chunk_is_a_noop(self, tcp_records):
+        engine, _ = engine_with("dart")
+        engine.ingest_chunk([])
+        assert engine.records == 0
+        assert engine.end_ns is None
+
+
+class TestFinish:
+    def test_finish_is_idempotent(self, tcp_records):
+        engine, _ = engine_with("dart")
+        engine.ingest_chunk(tcp_records)
+        first = engine.finish()
+        again = engine.finish()
+        assert again is first
+
+    def test_ingest_after_finish_raises(self, tcp_records):
+        engine, _ = engine_with("dart")
+        engine.ingest_chunk(tcp_records[:10])
+        engine.finish()
+        with pytest.raises(RuntimeError):
+            engine.ingest_chunk(tcp_records[10:20])
+
+
+class TestDrainRetained:
+    def test_drains_and_forgets(self, tcp_records):
+        engine, monitor = engine_with("dart")
+        engine.ingest_chunk(tcp_records)
+        retained = len(monitor.samples)
+        assert retained > 0
+        assert engine.drain_retained() == retained
+        assert monitor.samples == []
+        # Cumulative stats are untouched by the drain.
+        assert monitor.stats.samples == retained
+        assert engine.drain_retained() == 0
+
+
+class TestRestoreProgress:
+    def test_seeds_counters(self):
+        engine, _ = engine_with("dart")
+        engine.restore_progress(records=12345, end_ns=999)
+        assert engine.records == 12345
+        assert engine.end_ns == 999
+
+    def test_refused_after_ingest(self, tcp_records):
+        engine, _ = engine_with("dart")
+        engine.ingest_chunk(tcp_records[:10])
+        with pytest.raises(RuntimeError):
+            engine.restore_progress(records=0, end_ns=None)

@@ -1,0 +1,22 @@
+"""Shared fixtures for the streaming tests."""
+
+import pytest
+
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+
+@pytest.fixture(scope="session")
+def campus_records():
+    """A mid-sized synthetic campus trace (shared, never mutated)."""
+    return generate_campus_trace(
+        CampusTraceConfig(connections=200, seed=7)
+    ).records
+
+
+@pytest.fixture()
+def campus_pcap(campus_records, tmp_path):
+    from repro.net.pcap import write_packets
+
+    path = tmp_path / "campus.pcap"
+    write_packets(path, campus_records)
+    return path

@@ -1,0 +1,103 @@
+"""Checkpoint file format: round-trip, corruption, version fencing."""
+
+import json
+import struct
+
+import pytest
+
+from repro.stream import (
+    CheckpointCorrupt,
+    CheckpointSchemaMismatch,
+    read_checkpoint,
+    read_header,
+    write_checkpoint,
+)
+from repro.stream.checkpoint import MAGIC
+
+
+@pytest.fixture()
+def checkpoint(tmp_path):
+    path = tmp_path / "state.ckpt"
+    payload = {"monitors": {"dart": [1, 2, 3]}, "analytics": None}
+    meta = {
+        "finalized": False,
+        "source": {"path": "t.pcap", "format": "pcap", "offset": 1234},
+        "sinks": [{"kind": "csv", "path": "out.csv", "offset": 77}],
+        "runner": {"records": 10, "end_ns": 999},
+    }
+    write_checkpoint(path, payload, meta)
+    return path
+
+
+class TestRoundTrip:
+    def test_payload_and_meta_survive(self, checkpoint):
+        loaded = read_checkpoint(checkpoint)
+        assert loaded.payload == {"monitors": {"dart": [1, 2, 3]},
+                                  "analytics": None}
+        assert loaded.header["source"]["offset"] == 1234
+        assert loaded.header["sinks"][0]["kind"] == "csv"
+        assert not loaded.finalized
+
+    def test_header_readable_without_unpickling(self, checkpoint):
+        header = read_header(checkpoint)
+        assert header["runner"] == {"records": 10, "end_ns": 999}
+        assert header["payload_len"] > 0
+        assert len(header["payload_sha256"]) == 64
+
+    def test_write_is_atomic(self, checkpoint, tmp_path):
+        # A second write lands completely or not at all: no .tmp left.
+        write_checkpoint(checkpoint, {"v": 2}, {"finalized": True})
+        assert read_checkpoint(checkpoint).payload == {"v": 2}
+        assert not (tmp_path / "state.ckpt.tmp").exists()
+
+
+class TestRejection:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "notckpt"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 64)
+        with pytest.raises(CheckpointCorrupt):
+            read_header(path)
+
+    def test_payload_bit_flip(self, checkpoint):
+        blob = bytearray(checkpoint.read_bytes())
+        blob[-1] ^= 0xFF  # flip a payload byte; header stays intact
+        checkpoint.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(checkpoint)
+
+    def test_truncated_payload(self, checkpoint):
+        blob = checkpoint.read_bytes()
+        checkpoint.write_bytes(blob[:-4])
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(checkpoint)
+
+    def test_schema_mismatch(self, checkpoint):
+        blob = checkpoint.read_bytes()
+        header_len = struct.unpack(">I", blob[8:12])[0]
+        header = json.loads(blob[12 : 12 + header_len])
+        header["schema"] = "dart-stream-checkpoint/999"
+        new_header = json.dumps(header, sort_keys=True).encode()
+        rewritten = (
+            MAGIC + struct.pack(">I", len(new_header)) + new_header
+            + blob[12 + header_len:]
+        )
+        checkpoint.write_bytes(rewritten)
+        with pytest.raises(CheckpointSchemaMismatch):
+            read_header(checkpoint)
+
+    def test_header_not_json(self, checkpoint):
+        blob = checkpoint.read_bytes()
+        header_len = struct.unpack(">I", blob[8:12])[0]
+        rewritten = (
+            MAGIC + struct.pack(">I", header_len)
+            + b"\xff" * header_len + blob[12 + header_len:]
+        )
+        checkpoint.write_bytes(rewritten)
+        with pytest.raises(CheckpointCorrupt):
+            read_header(checkpoint)
+
+    def test_implausible_header_length(self, tmp_path):
+        path = tmp_path / "huge"
+        path.write_bytes(MAGIC + struct.pack(">I", 1 << 30))
+        with pytest.raises(CheckpointCorrupt):
+            read_header(path)

@@ -1,0 +1,97 @@
+"""dart-stream CLI: argument validation, one-shot runs, inspection."""
+
+import json
+
+import pytest
+
+from repro.cli.stream import main
+from repro.net.pcap import read_packets
+from repro.stream import read_header
+
+
+class TestOneShot:
+    def test_exhausts_and_reports(self, campus_pcap, tmp_path, capsys):
+        out = tmp_path / "out.csv"
+        assert main([str(campus_pcap), "--csv", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "source exhausted" in stdout
+        records = len(list(read_packets(campus_pcap)))
+        assert f"after {records} records" in stdout
+        assert out.stat().st_size > 0
+
+    def test_paced_replay_smoke(self, campus_pcap, tmp_path, capsys):
+        # At 10^9x the whole trace paces out in microseconds of wall
+        # time; this exercises the pacing code path, not the clock.
+        out = tmp_path / "out.csv"
+        assert main([str(campus_pcap), "--pace", "1e9",
+                     "--csv", str(out)]) == 0
+        assert "source exhausted" in capsys.readouterr().out
+
+    def test_baseline_monitor_with_windows(self, campus_pcap, tmp_path,
+                                           capsys):
+        win = tmp_path / "win.jsonl"
+        assert main([str(campus_pcap), "--monitor", "tcptrace",
+                     "--window-samples", "8", "--windows", str(win)]) == 0
+        lines = win.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"key", "min_rtt_ns", "samples"} <= set(first)
+
+
+class TestInspect:
+    def test_prints_header_json(self, campus_pcap, tmp_path, capsys):
+        ckpt = tmp_path / "state.ckpt"
+        assert main([str(campus_pcap), "--checkpoint", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert main(["--inspect", str(ckpt)]) == 0
+        header = json.loads(capsys.readouterr().out)
+        assert header == read_header(ckpt)
+        assert header["schema"].startswith("dart-stream-checkpoint/")
+
+    def test_inspect_garbage_fails_cleanly(self, tmp_path):
+        bogus = tmp_path / "bogus"
+        bogus.write_bytes(b"not a checkpoint")
+        with pytest.raises(SystemExit, match="dart-stream"):
+            main(["--inspect", str(bogus)])
+
+
+class TestValidation:
+    def test_requires_a_capture(self):
+        with pytest.raises(SystemExit, match="capture file is required"):
+            main([])
+
+    def test_resume_requires_checkpoint(self, campus_pcap):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main([str(campus_pcap), "--resume"])
+
+    def test_windows_requires_window_spec(self, campus_pcap, tmp_path):
+        with pytest.raises(SystemExit, match="--windows requires"):
+            main([str(campus_pcap),
+                  "--windows", str(tmp_path / "w.jsonl")])
+
+    def test_leg_requires_internal(self, campus_pcap):
+        with pytest.raises(SystemExit, match="--leg requires --internal"):
+            main([str(campus_pcap), "--leg", "internal"])
+
+    def test_resume_refuses_finalized(self, campus_pcap, tmp_path):
+        ckpt = tmp_path / "state.ckpt"
+        assert main([str(campus_pcap), "--checkpoint", str(ckpt)]) == 0
+        with pytest.raises(SystemExit, match="already finalized"):
+            main([str(campus_pcap), "--checkpoint", str(ckpt),
+                  "--resume"])
+
+    def test_resume_with_wrong_monitor(self, campus_pcap, tmp_path):
+        from repro.stream import write_checkpoint
+
+        ckpt = tmp_path / "state.ckpt"
+        write_checkpoint(ckpt, {"monitors": {"tcptrace": None},
+                                "analytics": None},
+                         {"finalized": False,
+                          "source": {"path": str(campus_pcap),
+                                     "format": "pcap", "offset": 24},
+                          "sinks": [],
+                          "runner": {"records": 0, "end_ns": None}})
+        with pytest.raises(SystemExit,
+                           match="resume with the monitor"):
+            main([str(campus_pcap), "--checkpoint", str(ckpt),
+                  "--resume"])

@@ -1,0 +1,164 @@
+"""The resume contract, end to end: byte-identical output across a stop.
+
+The daemon is run as a real subprocess (fresh interpreter, fresh
+address space) so the checkpoint must carry *everything*: a restored
+run that produces byte-identical CSVs proves no state lived only in
+the stopped process.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.net.pcap import append_packets, write_packets
+from repro.stream import CheckpointError, read_header
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+DEADLINE_S = 60.0
+
+
+def cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli.stream", *map(str, args)],
+        env=cli_env(), capture_output=True, text=True, timeout=DEADLINE_S,
+    )
+
+
+def wait_for(predicate, what):
+    deadline = time.monotonic() + DEADLINE_S
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def caught_up(ckpt, capture):
+    """True once a periodic checkpoint records the capture fully read."""
+    def check():
+        try:
+            header = read_header(ckpt)
+        except (CheckpointError, OSError):
+            return False
+        return header["source"]["offset"] == capture.stat().st_size
+    return check
+
+
+@pytest.mark.parametrize("monitor", ["dart", "tcptrace"])
+def test_fresh_process_resume_is_byte_identical(
+    monitor, campus_records, tmp_path
+):
+    half = len(campus_records) // 2
+    full = tmp_path / "full.pcap"
+    write_packets(full, campus_records)
+
+    # Uninterrupted reference over the complete capture.
+    ref_csv = tmp_path / "ref.csv"
+    ref_win = tmp_path / "ref-win.jsonl"
+    done = run_cli(full, "--monitor", monitor, "--csv", ref_csv,
+                   "--window-samples", "8", "--windows", ref_win)
+    assert done.returncode == 0, done.stderr
+
+    # Segment 1: a daemon tails the half-written capture, catches up,
+    # and is stopped with SIGTERM — the production shutdown path.
+    live = tmp_path / "live.pcap"
+    write_packets(live, campus_records[:half])
+    ckpt = tmp_path / "state.ckpt"
+    out_csv = tmp_path / "out.csv"
+    out_win = tmp_path / "out-win.jsonl"
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli.stream", str(live), "--follow",
+         "--monitor", monitor, "--poll-interval", "0.05",
+         "--checkpoint", str(ckpt), "--checkpoint-interval", "0.2",
+         "--csv", str(out_csv),
+         "--window-samples", "8", "--windows", str(out_win)],
+        env=cli_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        wait_for(caught_up(ckpt, live), "daemon to catch up to the capture")
+        daemon.send_signal(signal.SIGTERM)
+        stdout, stderr = daemon.communicate(timeout=DEADLINE_S)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    assert daemon.returncode == 0, stderr
+    assert "stopped by signal" in stdout
+    header = read_header(ckpt)
+    assert not header["finalized"]
+
+    # The capture keeps growing while nobody is watching...
+    append_packets(live, campus_records[half:])
+
+    # Segment 2: a *fresh process* resumes from the checkpoint and
+    # drains the rest (idle timeout ends the tail at EOF).
+    resumed = run_cli(live, "--follow", "--monitor", monitor,
+                      "--poll-interval", "0.05", "--idle-timeout", "0.3",
+                      "--checkpoint", ckpt, "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    assert read_header(ckpt)["finalized"]
+
+    # Sample-for-sample identity with the uninterrupted run.
+    assert out_csv.read_bytes() == ref_csv.read_bytes()
+    assert out_win.read_bytes() == ref_win.read_bytes()
+
+
+class TestRejection:
+    """A damaged or spent checkpoint refuses to resume — loudly."""
+
+    def make_checkpoint(self, tmp_path, campus_pcap):
+        # A one-shot run to exhaustion: fast, and the resulting
+        # (finalized) checkpoint is bit-for-bit a real one.  The
+        # corruption checks fire before the finalized check, so one
+        # fixture serves all three rejection paths.
+        ckpt = tmp_path / "state.ckpt"
+        out = tmp_path / "out.csv"
+        from repro.cli.stream import main
+
+        assert main([str(campus_pcap), "--csv", str(out),
+                     "--checkpoint", str(ckpt)]) == 0
+        return ckpt
+
+    def test_corrupt_payload_is_refused(self, tmp_path, campus_pcap):
+        ckpt = self.make_checkpoint(tmp_path, campus_pcap)
+        blob = bytearray(ckpt.read_bytes())
+        blob[-1] ^= 0xFF
+        ckpt.write_bytes(bytes(blob))
+        refused = run_cli(campus_pcap, "--checkpoint", ckpt, "--resume")
+        assert refused.returncode != 0
+        assert "cannot resume" in refused.stderr
+
+    def test_schema_mismatch_is_refused(self, tmp_path, campus_pcap):
+        import json
+        import struct
+
+        ckpt = self.make_checkpoint(tmp_path, campus_pcap)
+        blob = ckpt.read_bytes()
+        header_len = struct.unpack(">I", blob[8:12])[0]
+        header = json.loads(blob[12 : 12 + header_len])
+        header["schema"] = "dart-stream-checkpoint/999"
+        new_header = json.dumps(header, sort_keys=True).encode()
+        ckpt.write_bytes(blob[:8] + struct.pack(">I", len(new_header))
+                         + new_header + blob[12 + header_len:])
+        refused = run_cli(campus_pcap, "--checkpoint", ckpt, "--resume")
+        assert refused.returncode != 0
+        assert "cannot resume" in refused.stderr
+
+    def test_finalized_checkpoint_is_refused(self, tmp_path, campus_pcap):
+        ckpt = self.make_checkpoint(tmp_path, campus_pcap)
+        assert read_header(ckpt)["finalized"]
+        refused = run_cli(campus_pcap, "--checkpoint", ckpt, "--resume")
+        assert refused.returncode != 0
+        assert "already finalized" in refused.stderr

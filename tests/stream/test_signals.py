@@ -1,0 +1,68 @@
+"""GracefulShutdown: signal translation and drain semantics."""
+
+import os
+import signal
+
+from repro.stream import GracefulShutdown
+
+
+class TestWrap:
+    def test_passthrough_when_untriggered(self):
+        stop = GracefulShutdown()
+        assert list(stop.wrap(range(5))) == [0, 1, 2, 3, 4]
+
+    def test_stops_before_next_item(self):
+        stop = GracefulShutdown()
+        seen = []
+        for item in stop.wrap(range(10)):
+            seen.append(item)
+            if item == 3:
+                stop.request()
+        assert seen == [0, 1, 2, 3]
+
+    def test_bool_reflects_flag(self):
+        stop = GracefulShutdown()
+        assert not stop
+        stop.request()
+        assert stop
+
+
+class TestSignalHandling:
+    def test_sigterm_sets_flag_and_records_signal(self):
+        with GracefulShutdown() as stop:
+            os.kill(os.getpid(), signal.SIGTERM)
+            # Delivery is synchronous for a self-signal on the main thread.
+            assert stop.triggered
+            assert stop.signal_number == signal.SIGTERM
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown():
+            assert signal.getsignal(signal.SIGTERM) != before
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_second_signal_restores_original_handlers(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown() as stop:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stop.triggered
+            os.kill(os.getpid(), signal.SIGTERM)
+            # The second delivery put the old handlers back: a third
+            # signal would interrupt for real.
+            assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_non_main_thread_degrades_to_flag(self):
+        import threading
+
+        result = {}
+
+        def worker():
+            with GracefulShutdown() as stop:
+                result["ok"] = not stop.triggered
+                stop.request()
+                result["set"] = stop.triggered
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert result == {"ok": True, "set": True}
