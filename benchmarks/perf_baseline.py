@@ -14,7 +14,12 @@ Runs the per-packet hot loop over a *pinned* synthetic campus trace
   :class:`~repro.obs.TelemetryEmitter` (JSON mode, os.devnull);
   perfgate asserts telemetry-on costs at most 3% over telemetry-off;
 * **cluster_4shard** — packets/sec through a 4-shard process-mode
-  :class:`~repro.cluster.ShardedDart` (dispatch + workers + merge).
+  :class:`~repro.cluster.ShardedDart` (dispatch + workers + merge);
+* **fleet_merge** — cumulative deltas/sec through a
+  :class:`~repro.fleet.FleetCollector` fed by 8 synthetic agents
+  (wire decode + stats replace + flow dedup + window dedup), plus the
+  merged-summary render time.  Reported info-only by perfgate: the
+  merge path is control-plane, not the per-packet fast path.
 
 The output (``BENCH_pipeline.json`` at the repo root, committed) is the
 baseline CI's ``perf-regression`` job gates against via
@@ -31,11 +36,13 @@ the same commit, or the gate compares different experiments.
 from __future__ import annotations
 
 import argparse
+import io
 import json
 import os
 import platform
 import sys
 import time
+import zlib
 from pathlib import Path
 from typing import List, Optional
 
@@ -44,7 +51,17 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.analysis.perfgate import SCHEMA  # noqa: E402
 from repro.cluster import ShardedDart  # noqa: E402
 from repro.core import Dart, DartConfig  # noqa: E402
-from repro.engine import MonitorEngine  # noqa: E402
+from repro.core.analytics import MinFilterAnalytics  # noqa: E402
+from repro.core.flow import flow_of  # noqa: E402
+from repro.engine import MonitorEngine, MonitorOptions, create  # noqa: E402
+from repro.fleet import (  # noqa: E402
+    FleetCollector,
+    FlowCountTap,
+    encode_frame,
+    read_frame,
+    stats_to_wire,
+    window_to_wire,
+)
 from repro.obs import TelemetryEmitter  # noqa: E402
 from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
 
@@ -59,6 +76,12 @@ CONFIG = DartConfig(rt_slots=1 << 18, pt_slots=1 << 14, pt_stages=1,
                     max_recirculations=1)
 SHARDS = 4
 CLUSTER_BATCH = 2048
+#: The synthetic fleet: agents the trace is partitioned across, and
+#: cumulative delta pushes per agent (each re-states the agent's view
+#: at a growing prefix of its records, like a live push interval does).
+FLEET_AGENTS = 8
+FLEET_DELTAS = 4
+FLEET_WINDOW_SAMPLES = 8
 #: Emission interval for the telemetry-on measurement.  Short enough
 #: that a sub-second pass still pays for several full collect-snapshot-
 #: format-write cycles — the measured overhead includes emission, not
@@ -178,6 +201,86 @@ def measure_cluster(records, repeats: int, parallel: str) -> dict:
     }
 
 
+def _fleet_deltas(records) -> List[bytes]:
+    """Encode the synthetic fleet's wire traffic (setup, untimed).
+
+    The trace is partitioned across FLEET_AGENTS taps by canonical
+    flow; each agent pushes FLEET_DELTAS cumulative deltas — a real
+    dart run paused at growing prefixes, re-stating stats, flow counts
+    and shipping newly closed windows, exactly like the live exporter.
+    """
+    taps: List[List] = [[] for _ in range(FLEET_AGENTS)]
+    for record in records:
+        key = flow_of(record).canonical()
+        taps[zlib.crc32(key.key_bytes()) % FLEET_AGENTS].append(record)
+
+    blobs: List[bytes] = []
+    for index, tap_records in enumerate(taps):
+        analytics = MinFilterAnalytics(window_samples=FLEET_WINDOW_SAMPLES)
+        monitor = create("dart", MonitorOptions(
+            config=DartConfig(), analytics=analytics,
+        ))
+        engine = MonitorEngine()
+        flow_tap = FlowCountTap()
+        engine.add_monitor(monitor, name="dart", sinks=[flow_tap])
+        slice_size = max(1, len(tap_records) // FLEET_DELTAS)
+        for push in range(FLEET_DELTAS):
+            start = push * slice_size
+            chunk = (tap_records[start:start + slice_size]
+                     if push < FLEET_DELTAS - 1 else tap_records[start:])
+            engine.ingest_chunk(chunk)
+            if push == FLEET_DELTAS - 1:
+                engine.finish()
+            blobs.append(encode_frame(
+                "delta", agent=f"tap{index}", epoch=1, seq=push + 1,
+                payload={
+                    "monitor": "dart",
+                    "records": engine.records,
+                    "stats": stats_to_wire(monitor.stats),
+                    "flows": flow_tap.wire_counts(),
+                    "windows": [window_to_wire(w)
+                                for w in analytics.drain_windows()],
+                    "windows_closed": analytics.windows_closed,
+                    "telemetry": None,
+                    "final": push == FLEET_DELTAS - 1,
+                },
+            ))
+    return blobs
+
+
+def measure_fleet_merge(records, repeats: int) -> dict:
+    """Best-of-N delta merge throughput through a FleetCollector.
+
+    Times the collector's whole per-delta path — frame decode
+    (JSON + digest check), stats replacement, exactly-once flow
+    registry update, window content dedup — then the merged-summary
+    render (stats merge + detector sweep) once per repeat.
+    """
+    blobs = _fleet_deltas(records)
+    best_dps = 0.0
+    best_summary_ms = float("inf")
+    summary = {}
+    for _ in range(repeats):
+        collector = FleetCollector()
+        start = time.perf_counter()
+        for blob in blobs:
+            collector.handle_frame(read_frame(io.BytesIO(blob)))
+        elapsed = time.perf_counter() - start
+        best_dps = max(best_dps, len(blobs) / elapsed)
+        start = time.perf_counter()
+        summary = collector.to_summary()
+        best_summary_ms = min(
+            best_summary_ms, (time.perf_counter() - start) * 1e3)
+    return {
+        "deltas_per_second": round(best_dps, 1),
+        "summary_ms": round(best_summary_ms, 3),
+        "agents": FLEET_AGENTS,
+        "deltas": len(blobs),
+        "merged_windows": summary.get("windows", 0),
+        "exactly_once_samples": summary["flows"]["exactly_once_samples"],
+    }
+
+
 def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
     trace = generate_campus_trace(
         CampusTraceConfig(connections=CONNECTIONS, seed=SEED)
@@ -211,6 +314,11 @@ def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
         pps = results[f"cluster_{SHARDS}shard"]["packets_per_second"]
         print(f"cluster ({SHARDS} shards, {parallel}): {pps:,.0f} pps",
               file=sys.stderr)
+    results["fleet_merge"] = measure_fleet_merge(trace.records, repeats)
+    fleet = results["fleet_merge"]
+    print(f"fleet_merge: {fleet['deltas_per_second']:,.0f} deltas/s "
+          f"({FLEET_AGENTS} agents x {FLEET_DELTAS} pushes, summary "
+          f"{fleet['summary_ms']:.1f} ms)", file=sys.stderr)
     return {
         "schema": SCHEMA,
         "workload": {

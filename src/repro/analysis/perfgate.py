@@ -49,7 +49,11 @@ from typing import Dict, List, Optional
 #: ``repro.engine.MonitorEngine``) and the engine-overhead check.
 #: v3 added ``serial_engine_telemetry`` (same engine pass with a live
 #: :class:`repro.obs.TelemetryEmitter`) and the telemetry-overhead check.
-SCHEMA = "dart-perf-baseline/3"
+#: v4 added the ``fleet_merge`` section (synthetic-fleet delta merging
+#: through :class:`repro.fleet.FleetCollector`), reported info-only —
+#: the merge path is control-plane, far off the per-packet fast path,
+#: and too short-running to gate against shared-runner noise.
+SCHEMA = "dart-perf-baseline/4"
 
 DEFAULT_THRESHOLD = 0.15
 #: Allowed fractional throughput cost of the engine layer vs calling
@@ -139,15 +143,21 @@ def compare(
     fresh_flat = _flatten(fresh)
     comparisons: List[MetricComparison] = []
     for metric, base_value in sorted(_flatten(baseline).items()):
-        is_throughput = metric.endswith("packets_per_second")
+        # fleet_merge.* rates are info-only: the merge path is
+        # control-plane (deltas/sec, not packets/sec) and its short
+        # runtime makes shared-runner numbers too noisy to gate.
+        is_fleet_info = (metric.startswith("fleet_merge.")
+                         and metric.endswith("_per_second"))
+        is_throughput = (metric.endswith("packets_per_second")
+                         and not is_fleet_info)
         is_latency = metric.endswith(("p50_ns", "p99_ns"))
-        if not (is_throughput or is_latency):
+        if not (is_throughput or is_latency or is_fleet_info):
             continue  # counts/sizes are workload facts, not perf metrics
         comparisons.append(MetricComparison(
             metric=metric,
             baseline=base_value,
             fresh=fresh_flat.get(metric),
-            higher_is_better=is_throughput,
+            higher_is_better=is_throughput or is_fleet_info,
             gated=is_throughput or (is_latency and gate_latency),
             threshold=threshold,
         ))

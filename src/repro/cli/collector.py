@@ -1,0 +1,172 @@
+"""``dart-collector``: merge a fleet of dart-agents into one view.
+
+Listens for agent wire connections, merges their cumulative deltas
+(stats by addition, flows deduped exactly-once across taps, windows
+content-deduped), runs the BGP-interception detector over the merged
+window stream, and serves the whole thing over HTTP: ``/metrics``
+(Prometheus), ``/agents``, ``/summary``, ``/healthz``.  Examples::
+
+    # Listen for agents on 9500, scrape on 9590:
+    dart-collector --listen 0.0.0.0:9500 --http 0.0.0.0:9590
+
+    # Ephemeral ports for scripted runs (ports land in the files):
+    dart-collector --listen 127.0.0.1:0 --port-file wire.port \\
+        --http 127.0.0.1:0 --http-port-file http.port
+
+    # A finite fleet: exit (writing the merged summary) once all three
+    # agents have sent their final deltas:
+    dart-collector --listen 127.0.0.1:0 --port-file wire.port \\
+        --expect-agents 3 --summary-json merged.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from ..detection.change import DetectorConfig
+from ..fleet import FleetCollector, FleetHttpServer, FleetServer
+from ..fleet.agent import parse_endpoint
+from ..stream import GracefulShutdown
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dart-collector",
+        description="Merge dart-agent deltas into one fleet-wide view.",
+    )
+    parser.add_argument(
+        "--listen", metavar="HOST:PORT|unix:PATH", default="127.0.0.1:0",
+        help="wire endpoint agents connect to (default 127.0.0.1:0 — "
+             "an ephemeral port; see --port-file)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="PATH", default=None,
+        help="write the bound wire port here once listening",
+    )
+    parser.add_argument(
+        "--http", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="HTTP exposition endpoint (default 127.0.0.1:0)",
+    )
+    parser.add_argument(
+        "--http-port-file", metavar="PATH", default=None,
+        help="write the bound HTTP port here once serving",
+    )
+    parser.add_argument(
+        "--expect-agents", type=int, default=None, metavar="N",
+        help="exit once N agents have sent their final delta "
+             "(default: run until SIGTERM/SIGINT)",
+    )
+    parser.add_argument(
+        "--agent-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="seconds without a frame before an agent's liveness gauge "
+             "drops (state is kept; default 10)",
+    )
+    parser.add_argument(
+        "--rise-factor", type=float, default=2.0,
+        help="detector: 'abrupt' = min RTT rises by this factor "
+             "(default 2.0)",
+    )
+    parser.add_argument(
+        "--baseline-windows", type=int, default=3,
+        help="detector: windows used to establish the baseline "
+             "(default 3)",
+    )
+    parser.add_argument(
+        "--summary-json", metavar="PATH", default=None,
+        help="write the merged summary document here at exit",
+    )
+    parser.add_argument(
+        "--summary-windows", action="store_true",
+        help="embed the full merged window list in --summary-json "
+             "(exact but proportional to run length)",
+    )
+    return parser
+
+
+def _write_port_file(path: str, port: int) -> None:
+    """Atomic write so a polling reader never sees a half-written port."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(f"{port}\n")
+    os.replace(tmp, path)
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.expect_agents is not None and args.expect_agents <= 0:
+        raise SystemExit("--expect-agents must be positive")
+
+    tcp, unix_path = parse_endpoint(args.listen)
+    collector = FleetCollector(
+        agent_timeout_s=args.agent_timeout,
+        detector_config=DetectorConfig(
+            rise_factor=args.rise_factor,
+            baseline_windows=args.baseline_windows,
+        ),
+    )
+    if unix_path is not None:
+        server = FleetServer(collector, unix_path=unix_path)
+    else:
+        server = FleetServer(collector, host=tcp[0], port=tcp[1])
+    server.start()
+    if args.port_file and unix_path is None:
+        _write_port_file(args.port_file, server.address[1])
+
+    http_host, http_unix = parse_endpoint(args.http)
+    if http_unix is not None:
+        raise SystemExit("dart-collector: --http must be HOST:PORT")
+    http = FleetHttpServer(collector, host=http_host[0], port=http_host[1])
+    http.start()
+    if args.http_port_file:
+        _write_port_file(args.http_port_file, http.address[1])
+
+    print(f"dart-collector: wire on {args.listen}"
+          f"{'' if unix_path else f' (port {server.address[1]})'}, "
+          f"http on port {http.address[1]}", flush=True)
+
+    try:
+        with GracefulShutdown() as stop:
+            while not stop.triggered:
+                if (
+                    args.expect_agents is not None
+                    and collector.finalized_agents() >= args.expect_agents
+                ):
+                    break
+                time.sleep(0.1)
+    finally:
+        server.close()
+        http.close()
+        if unix_path is not None:
+            try:
+                os.unlink(unix_path)
+            except OSError:
+                pass
+
+    summary = collector.to_summary(include_windows=args.summary_windows)
+    if args.summary_json:
+        tmp = f"{args.summary_json}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, args.summary_json)
+
+    flows = summary["flows"]
+    print(f"dart-collector: {len(summary['agents'])} agent(s), "
+          f"{summary['frames_total']} frames "
+          f"({summary['stale_deltas_dropped']} stale dropped)")
+    print(f"  flows: {flows['unique']} unique, {flows['duplicates']} "
+          f"multi-tap; samples: {flows['exactly_once_samples']} "
+          f"exactly-once of {flows['attributed_samples']} attributed")
+    print(f"  windows: {summary['windows']} merged, "
+          f"{summary['windows_lost']} lost; detector: "
+          f"{summary['detector']['state']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

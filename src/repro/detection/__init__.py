@@ -11,6 +11,7 @@ from .change import (
     DetectorConfig,
     InterceptionDetector,
     packets_between,
+    run_over_windows,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "DetectorConfig",
     "InterceptionDetector",
     "packets_between",
+    "run_over_windows",
 ]

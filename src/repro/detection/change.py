@@ -139,3 +139,22 @@ def packets_between(records, start_ns: int, end_ns: int) -> int:
     "attack confirmed within 63 packets" is this count between the
     attack taking effect and confirmation."""
     return sum(1 for r in records if start_ns <= r.timestamp_ns <= end_ns)
+
+
+def run_over_windows(
+    windows: Sequence[WindowMinimum],
+    config: Optional[DetectorConfig] = None,
+) -> InterceptionDetector:
+    """Run a fresh detector over already-closed windows, in close order.
+
+    The fleet collector's entry point: it holds merged windows from many
+    vantage points rather than raw samples, so the detector is driven
+    through :meth:`InterceptionDetector.on_window` directly.  Windows
+    are sorted by ``closed_at_ns`` here — merged histories interleave
+    agents' streams, and detection state transitions only make sense in
+    close-time order.
+    """
+    detector = InterceptionDetector(config)
+    for window in sorted(windows, key=lambda w: w.closed_at_ns):
+        detector.on_window(window)
+    return detector

@@ -20,6 +20,20 @@ from .records import encode_sample
 PathLike = Union[str, Path]
 
 
+def open_creating_parents(path: PathLike, mode: str, **kwargs):
+    """``open`` that first creates the file's missing parent directories.
+
+    Operators point ``--csv``/``--telemetry-out``/sink paths into run
+    directories that may not exist yet (a fresh deploy, a dated output
+    tree); failing at first emission with ``FileNotFoundError`` helps
+    nobody, so every file-backed sink funnels through here.
+    """
+    parent = Path(path).parent
+    if parent and not parent.exists():
+        parent.mkdir(parents=True, exist_ok=True)
+    return open(path, mode, **kwargs)
+
+
 class _FileSink:
     """Shared lifecycle for the file-backed sinks.
 
@@ -64,7 +78,7 @@ class ReportFileSink(_FileSink):
     """
 
     def __init__(self, path: PathLike, *, append: bool = False) -> None:
-        super().__init__(open(path, "ab" if append else "wb"))
+        super().__init__(open_creating_parents(path, "ab" if append else "wb"))
 
     def add(self, sample: RttSample) -> None:
         self._stream.write(encode_sample(sample))
@@ -88,7 +102,9 @@ class CsvSink(_FileSink):
     """
 
     def __init__(self, path: PathLike, *, append: bool = False) -> None:
-        super().__init__(open(path, "a" if append else "w", newline=""))
+        super().__init__(
+            open_creating_parents(path, "a" if append else "w", newline="")
+        )
         self._writer = csv.writer(self._stream)
         if not append:
             self._writer.writerow(CSV_FIELDS)
@@ -113,7 +129,7 @@ class JsonlSink(_FileSink):
     """Streams samples as JSON lines (one object per sample)."""
 
     def __init__(self, path: PathLike, *, append: bool = False) -> None:
-        super().__init__(open(path, "a" if append else "w"))
+        super().__init__(open_creating_parents(path, "a" if append else "w"))
 
     def add(self, sample: RttSample) -> None:
         src, dst = _flow_strings(sample)
@@ -156,7 +172,7 @@ class WindowJsonlSink(_FileSink):
     """
 
     def __init__(self, path: PathLike, *, append: bool = False) -> None:
-        super().__init__(open(path, "a" if append else "w"))
+        super().__init__(open_creating_parents(path, "a" if append else "w"))
 
     def add(self, window) -> None:
         self._stream.write(json.dumps({

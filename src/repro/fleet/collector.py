@@ -1,0 +1,580 @@
+"""The dart-collector: merge many vantage points into one fleet view.
+
+Three layers, separable for testing:
+
+* :class:`FleetCollector` — the socket-free merge core.  Feed it decoded
+  :class:`~repro.fleet.wire.Frame` objects (or call the ``handle_*``
+  methods directly) and read back the merged view.  All state behind one
+  lock; every public method is safe from any thread.
+* :class:`FleetServer` — the socket front end: an accept loop plus one
+  reader thread per agent connection, speaking the fleet wire protocol
+  over TCP or a unix socket.
+* :class:`FleetHttpServer` — stdlib HTTP exposition of the merged view:
+  ``/metrics`` (Prometheus text), ``/agents`` and ``/summary`` (JSON),
+  ``/healthz``.
+
+Churn semantics (the part that makes the merge *exact*):
+
+* Deltas are **cumulative**: each one re-states the sending agent's
+  full monitor stats, telemetry snapshot, and per-flow sample counts.
+  The collector keeps the latest per agent and the merged view is a sum
+  over agents — so a lost delta costs staleness, never correctness, and
+  a resumed agent (same id, fresh ``epoch``) *replaces* its former self
+  instead of double-counting.
+* Ordering is guarded by the ``(epoch, seq)`` stamp: an agent's epoch is
+  its process-start time, seq increments per frame.  Frames whose stamp
+  does not advance are dropped and counted in
+  ``fleet_stale_deltas_dropped_total`` (reordered duplicates on
+  reconnect, or a misconfigured second agent with a stolen id).
+* Closed analytics windows are **incremental** with content-keyed
+  dedup, so the resume path may re-send windows freely and each is
+  merged exactly once.  ``fleet_windows_lost_total`` is the difference
+  between an agent's reported cumulative ``windows_closed`` and the
+  deduped windows actually received from it — zero after a clean
+  resume, loudly nonzero when churn really dropped data.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.analytics import WindowMinimum
+from ..detection.change import DetectorConfig, run_over_windows
+from ..obs.exporters import to_prometheus
+from ..obs.metrics import MetricsRegistry
+from ..obs.snapshot import Snapshot, merge_snapshots
+from .wire import (
+    Frame,
+    FrameCorrupt,
+    WireError,
+    key_from_wire,
+    key_to_wire,
+    read_frame,
+    stats_from_wire,
+    window_from_wire,
+)
+from .registry import FlowRegistry
+
+__all__ = ["AgentState", "FleetCollector", "FleetServer", "FleetHttpServer"]
+
+#: An agent with no frame for this many seconds is marked down (its
+#: state is retained — liveness is a gauge, not an eviction policy).
+DEFAULT_AGENT_TIMEOUT_S = 10.0
+
+
+@dataclass
+class AgentState:
+    """Everything the collector knows about one agent."""
+
+    agent_id: str
+    epoch: int = 0
+    seq: int = -1
+    connected: bool = False
+    finalized: bool = False
+    last_frame_monotonic: float = 0.0
+    deltas: int = 0
+    heartbeats: int = 0
+    #: Latest cumulative stats per monitor name (wire-decoded objects).
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: Latest cumulative packet-record count per monitor name.
+    records: Dict[str, int] = field(default_factory=dict)
+    #: Latest cumulative telemetry snapshot (None until one arrives).
+    telemetry: Optional[Snapshot] = None
+    #: Agent-reported cumulative closed-window count.
+    windows_closed: int = 0
+    #: Deduped windows actually merged from this agent.
+    windows_received: int = 0
+
+    @property
+    def windows_lost(self) -> int:
+        """Windows the agent closed but the fleet never merged."""
+        return max(0, self.windows_closed - self.windows_received)
+
+
+def _window_dedup_key(agent_id: str, window: WindowMinimum) -> Tuple:
+    """Content identity of one window from one agent.
+
+    Keyed on the full content (not just ``(key, window_index)``) so a
+    pathological agent restart that *recomputes* a window differently
+    surfaces as two windows — a loud inconsistency — rather than being
+    silently collapsed.
+    """
+    return (
+        agent_id,
+        json.dumps(key_to_wire(window.key), sort_keys=True),
+        window.window_index,
+        window.min_rtt_ns,
+        window.sample_count,
+        window.closed_at_ns,
+    )
+
+
+class FleetCollector:
+    """The socket-free merge core (thread-safe)."""
+
+    def __init__(
+        self,
+        *,
+        agent_timeout_s: float = DEFAULT_AGENT_TIMEOUT_S,
+        detector_config: Optional[DetectorConfig] = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.agent_timeout_s = agent_timeout_s
+        self.detector_config = detector_config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._agents: Dict[str, AgentState] = {}
+        self._registry = FlowRegistry()
+        self._windows: List[WindowMinimum] = []
+        self._window_keys: Set[Tuple] = set()
+        self._stale_dropped = 0
+        self._corrupt_frames = 0
+        self._frames_total = 0
+
+    # -- frame dispatch ---------------------------------------------------
+
+    def handle_frame(self, frame: Frame) -> None:
+        """Dispatch one decoded frame to its kind handler."""
+        kind = frame.kind
+        if kind == "hello":
+            self.handle_hello(frame)
+        elif kind == "delta":
+            self.handle_delta(frame)
+        elif kind == "heartbeat":
+            self.handle_heartbeat(frame)
+        elif kind == "bye":
+            self.handle_bye(frame)
+        else:  # read_frame validated kinds already; belt and braces
+            raise FrameCorrupt(f"unroutable frame kind {kind!r}")
+
+    def _touch(self, frame: Frame) -> Optional[AgentState]:
+        """Look up / create the agent and apply the (epoch, seq) guard.
+
+        Returns ``None`` when the frame is stale (stamp did not advance)
+        — the caller drops it.  Must be called with the lock held.
+        """
+        self._frames_total += 1
+        state = self._agents.get(frame.agent)
+        if state is None:
+            state = AgentState(agent_id=frame.agent)
+            self._agents[frame.agent] = state
+        if (frame.epoch, frame.seq) <= (state.epoch, state.seq):
+            self._stale_dropped += 1
+            return None
+        if frame.epoch > state.epoch:
+            # A fresh process epoch: cumulative state will be replaced
+            # as deltas arrive; seq restarts within the new epoch.
+            state.epoch = frame.epoch
+            state.seq = frame.seq
+            state.finalized = False
+        else:
+            state.seq = frame.seq
+        state.connected = True
+        state.last_frame_monotonic = self._clock()
+        return state
+
+    def handle_hello(self, frame: Frame) -> None:
+        with self._lock:
+            self._touch(frame)
+
+    def handle_heartbeat(self, frame: Frame) -> None:
+        with self._lock:
+            state = self._touch(frame)
+            if state is not None:
+                state.heartbeats += 1
+
+    def handle_bye(self, frame: Frame) -> None:
+        with self._lock:
+            state = self._touch(frame)
+            if state is not None:
+                state.connected = False
+
+    def handle_delta(self, frame: Frame) -> None:
+        """Merge one cumulative delta (the workhorse)."""
+        payload = frame.payload
+        with self._lock:
+            state = self._touch(frame)
+            if state is None:
+                return
+            state.deltas += 1
+            monitor = str(payload.get("monitor", "dart"))
+            if "stats" in payload and payload["stats"] is not None:
+                state.stats[monitor] = stats_from_wire(payload["stats"])
+            if "records" in payload:
+                state.records[monitor] = int(payload["records"])
+            if payload.get("telemetry") is not None:
+                state.telemetry = Snapshot.from_wire(payload["telemetry"])
+            if "windows_closed" in payload:
+                state.windows_closed = int(payload["windows_closed"])
+            for wire_flow in payload.get("flows", ()):
+                key_wire, count = wire_flow
+                self._registry.observe(
+                    frame.agent, key_from_wire(key_wire), int(count)
+                )
+            for wire_window in payload.get("windows", ()):
+                window = window_from_wire(wire_window)
+                dedup = _window_dedup_key(frame.agent, window)
+                if dedup in self._window_keys:
+                    continue
+                self._window_keys.add(dedup)
+                self._windows.append(window)
+                state.windows_received += 1
+            if payload.get("final"):
+                state.finalized = True
+                state.connected = False
+
+    def mark_disconnected(self, agent_id: str) -> None:
+        """A reader thread lost its connection (no bye seen)."""
+        with self._lock:
+            state = self._agents.get(agent_id)
+            if state is not None:
+                state.connected = False
+
+    def note_corrupt_frame(self) -> None:
+        with self._lock:
+            self._corrupt_frames += 1
+
+    # -- merged-view accessors -------------------------------------------
+
+    def agents(self) -> List[AgentState]:
+        with self._lock:
+            return list(self._agents.values())
+
+    def finalized_agents(self) -> int:
+        with self._lock:
+            return sum(1 for a in self._agents.values() if a.finalized)
+
+    def agent_up(self, state: AgentState) -> bool:
+        """Liveness: connected and heard from within the timeout."""
+        if not state.connected:
+            return False
+        return (self._clock() - state.last_frame_monotonic) \
+            <= self.agent_timeout_s
+
+    def merged_stats(self) -> Dict[str, Any]:
+        """Per-monitor stats summed across agents' latest deltas."""
+        from ..cluster.merge import merge_stats
+
+        with self._lock:
+            by_monitor: Dict[str, List[Any]] = {}
+            for state in self._agents.values():
+                for monitor, stats in state.stats.items():
+                    by_monitor.setdefault(monitor, []).append(stats)
+        return {
+            monitor: merge_stats(items)
+            for monitor, items in sorted(by_monitor.items())
+        }
+
+    def merged_telemetry(self) -> Optional[Snapshot]:
+        with self._lock:
+            snapshots = [a.telemetry for a in self._agents.values()
+                         if a.telemetry is not None]
+        if not snapshots:
+            return None
+        return merge_snapshots(snapshots)
+
+    def merged_windows(self) -> List[WindowMinimum]:
+        """Deduped windows from every agent, in close-time order."""
+        with self._lock:
+            windows = list(self._windows)
+        windows.sort(key=lambda w: w.closed_at_ns)
+        return windows
+
+    def run_detector(self):
+        """BGP-interception detection over the merged window stream."""
+        return run_over_windows(self.merged_windows(), self.detector_config)
+
+    def flow_registry(self) -> FlowRegistry:
+        return self._registry
+
+    def to_summary(self, *, include_windows: bool = False) -> Dict[str, Any]:
+        """The whole merged view as one JSON-safe document.
+
+        ``include_windows`` embeds the full merged window list (wire
+        form) — exact but proportional to run length, so it is opt-in
+        (the chaos harness compares multisets against a single-process
+        reference).
+        """
+        from .wire import stats_to_wire, window_to_wire
+
+        merged = self.merged_stats()
+        detector = self.run_detector()
+        with self._lock:
+            agents = {
+                a.agent_id: {
+                    "epoch": a.epoch,
+                    "seq": a.seq,
+                    "connected": a.connected,
+                    "finalized": a.finalized,
+                    "deltas": a.deltas,
+                    "heartbeats": a.heartbeats,
+                    "records": dict(a.records),
+                    "windows_closed": a.windows_closed,
+                    "windows_received": a.windows_received,
+                    "windows_lost": a.windows_lost,
+                }
+                for a in sorted(self._agents.values(),
+                                key=lambda s: s.agent_id)
+            }
+            stale = self._stale_dropped
+            corrupt = self._corrupt_frames
+            frames = self._frames_total
+        registry = self._registry
+        summary: Dict[str, Any] = {
+            "schema": "dart-fleet-summary/1",
+            "agents": agents,
+            "frames_total": frames,
+            "stale_deltas_dropped": stale,
+            "corrupt_frames": corrupt,
+            "stats": {m: stats_to_wire(s) for m, s in merged.items()},
+            "windows": len(self.merged_windows()),
+            "windows_lost": sum(a["windows_lost"] for a in agents.values()),
+            "flows": {
+                "unique": registry.unique_flows(),
+                "duplicates": registry.duplicate_flows(),
+                "exactly_once_samples": registry.exactly_once_samples(),
+                "attributed_samples": registry.attributed_samples(),
+                "per_agent_samples": registry.per_agent_samples(),
+            },
+            "detector": {
+                "state": detector.state.value,
+                "events": len(detector.events),
+                "suspected_at_ns": detector.suspected_at_ns,
+                "confirmed_at_ns": detector.confirmed_at_ns,
+            },
+        }
+        if include_windows:
+            summary["window_list"] = [
+                window_to_wire(w) for w in self.merged_windows()
+            ]
+        return summary
+
+    # -- Prometheus exposition -------------------------------------------
+
+    def collect_telemetry(self, registry: MetricsRegistry) -> None:
+        """Populate ``fleet_*`` metrics; an obs collector callback."""
+        with self._lock:
+            agents = list(self._agents.values())
+            stale = self._stale_dropped
+            corrupt = self._corrupt_frames
+            frames = self._frames_total
+        up_count = sum(1 for a in agents if self.agent_up(a))
+        registry.gauge(
+            "fleet_agents_connected", "agents currently up"
+        ).set(value=up_count)
+        registry.gauge(
+            "fleet_agents_known", "agents ever seen"
+        ).set(value=len(agents))
+        registry.counter(
+            "fleet_frames_total", "frames accepted"
+        ).set_cumulative((), frames)
+        registry.counter(
+            "fleet_stale_deltas_dropped_total",
+            "frames dropped by the (epoch, seq) staleness guard",
+        ).set_cumulative((), stale)
+        registry.counter(
+            "fleet_corrupt_frames_total", "frames failing validation"
+        ).set_cumulative((), corrupt)
+        lost_gauge = registry.gauge(
+            "fleet_windows_lost_total",
+            "windows agents closed but the fleet never merged",
+            label_names=("agent",),
+        )
+        up_gauge = registry.gauge(
+            "fleet_agent_up", "1 when the agent is connected and fresh",
+            label_names=("agent",),
+        )
+        seq_gauge = registry.gauge(
+            "fleet_agent_last_seq", "latest accepted frame sequence",
+            label_names=("agent",),
+        )
+        deltas_gauge = registry.gauge(
+            "fleet_agent_deltas", "cumulative deltas merged",
+            label_names=("agent",),
+        )
+        for state in agents:
+            label = (state.agent_id,)
+            up_gauge.set(label, 1 if self.agent_up(state) else 0)
+            seq_gauge.set(label, state.seq)
+            deltas_gauge.set(label, state.deltas)
+            lost_gauge.set(label, state.windows_lost)
+        flows = self._registry
+        registry.gauge(
+            "fleet_flows_unique", "canonical flows across all taps"
+        ).set(value=flows.unique_flows())
+        registry.gauge(
+            "fleet_flows_duplicate", "flows observed at >1 tap"
+        ).set(value=flows.duplicate_flows())
+        registry.gauge(
+            "fleet_samples_exactly_once",
+            "merged samples with multi-tap flows counted once",
+        ).set(value=flows.exactly_once_samples())
+        registry.gauge(
+            "fleet_samples_attributed",
+            "raw per-tap sample total (includes multi-tap overlap)",
+        ).set(value=flows.attributed_samples())
+
+    def prometheus_exposition(self) -> str:
+        """One complete text exposition: fleet metrics + merged agent
+        telemetry, in a single scrape body."""
+        registry = MetricsRegistry()
+        self.collect_telemetry(registry)
+        text = to_prometheus(registry.snapshot())
+        merged = self.merged_telemetry()
+        if merged is not None:
+            text += to_prometheus(merged)
+        return text
+
+
+class FleetServer:
+    """Accept loop + per-connection reader threads over the wire."""
+
+    def __init__(
+        self,
+        collector: FleetCollector,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        self.collector = collector
+        self.unix_path = unix_path
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.bind(unix_path)
+        else:
+            self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self._sock.bind((host, port))
+        self._sock.listen(32)
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._readers: List[threading.Thread] = []
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port); ('', 0)-ish for unix sockets."""
+        if self.unix_path is not None:
+            return (self.unix_path, 0)
+        host, port = self._sock.getsockname()[:2]
+        return (host, port)
+
+    def start(self) -> None:
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fleet-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # socket closed during shutdown
+            reader = threading.Thread(
+                target=self._read_loop, args=(conn,),
+                name="fleet-reader", daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+
+    def _read_loop(self, conn: socket.socket) -> None:
+        agent_id: Optional[str] = None
+        stream = conn.makefile("rb")
+        try:
+            while True:
+                frame = read_frame(stream)
+                if frame is None:
+                    break
+                agent_id = frame.agent or agent_id
+                self.collector.handle_frame(frame)
+        except WireError:
+            self.collector.note_corrupt_frame()
+        except OSError:
+            pass  # connection reset mid-frame: plain churn
+        finally:
+            stream.close()
+            conn.close()
+            if agent_id is not None:
+                self.collector.mark_disconnected(agent_id)
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for reader in self._readers:
+            reader.join(timeout=2.0)
+
+
+class _FleetHttpHandler(BaseHTTPRequestHandler):
+    """Serves the merged view; the collector rides on ``self.server``."""
+
+    collector: FleetCollector  # set via server attribute
+
+    def _respond(self, body: str, content_type: str, code: int = 200) -> None:
+        blob = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        collector = self.server.collector  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                self._respond(collector.prometheus_exposition(),
+                              "text/plain; version=0.0.4")
+            elif path == "/agents":
+                agents = collector.to_summary()["agents"]
+                self._respond(json.dumps(agents, indent=2),
+                              "application/json")
+            elif path == "/summary":
+                self._respond(json.dumps(collector.to_summary(), indent=2),
+                              "application/json")
+            elif path == "/healthz":
+                self._respond("ok\n", "text/plain")
+            else:
+                self._respond("not found\n", "text/plain", code=404)
+        except BrokenPipeError:
+            pass
+
+    def log_message(self, format: str, *args) -> None:
+        pass  # scrapes are not operator-facing events
+
+
+class FleetHttpServer:
+    """stdlib HTTP exposition for one collector."""
+
+    def __init__(self, collector: FleetCollector, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _FleetHttpHandler)
+        self._server.collector = collector  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address[:2]
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="fleet-http", daemon=True
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)

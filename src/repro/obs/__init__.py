@@ -46,6 +46,7 @@ from .metrics import (
     MetricsRegistry,
 )
 from .snapshot import (
+    SNAPSHOT_WIRE_SCHEMA,
     MetricSnapshot,
     Snapshot,
     absorb_into_registry,
@@ -62,6 +63,7 @@ __all__ = [
     "MONITOR_LABELS",
     "MetricSnapshot",
     "MetricsRegistry",
+    "SNAPSHOT_WIRE_SCHEMA",
     "Snapshot",
     "TELEMETRY_MODES",
     "TELEMETRY_SCHEMA",

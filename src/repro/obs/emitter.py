@@ -26,6 +26,7 @@ import sys
 import time
 from typing import Callable, List, Optional, TextIO
 
+from ..export.sinks import open_creating_parents
 from .exporters import to_json, to_prometheus
 from .metrics import MetricsRegistry
 
@@ -69,7 +70,7 @@ class TelemetryEmitter:
         self._closed = False
         if path is not None and mode == "json":
             # JSONL appends; the file is this run's emission log.
-            self._stream: Optional[TextIO] = open(path, "w")
+            self._stream: Optional[TextIO] = open_creating_parents(path, "w")
             self._owns_stream = True
         else:
             self._stream = stream if stream is not None else sys.stderr
@@ -121,7 +122,7 @@ class TelemetryEmitter:
     def _rewrite(self, text: str) -> None:
         """Atomically replace the output file with one fresh exposition."""
         tmp_path = f"{self._path}.tmp"
-        with open(tmp_path, "w") as handle:
+        with open_creating_parents(tmp_path, "w") as handle:
             handle.write(text)
         os.replace(tmp_path, self._path)
 

@@ -14,9 +14,14 @@ what an operator wants for occupancy and queue depth anyway).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from .metrics import Counter, Gauge, Histogram, LabelValues, MetricsRegistry
+
+#: Stamped into every :meth:`Snapshot.to_wire` dict; bumped on breaking
+#: shape changes so a peer speaking an older layout is refused loudly
+#: instead of mis-merged.
+SNAPSHOT_WIRE_SCHEMA = "dart-snapshot-wire/1"
 
 
 @dataclass(slots=True)
@@ -37,6 +42,60 @@ class MetricSnapshot:
     )
     sums: Dict[LabelValues, float] = field(default_factory=dict)
     counts: Dict[LabelValues, int] = field(default_factory=dict)
+
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-safe dict form (labelset tuples become value lists).
+
+        Dict keys in the dataclass are label-value *tuples*, which JSON
+        cannot key by; the wire form stores each labelset's data as a
+        ``[labels, ...]`` entry in a list instead.
+        """
+        wire: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "label_names": list(self.label_names),
+        }
+        if self.kind == "histogram":
+            wire["buckets"] = list(self.buckets)
+            wire["series"] = [
+                {
+                    "labels": list(labels),
+                    "bucket_counts": list(self.bucket_counts[labels]),
+                    "sum": self.sums.get(labels, 0.0),
+                    "count": self.counts.get(labels, 0),
+                }
+                for labels in sorted(self.bucket_counts)
+            ]
+        else:
+            wire["series"] = [
+                {"labels": list(labels), "value": value}
+                for labels, value in sorted(self.values.items())
+            ]
+        return wire
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "MetricSnapshot":
+        """Rebuild a metric snapshot from :meth:`to_wire` output."""
+        metric = cls(
+            name=wire["name"],
+            kind=wire["kind"],
+            help=wire.get("help", ""),
+            label_names=tuple(wire.get("label_names", ())),
+        )
+        if metric.kind == "histogram":
+            metric.buckets = tuple(wire.get("buckets", ()))
+            for entry in wire.get("series", ()):
+                labels = tuple(entry["labels"])
+                metric.bucket_counts[labels] = tuple(
+                    int(c) for c in entry["bucket_counts"]
+                )
+                metric.sums[labels] = float(entry.get("sum", 0.0))
+                metric.counts[labels] = int(entry.get("count", 0))
+        else:
+            for entry in wire.get("series", ()):
+                metric.values[tuple(entry["labels"])] = entry["value"]
+        return metric
 
     def merge(self, other: "MetricSnapshot") -> "MetricSnapshot":
         """Add ``other``'s values into this snapshot; returns self."""
@@ -91,6 +150,44 @@ class Snapshot:
             else:
                 mine.merge(metric)
         return self
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Stable, versioned, JSON-safe form for cross-process transport.
+
+        Everything a peer needs to reconstruct (and merge) the snapshot
+        without unpickling anything: the schema tag, the emission
+        sequence, and each metric's :meth:`MetricSnapshot.to_wire` dict
+        in sorted-name order.  ``json.dumps`` of the result is the
+        fleet protocol's telemetry payload.
+        """
+        return {
+            "schema": SNAPSHOT_WIRE_SCHEMA,
+            "sequence": self.sequence,
+            "metrics": [
+                self.metrics[name].to_wire()
+                for name in sorted(self.metrics)
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: Dict[str, Any]) -> "Snapshot":
+        """Rebuild a snapshot from :meth:`to_wire` output.
+
+        Raises :class:`ValueError` on a schema mismatch — merging a
+        snapshot whose layout this build does not understand would
+        corrupt the aggregate silently.
+        """
+        schema = wire.get("schema")
+        if schema != SNAPSHOT_WIRE_SCHEMA:
+            raise ValueError(
+                f"snapshot wire schema {schema!r} != expected "
+                f"{SNAPSHOT_WIRE_SCHEMA!r}"
+            )
+        snapshot = cls(sequence=int(wire.get("sequence", 0)))
+        for entry in wire.get("metrics", ()):
+            metric = MetricSnapshot.from_wire(entry)
+            snapshot.metrics[metric.name] = metric
+        return snapshot
 
     def get(self, name: str) -> Optional[MetricSnapshot]:
         return self.metrics.get(name)
@@ -209,6 +306,7 @@ def absorb_into_registry(registry: MetricsRegistry,
 #: Re-exported for callers that only need the list-of-names view.
 __all__: List[str] = [
     "MetricSnapshot",
+    "SNAPSHOT_WIRE_SCHEMA",
     "Snapshot",
     "absorb_into_registry",
     "merge_snapshots",

@@ -21,7 +21,7 @@ from .checkpoint import (
     read_header,
     write_checkpoint,
 )
-from .runner import StreamReport, StreamRunner
+from .runner import StreamHook, StreamReport, StreamRunner
 from .signals import GracefulShutdown
 from .sinks import AnalyticsTap, ResumableSink
 from .sources import (
@@ -43,6 +43,7 @@ __all__ = [
     "AnalyticsTap",
     "ResumableSink",
     "SCHEMA",
+    "StreamHook",
     "StreamReport",
     "StreamRunner",
     "TailCaptureSource",

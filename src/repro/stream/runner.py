@@ -36,6 +36,46 @@ from .sinks import ResumableSink
 from .sources import PacketSource
 
 
+class StreamHook:
+    """Extension point for periodic work riding the streaming loop.
+
+    Subclasses (e.g. the fleet delta exporter) override what they need;
+    the defaults are no-ops, so a hook only pays for what it uses.  The
+    runner guarantees:
+
+    * :meth:`on_chunk` runs once per loop iteration — including idle
+      polls on a quiet tail — so time-based work (delta pushes,
+      heartbeats) ticks even when no packets arrive.
+    * :meth:`flush` runs inside every checkpoint, *before* the
+      checkpoint file is written; :meth:`checkpoint_payload` is then
+      included in the checkpoint under ``payload["hooks"][name]``, so
+      hook state survives restarts with the same durability as monitor
+      state.  A hook must never raise from :meth:`flush` merely because
+      a remote peer is down — a checkpoint must not fail because the
+      network did.
+    * :meth:`on_stop` runs exactly once at the end of the run, in both
+      endgames, after the final checkpoint has landed.
+    """
+
+    name = "hook"
+
+    def on_chunk(self, runner: "StreamRunner") -> None:
+        """Called once per loop iteration (idle iterations included)."""
+
+    def flush(self) -> None:
+        """Called inside each checkpoint, before the file is written."""
+
+    def checkpoint_payload(self) -> Any:
+        """Picklable state to store under ``payload['hooks'][name]``."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Re-arm from a loaded checkpoint's hook payload."""
+
+    def on_stop(self, *, stopped: bool) -> None:
+        """End of run; ``stopped`` distinguishes signal from exhausted."""
+
+
 @dataclass(slots=True)
 class StreamReport:
     """What one streaming run (or run segment) did."""
@@ -83,6 +123,7 @@ class StreamRunner:
         chunk_size: int = 8192,
         max_records: Optional[int] = None,
         telemetry: Optional[Any] = None,
+        hooks: Optional[List[StreamHook]] = None,
         clock=time.monotonic,
     ) -> None:
         if rotation_records <= 0:
@@ -109,6 +150,7 @@ class StreamRunner:
         self._last_checkpoint_wall: Optional[float] = None
         self._last_checkpoint_seconds = 0.0
         self._live_pps = 0.0
+        self._hooks = list(hooks or [])
         self._telemetry = telemetry
         if telemetry is not None:
             telemetry.add_collector(self._collect_telemetry)
@@ -151,6 +193,8 @@ class StreamRunner:
                 # Idle poll: the engine only ticks the emitter when fed,
                 # so a quiet daemon still exports fresh metric state.
                 self._telemetry.maybe_emit()
+            for hook in self._hooks:
+                hook.on_chunk(self)
             if (
                 self._checkpoint_path is not None
                 and self._clock() - self._last_checkpoint_wall
@@ -210,12 +254,18 @@ class StreamRunner:
         self._engine.flush_routers()
         if self._window_sink is not None:
             self._window_sink.flush()
+        for hook in self._hooks:
+            hook.flush()
         payload = {
             "monitors": {
                 run.name: run.monitor for run in self._engine.runs
             },
             "analytics": self._analytics,
         }
+        if self._hooks:
+            payload["hooks"] = {
+                hook.name: hook.checkpoint_payload() for hook in self._hooks
+            }
         meta = {
             "finalized": finalized,
             "source": self._source.resume_state(),
@@ -245,6 +295,8 @@ class StreamRunner:
         self._rotate()
         self._engine.flush_routers()
         self._checkpoint(finalized=False)
+        for hook in self._hooks:
+            hook.on_stop(stopped=True)
         for run in self._engine.runs:
             run.router.close()
         if self._window_sink is not None:
@@ -257,6 +309,8 @@ class StreamRunner:
         self._engine.finish()  # finalizes monitors, closes routers+telemetry
         self._ship_windows()
         self._checkpoint(finalized=True)
+        for hook in self._hooks:
+            hook.on_stop(stopped=False)
         self._report.finalized = True
         if self._window_sink is not None:
             self._window_sink.close()

@@ -1,0 +1,22 @@
+"""Shared fixtures for the fleet tests."""
+
+import pytest
+
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+
+@pytest.fixture(scope="session")
+def fleet_records():
+    """A small synthetic campus trace (shared, never mutated)."""
+    return generate_campus_trace(
+        CampusTraceConfig(connections=40, seed=11)
+    ).records
+
+
+@pytest.fixture()
+def fleet_pcap(fleet_records, tmp_path):
+    from repro.net.pcap import write_packets
+
+    path = tmp_path / "tap.pcap"
+    write_packets(path, fleet_records)
+    return path

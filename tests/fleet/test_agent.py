@@ -1,0 +1,284 @@
+"""Agent side: exporter timing, churn tolerance, checkpointed state.
+
+The exporter is driven with fake clocks and a recording client — no
+sockets — so timing and failure interleavings are exact.  The real
+:class:`CollectorClient` gets its backoff behaviour pinned against a
+closed port.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro.core.analytics import WindowMinimum
+from repro.core.flow import intern_flow
+from repro.core.samples import RttSample
+from repro.fleet import (
+    CollectorClient,
+    FleetExporter,
+    FlowCountTap,
+    WindowTee,
+    parse_endpoint,
+    read_frame,
+)
+from repro.stream import StreamHook
+
+
+class RecordingClient:
+    """A CollectorClient stand-in with scriptable failures."""
+
+    def __init__(self):
+        self.frames = []
+        self.fail = False
+        self.closed = False
+
+    def send(self, frame: bytes) -> bool:
+        if self.fail:
+            return False
+        self.frames.append(read_frame(io.BytesIO(frame)))
+        return True
+
+    def close(self) -> None:
+        self.closed = True
+
+    def kinds(self):
+        return [f.kind for f in self.frames]
+
+
+def make_window(index=0, key=None):
+    return WindowMinimum(
+        key=key if key is not None else intern_flow(1, 2, 3, 4, False),
+        window_index=index, min_rtt_ns=1000, sample_count=8,
+        closed_at_ns=index * 10,
+    )
+
+
+def make_exporter(client, *, clock, **kwargs):
+    kwargs.setdefault("push_interval_s", 1.0)
+    kwargs.setdefault("heartbeat_interval_s", 2.0)
+    return FleetExporter(client, "tap-test", clock=clock, epoch=7,
+                         **kwargs)
+
+
+class TestParseEndpoint:
+    def test_tcp(self):
+        assert parse_endpoint("10.0.0.5:9500") == (("10.0.0.5", 9500), None)
+
+    def test_unix(self):
+        assert parse_endpoint("unix:/run/fleet.sock") == \
+            (None, "/run/fleet.sock")
+
+    @pytest.mark.parametrize("bad", ["nope", "host:", ":9", "unix:",
+                                     "host:port"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_endpoint(bad)
+
+
+class TestFlowCountTap:
+    def sample(self, src=1, dst=2, sport=10, dport=20, ts=0):
+        return RttSample(flow=intern_flow(src, dst, sport, dport, False),
+                         rtt_ns=100, timestamp_ns=ts, eack=1)
+
+    def test_counts_per_canonical_flow(self):
+        tap = FlowCountTap()
+        tap.add(self.sample())
+        tap.add(self.sample(src=2, dst=1, sport=20, dport=10))  # reverse
+        assert tap.samples == 2
+        assert list(tap.counts.values()) == [2]
+
+    def test_pickles_for_checkpoints(self):
+        tap = FlowCountTap()
+        tap.add(self.sample())
+        restored = pickle.loads(pickle.dumps(tap))
+        assert restored.counts == tap.counts
+        assert restored.samples == 1
+
+    def test_wire_counts_shape(self):
+        tap = FlowCountTap()
+        tap.add(self.sample())
+        ((key_wire, count),) = tap.wire_counts()
+        assert key_wire["t"] == "flow" and count == 1
+
+
+class TestExporterTiming:
+    def test_hello_then_delta_on_interval(self):
+        clock = [0.0]
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: clock[0])
+        exporter.on_chunk(None)
+        assert client.kinds() == ["hello"]
+        clock[0] = 1.1
+        exporter.on_chunk(None)
+        assert client.kinds() == ["hello", "delta"]
+
+    def test_heartbeat_between_pushes(self):
+        clock = [0.0]
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: clock[0],
+                                 push_interval_s=10.0,
+                                 heartbeat_interval_s=1.0)
+        exporter.on_chunk(None)  # hello
+        clock[0] = 1.5
+        exporter.on_chunk(None)
+        assert client.kinds() == ["hello", "heartbeat"]
+
+    def test_successful_push_resets_heartbeat(self):
+        clock = [0.0]
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: clock[0],
+                                 push_interval_s=1.0,
+                                 heartbeat_interval_s=1.5)
+        exporter.on_chunk(None)
+        clock[0] = 1.1
+        exporter.on_chunk(None)  # delta (also proves liveness)
+        clock[0] = 1.6          # heartbeat would be due without the push
+        exporter.on_chunk(None)
+        assert client.kinds() == ["hello", "delta"]
+
+    def test_seq_is_monotonic(self):
+        clock = [0.0]
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: clock[0])
+        exporter.on_chunk(None)
+        clock[0] = 1.1
+        exporter.on_chunk(None)
+        seqs = [f.seq for f in client.frames]
+        assert seqs == sorted(seqs) == list(range(1, len(seqs) + 1))
+        assert all(f.epoch == 7 for f in client.frames)
+
+
+class TestExporterChurn:
+    def test_failed_push_keeps_windows_pending(self):
+        clock = [0.0]
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: clock[0])
+        exporter.add(make_window(0))
+        client.fail = True
+        assert not exporter.push_delta()
+        assert exporter.deltas_deferred == 1
+        # The window is still pending — it rides the next checkpoint.
+        state = exporter.checkpoint_payload()
+        assert state["pending_windows"] == [make_window(0)]
+        client.fail = False
+        assert exporter.push_delta()
+        (delta,) = [f for f in client.frames if f.kind == "delta"]
+        assert len(delta.payload["windows"]) == 1
+        assert exporter.checkpoint_payload()["pending_windows"] == []
+
+    def test_flush_never_raises_when_collector_down(self):
+        client = RecordingClient()
+        client.fail = True
+        exporter = make_exporter(client, clock=lambda: 0.0)
+        exporter.add(make_window(0))
+        exporter.flush()  # checkpoint path: must not raise
+
+    def test_restore_rearms_pending_windows_and_counts(self):
+        tap = FlowCountTap()
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: 0.0, flow_tap=tap)
+        key = intern_flow(1, 2, 3, 4, False)
+        exporter.restore({
+            "pending_windows": [make_window(3)],
+            "flow_counts": {key: 9},
+            "flow_samples": 9,
+        })
+        assert tap.counts[key] == 9 and tap.samples == 9
+        payload = exporter.build_payload()
+        assert len(payload["windows"]) == 1
+        assert payload["flows"] == [[{
+            "t": "flow", "src": 1, "dst": 2, "sport": 3, "dport": 4,
+            "v6": False}, 9]]
+
+    def test_restore_none_is_fresh_start(self):
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: 0.0)
+        exporter.restore(None)
+        assert exporter.checkpoint_payload()["pending_windows"] == []
+
+    def test_on_stop_exhausted_sends_final_and_bye(self):
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: 0.0)
+        exporter.on_stop(stopped=False)
+        assert client.kinds() == ["delta", "bye"]
+        assert client.frames[0].payload["final"] is True
+        assert client.closed
+
+    def test_on_stop_signal_is_not_final(self):
+        client = RecordingClient()
+        exporter = make_exporter(client, clock=lambda: 0.0)
+        exporter.on_stop(stopped=True)
+        assert client.frames[0].payload["final"] is False
+
+    def test_is_a_stream_hook(self):
+        assert issubclass(FleetExporter, StreamHook)
+        exporter = make_exporter(RecordingClient(), clock=lambda: 0.0)
+        assert exporter.name == "fleet"
+
+
+class TestCollectorClientBackoff:
+    def closed_port_endpoint(self):
+        # Bind-then-close to find a port nothing listens on.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return f"127.0.0.1:{port}"
+
+    def test_send_fails_fast_and_backs_off(self):
+        clock = [0.0]
+        client = CollectorClient(self.closed_port_endpoint(),
+                                 clock=lambda: clock[0])
+        assert not client.send(b"frame")
+        # Within the backoff horizon no new connect is attempted:
+        reconnects = client.reconnects
+        assert not client.send(b"frame")
+        assert client.reconnects == reconnects
+
+    def test_backoff_grows_and_caps(self):
+        clock = [0.0]
+        client = CollectorClient(self.closed_port_endpoint(),
+                                 backoff_initial_s=0.1, backoff_max_s=0.4,
+                                 clock=lambda: clock[0])
+        delays = []
+        for _ in range(5):
+            client.send(b"frame")
+            delays.append(client._retry_at - clock[0])
+            clock[0] = client._retry_at
+        assert delays[0] == pytest.approx(0.1)
+        assert delays[-1] == pytest.approx(0.4)
+        assert all(later >= earlier - 1e-9
+                   for earlier, later in zip(delays, delays[1:]))
+
+    def test_close_is_idempotent(self):
+        client = CollectorClient("127.0.0.1:9")
+        client.close()
+        client.close()
+
+
+class TestWindowTee:
+    class Sink:
+        def __init__(self):
+            self.added, self.flushed, self.closed = [], False, False
+
+        def add(self, w):
+            self.added.append(w)
+
+        def flush(self):
+            self.flushed = True
+
+        def close(self):
+            self.closed = True
+
+    def test_fans_out_adds_but_not_lifecycle(self):
+        sink, tap = self.Sink(), self.Sink()
+        tee = WindowTee(sinks=[sink], taps=[tap])
+        tee.add(make_window(0))
+        tee.flush()
+        tee.close()
+        assert sink.added and tap.added
+        assert sink.flushed and sink.closed
+        assert not tap.flushed and not tap.closed

@@ -1,0 +1,173 @@
+"""Multi-tap dedup: one connection seen at two agents counts once.
+
+The fleet's core correctness claim for overlapping vantage points: a
+connection crossing two monitored taps is *reported* by both agents but
+*counted* once in merged totals, with per-tap attribution preserved.
+Exercised at both layers — the FlowRegistry algebra directly, and the
+full frame path through a FleetCollector fed by real monitor runs over
+the same trace.
+"""
+
+import io
+
+from repro.core import DartConfig
+from repro.core.flow import intern_flow
+from repro.engine import MonitorEngine, MonitorOptions, create
+from repro.fleet import (
+    FleetCollector,
+    FlowCountTap,
+    FlowRegistry,
+    encode_frame,
+    read_frame,
+    stats_to_wire,
+)
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+
+def deliver(collector, agent, seq, payload, epoch=1):
+    blob = encode_frame("delta", agent=agent, epoch=epoch, seq=seq,
+                        payload=payload)
+    collector.handle_frame(read_frame(io.BytesIO(blob)))
+
+
+def run_tap(records):
+    """One agent's view: a real dart run with a flow-count tap."""
+    monitor = create("dart", MonitorOptions(config=DartConfig()))
+    engine = MonitorEngine()
+    tap = FlowCountTap()
+    engine.add_monitor(monitor, name="dart", sinks=[tap])
+    engine.run(records)
+    return monitor, tap
+
+
+class TestFlowRegistry:
+    def test_first_observer_is_primary(self):
+        registry = FlowRegistry()
+        key = intern_flow(1, 2, 10, 20)
+        registry.observe("east", key, 5)
+        registry.observe("west", key, 5)
+        (view,) = registry.flows()
+        assert view.primary == "east"
+        assert view.primary_count == 5
+        assert view.duplicate_observers == ["west"]
+
+    def test_both_directions_collapse_to_one_flow(self):
+        registry = FlowRegistry()
+        registry.observe("east", intern_flow(1, 2, 10, 20), 3)
+        registry.observe("west", intern_flow(2, 1, 20, 10), 4)
+        assert registry.unique_flows() == 1
+        assert registry.duplicate_flows() == 1
+        assert registry.exactly_once_samples() == 3
+        assert registry.attributed_samples() == 7
+
+    def test_cumulative_counts_replace_not_add(self):
+        registry = FlowRegistry()
+        key = intern_flow(1, 2, 10, 20)
+        registry.observe("east", key, 5)
+        registry.observe("east", key, 9)  # later cumulative re-statement
+        assert registry.exactly_once_samples() == 9
+
+    def test_disjoint_flows_sum(self):
+        registry = FlowRegistry()
+        registry.observe("east", intern_flow(1, 2, 10, 20), 5)
+        registry.observe("west", intern_flow(3, 4, 30, 40), 7)
+        assert registry.exactly_once_samples() == 12
+        assert registry.duplicate_flows() == 0
+        assert registry.per_agent_samples() == {"east": 5, "west": 7}
+
+    def test_forget_agent_promotes_next_observer(self):
+        registry = FlowRegistry()
+        key = intern_flow(1, 2, 10, 20)
+        registry.observe("east", key, 5)
+        registry.observe("west", key, 4)
+        registry.forget_agent("east")
+        (view,) = registry.flows()
+        assert view.primary == "west"
+        assert registry.exactly_once_samples() == 4
+
+    def test_forget_sole_observer_drops_flow(self):
+        registry = FlowRegistry()
+        registry.observe("east", intern_flow(1, 2, 10, 20), 5)
+        registry.forget_agent("east")
+        assert registry.unique_flows() == 0
+
+    def test_summary_rows_attribute_every_tap(self):
+        registry = FlowRegistry()
+        key = intern_flow(0x0A000001, 0x0A000002, 80, 5555)
+        registry.observe("east", key, 6)
+        registry.observe("west", key, 6)
+        (row,) = registry.to_summary()
+        assert row["primary"] == "east"
+        assert row["samples"] == 6
+        assert row["observers"] == {"east": 6, "west": 6}
+
+
+class TestCollectorDedupEndToEnd:
+    """Same capture at two taps: exactly-once totals, both attributed."""
+
+    def setup_method(self):
+        records = generate_campus_trace(
+            CampusTraceConfig(connections=30, seed=7)
+        ).records
+        self.monitor_a, self.tap_a = run_tap(records)
+        self.monitor_b, self.tap_b = run_tap(records)
+
+    @staticmethod
+    def payload(monitor, tap):
+        return {
+            "monitor": "dart",
+            "records": monitor.stats.packets_processed,
+            "stats": stats_to_wire(monitor.stats),
+            "flows": tap.wire_counts(),
+            "windows": [],
+            "windows_closed": 0,
+            "telemetry": None,
+            "final": True,
+        }
+
+    def test_exactly_once_sample_totals(self):
+        collector = FleetCollector()
+        deliver(collector, "east", 1, self.payload(self.monitor_a,
+                                                   self.tap_a))
+        deliver(collector, "west", 1, self.payload(self.monitor_b,
+                                                   self.tap_b))
+        registry = collector.flow_registry()
+        # Both taps ran the identical capture: merged exactly-once
+        # totals equal ONE tap's totals, not twice them.
+        assert registry.exactly_once_samples() == self.tap_a.samples
+        assert registry.attributed_samples() == 2 * self.tap_a.samples
+        assert registry.duplicate_flows() == registry.unique_flows() > 0
+
+    def test_every_flow_attributes_both_taps(self):
+        collector = FleetCollector()
+        deliver(collector, "east", 1, self.payload(self.monitor_a,
+                                                   self.tap_a))
+        deliver(collector, "west", 1, self.payload(self.monitor_b,
+                                                   self.tap_b))
+        for view in collector.flow_registry().flows():
+            assert view.observers == ["east", "west"]
+            assert view.counts["east"] == view.counts["west"]
+
+    def test_summary_reports_the_overlap(self):
+        collector = FleetCollector()
+        deliver(collector, "east", 1, self.payload(self.monitor_a,
+                                                   self.tap_a))
+        deliver(collector, "west", 1, self.payload(self.monitor_b,
+                                                   self.tap_b))
+        flows = collector.to_summary()["flows"]
+        assert flows["duplicates"] == flows["unique"]
+        assert flows["attributed_samples"] == \
+            2 * flows["exactly_once_samples"]
+        assert flows["per_agent_samples"]["east"] == \
+            flows["per_agent_samples"]["west"]
+
+    def test_restart_resend_does_not_double_count(self):
+        collector = FleetCollector()
+        deliver(collector, "east", 1, self.payload(self.monitor_a,
+                                                   self.tap_a))
+        before = collector.flow_registry().exactly_once_samples()
+        # The same agent restarts (new epoch) and re-states its full
+        # cumulative view: replacement, not addition.
+        deliver(collector, "east", 1, self.payload(self.monitor_a,
+                                                   self.tap_a), epoch=2)
+        assert collector.flow_registry().exactly_once_samples() == before

@@ -1,0 +1,175 @@
+"""In-process end-to-end: the dart-agent and dart-collector CLI mains.
+
+The collector main runs in a background thread (GracefulShutdown
+degrades to a plain flag off the main thread) with ephemeral ports and
+``--expect-agents``, so it exits on its own once every agent has sent
+a final delta.  Agent mains run in the test thread over a real pcap.
+The merged summary is then checked against a single-process reference
+run over the same records.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import agent as agent_cli
+from repro.cli import collector as collector_cli
+from repro.core import DartConfig
+from repro.core.analytics import MinFilterAnalytics
+from repro.engine import MonitorEngine, MonitorOptions, create
+from repro.fleet import FlowCountTap, stats_to_wire
+
+WINDOW_SAMPLES = 8
+
+
+def reference(records):
+    """Ground truth: one dart run over the whole trace, counted the
+    same way an agent counts (via a flow tap)."""
+    analytics = MinFilterAnalytics(window_samples=WINDOW_SAMPLES)
+    monitor = create("dart", MonitorOptions(config=DartConfig(),
+                                            analytics=analytics))
+    engine = MonitorEngine()
+    tap = FlowCountTap()
+    engine.add_monitor(monitor, name="dart", sinks=[tap])
+    engine.run(records)
+    return {
+        "stats": stats_to_wire(monitor.stats),
+        "samples": tap.samples,
+        "windows_closed": analytics.windows_closed,
+    }
+
+
+class CollectorThread:
+    """Run ``dart-collector`` main in the background, self-exiting via
+    --expect-agents, and hand back the parsed summary."""
+
+    def __init__(self, tmp_path, expect_agents):
+        self.port_file = tmp_path / "wire.port"
+        self.summary_path = tmp_path / "summary.json"
+        self.exit_code = None
+        argv = [
+            "--listen", "127.0.0.1:0",
+            "--port-file", str(self.port_file),
+            "--http", "127.0.0.1:0",
+            "--expect-agents", str(expect_agents),
+            "--summary-json", str(self.summary_path),
+        ]
+        self.thread = threading.Thread(
+            target=self._run, args=(argv,), daemon=True)
+        self.thread.start()
+
+    def _run(self, argv):
+        self.exit_code = collector_cli.main(argv)
+
+    def wire_port(self, deadline_s=30.0):
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if self.port_file.exists():
+                return int(self.port_file.read_text().strip())
+            time.sleep(0.02)
+        raise TimeoutError("collector never wrote its port file")
+
+    def summary(self, deadline_s=30.0):
+        self.thread.join(timeout=deadline_s)
+        assert not self.thread.is_alive(), "collector did not exit"
+        assert self.exit_code == 0
+        return json.loads(self.summary_path.read_text())
+
+
+class TestSingleAgentEndToEnd:
+    def test_merged_view_matches_reference(self, fleet_pcap,
+                                           fleet_records, tmp_path):
+        collector = CollectorThread(tmp_path, expect_agents=1)
+        port = collector.wire_port()
+        rc = agent_cli.main([
+            str(fleet_pcap),
+            "--collector", f"127.0.0.1:{port}",
+            "--window-samples", str(WINDOW_SAMPLES),
+            "--push-interval", "0.1",
+        ])
+        assert rc == 0
+        summary = collector.summary()
+        ref = reference(fleet_records)
+
+        assert list(summary["agents"]) == ["tap"]  # pcap stem
+        assert summary["agents"]["tap"]["finalized"]
+        assert summary["stats"] == {"dart": ref["stats"]}
+        flows = summary["flows"]
+        assert flows["exactly_once_samples"] == ref["samples"]
+        assert flows["attributed_samples"] == ref["samples"]
+        assert summary["windows"] == ref["windows_closed"]
+        assert summary["windows_lost"] == 0
+        assert summary["detector"]["state"] in (
+            "learning", "normal", "suspected", "confirmed")
+
+    def test_agent_keeps_local_sinks_alongside_export(
+            self, fleet_pcap, tmp_path):
+        collector = CollectorThread(tmp_path, expect_agents=1)
+        port = collector.wire_port()
+        windows_path = tmp_path / "windows.jsonl"
+        rc = agent_cli.main([
+            str(fleet_pcap),
+            "--collector", f"127.0.0.1:{port}",
+            "--window-samples", str(WINDOW_SAMPLES),
+            "--windows", str(windows_path),
+        ])
+        assert rc == 0
+        summary = collector.summary()
+        # The local window sink got every window the collector did.
+        local = [json.loads(line)
+                 for line in windows_path.read_text().splitlines()]
+        assert len(local) == summary["windows"] > 0
+
+
+class TestTwoTapOverlapEndToEnd:
+    def test_same_capture_at_two_taps_counts_once(
+            self, fleet_pcap, fleet_records, tmp_path):
+        collector = CollectorThread(tmp_path, expect_agents=2)
+        port = collector.wire_port()
+        for agent_id in ("east", "west"):
+            rc = agent_cli.main([
+                str(fleet_pcap),
+                "--collector", f"127.0.0.1:{port}",
+                "--agent-id", agent_id,
+                "--window-samples", str(WINDOW_SAMPLES),
+            ])
+            assert rc == 0
+        summary = collector.summary()
+        ref = reference(fleet_records)
+
+        assert sorted(summary["agents"]) == ["east", "west"]
+        flows = summary["flows"]
+        # Same capture at both taps: merged exactly-once totals equal
+        # ONE tap's totals; attribution still credits both.
+        assert flows["exactly_once_samples"] == ref["samples"]
+        assert flows["attributed_samples"] == 2 * ref["samples"]
+        assert flows["duplicates"] == flows["unique"] > 0
+        # Window dedup is per-agent resend protection, not cross-tap
+        # merging: each tap's independently-measured windows all land.
+        assert summary["windows"] == 2 * ref["windows_closed"]
+        assert summary["windows_lost"] == 0
+
+
+class TestCliGuards:
+    def test_agent_requires_collector(self, fleet_pcap):
+        with pytest.raises(SystemExit, match="--collector"):
+            agent_cli.main([str(fleet_pcap)])
+
+    def test_agent_requires_capture(self):
+        with pytest.raises(SystemExit, match="capture"):
+            agent_cli.main(["--collector", "127.0.0.1:9500"])
+
+    def test_agent_resume_requires_checkpoint(self, fleet_pcap):
+        with pytest.raises(SystemExit, match="--resume"):
+            agent_cli.main([str(fleet_pcap),
+                            "--collector", "127.0.0.1:9500", "--resume"])
+
+    def test_collector_rejects_nonpositive_expect(self):
+        with pytest.raises(SystemExit, match="--expect-agents"):
+            collector_cli.main(["--expect-agents", "0"])
+
+    def test_collector_rejects_unix_http(self):
+        with pytest.raises(SystemExit, match="--http"):
+            collector_cli.main(["--http", "unix:/tmp/x.sock"])

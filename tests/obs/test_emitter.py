@@ -150,3 +150,26 @@ class TestCliGlue:
     def test_rejects_unknown_mode(self):
         with pytest.raises(SystemExit):
             self.parse(["--telemetry", "csv"])
+
+
+class TestMissingParentDirectories:
+    """``--telemetry-out`` into a not-yet-created run directory works.
+
+    Regression: the emitter used to fail with FileNotFoundError at
+    construction (json) or first emission (prom) when the output path's
+    parent directory did not exist.
+    """
+
+    def test_json_creates_parents(self, tmp_path):
+        path = tmp_path / "runs" / "2026-08-07" / "telemetry.jsonl"
+        emitter = TelemetryEmitter("json", interval_s=1.0, path=str(path))
+        emitter.close()
+        assert path.exists()
+        assert json.loads(path.read_text().splitlines()[0])["sequence"] == 1
+
+    def test_prom_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "telemetry.prom"
+        emitter = TelemetryEmitter("prom", interval_s=1.0, path=str(path))
+        emitter.registry.counter("t_total", "t").inc((), 2)
+        emitter.close()
+        assert parse_prometheus(path.read_text()).value("t_total") == 2

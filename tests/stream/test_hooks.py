@@ -1,0 +1,94 @@
+"""StreamHook contract: where and when the runner calls its hooks.
+
+The fleet exporter (and any future rider) depends on these guarantees:
+per-iteration ticks (idle included), flush-inside-checkpoint with the
+hook payload stored under ``payload['hooks'][name]``, and exactly one
+``on_stop`` in both endgames — after the final checkpoint.
+"""
+
+from repro.engine import MonitorEngine, MonitorOptions, create
+from repro.stream import (
+    CaptureFileSource,
+    GracefulShutdown,
+    StreamHook,
+    StreamRunner,
+    read_checkpoint,
+)
+
+
+class RecordingHook(StreamHook):
+    name = "recorder"
+
+    def __init__(self):
+        self.chunks = 0
+        self.flushes = 0
+        self.stops = []
+        self.payload_at_flush = None
+
+    def on_chunk(self, runner):
+        self.chunks += 1
+
+    def flush(self):
+        self.flushes += 1
+
+    def checkpoint_payload(self):
+        return {"flushes": self.flushes}
+
+    def on_stop(self, *, stopped):
+        self.stops.append(stopped)
+
+
+def make_runner(pcap, hook, **kwargs):
+    engine = MonitorEngine()
+    engine.add_monitor(create("dart", MonitorOptions()), name="dart")
+    return StreamRunner(engine, CaptureFileSource(pcap), hooks=[hook],
+                        **kwargs)
+
+
+class TestHookLifecycle:
+    def test_on_chunk_ticks_every_iteration(self, campus_pcap):
+        hook = RecordingHook()
+        make_runner(campus_pcap, hook, chunk_size=512).run()
+        assert hook.chunks > 1
+
+    def test_exhausted_run_stops_once_not_stopped(self, campus_pcap):
+        hook = RecordingHook()
+        make_runner(campus_pcap, hook).run()
+        assert hook.stops == [False]
+
+    def test_signal_run_stops_once_stopped(self, campus_pcap, tmp_path):
+        hook = RecordingHook()
+        stop = GracefulShutdown()
+        runner = make_runner(campus_pcap, hook, shutdown=stop,
+                             chunk_size=256)
+        stop.request()  # triggers after the first chunk
+        report = runner.run()
+        assert report.stopped
+        assert hook.stops == [True]
+
+    def test_flush_runs_inside_checkpoint_and_payload_stored(
+            self, campus_pcap, tmp_path):
+        hook = RecordingHook()
+        ckpt = tmp_path / "state.ckpt"
+        make_runner(campus_pcap, hook, checkpoint_path=str(ckpt)).run()
+        assert hook.flushes >= 1
+        checkpoint = read_checkpoint(ckpt)
+        stored = checkpoint.payload["hooks"]["recorder"]
+        # flush() ran before checkpoint_payload() was captured:
+        assert stored["flushes"] >= 1
+
+    def test_no_hooks_means_no_hooks_key(self, campus_pcap, tmp_path):
+        engine = MonitorEngine()
+        engine.add_monitor(create("dart", MonitorOptions()), name="dart")
+        ckpt = tmp_path / "plain.ckpt"
+        StreamRunner(engine, CaptureFileSource(campus_pcap),
+                     checkpoint_path=str(ckpt)).run()
+        assert "hooks" not in read_checkpoint(ckpt).payload
+
+    def test_default_hook_methods_are_noops(self):
+        hook = StreamHook()
+        hook.on_chunk(None)
+        hook.flush()
+        hook.restore({"x": 1})
+        hook.on_stop(stopped=True)
+        assert hook.checkpoint_payload() is None

@@ -124,6 +124,17 @@ class TestFileSinks:
         assert rows[0]["handshake"] is True
         assert ":" in rows[1]["src"]  # IPv6 formatting
 
+    def test_sinks_create_missing_parent_directories(self, tmp_path):
+        # Regression: pointing a sink into a not-yet-created run
+        # directory used to raise FileNotFoundError at construction.
+        for cls, name in ((CsvSink, "s.csv"), (JsonlSink, "s.jsonl"),
+                          (ReportFileSink, "s.rtt")):
+            path = tmp_path / "runs" / cls.__name__ / name
+            with cls(path) as sink:
+                sink.add(sample())
+                assert sink.count == 1
+            assert path.exists()
+
     def test_sinks_usable_as_dart_analytics(self, tmp_path):
         from repro.core import Dart, ideal_config
         from repro.net import tcp as tcpf
