@@ -1,13 +1,19 @@
-"""Cluster scaling: packets/sec at 1/2/4/8 flow shards.
+"""Cluster scaling: packets/sec at 1/2/4/8 flow shards, per transport.
 
 Not a paper figure — the paper gets parallelism from hardware
 pipelines; this bench measures the software analogue, the
 :mod:`repro.cluster` subsystem, on the campus trace:
 
-* throughput at 1 (serial Dart), 2, 4, and 8 process shards, plus a
+* throughput at 1 (serial Dart), 2, 4, and 8 process shards for *both*
+  byte transports (``shm`` ring and ``queue`` fallback), plus a
   4-shard thread-mode point for contrast (GIL-bound, expected flat);
-* an equivalence check — the sharded run must produce exactly the
-  serial run's RTT-sample multiset and summed pipeline counters.
+* the coordinator-side dispatch ceiling for both dispatcher flavours —
+  object batches (:class:`BatchDispatcher`) and framed byte batches
+  (:class:`ByteBatchDispatcher`), since the byte dispatcher is what
+  process mode actually runs;
+* an equivalence check per transport — each sharded run must produce
+  exactly the serial run's RTT-sample multiset and summed pipeline
+  counters.
 
 Speedup depends on the host: the dispatch side sustains several hundred
 thousand pkts/s (measured here as ``dispatch ceiling``), so with ≥ 4
@@ -21,7 +27,12 @@ import os
 import time
 from collections import Counter
 
-from repro.cluster import BatchDispatcher, ShardedDart
+from repro.cluster import (
+    TRANSPORT_MODES,
+    BatchDispatcher,
+    ByteBatchDispatcher,
+    ShardedDart,
+)
 from repro.core import Dart, DartConfig, ideal_config
 from repro.traces import replay
 
@@ -49,8 +60,19 @@ def _throughput(records, monitor) -> float:
 
 
 def _dispatch_ceiling(records, shards: int) -> float:
-    """Max rate the coordinator side can route/batch (emit discarded)."""
+    """Max rate the coordinator can route/batch objects (emit discarded)."""
     dispatcher = BatchDispatcher(shards, lambda shard, batch: None)
+    start = time.perf_counter()
+    for record in records:
+        dispatcher.dispatch(record)
+    dispatcher.flush()
+    return len(records) / (time.perf_counter() - start)
+
+
+def _byte_dispatch_ceiling(records, shards: int) -> float:
+    """Same ceiling for the byte dispatcher process mode actually runs:
+    shard hash + struct-pack framing per record, emit discarded."""
+    dispatcher = ByteBatchDispatcher(shards, lambda shard, payload: None)
     start = time.perf_counter()
     for record in records:
         dispatcher.dispatch(record)
@@ -67,21 +89,29 @@ def run_scaling(campus_trace, external_leg):
     serial = Dart(CONFIG, leg_filter=leg())
     rows = []
     serial_pps = _throughput(records, serial)
-    rows.append(("serial", 1, serial_pps, 1.0))
+    rows.append(("serial", "-", 1, serial_pps, 1.0))
 
-    for shards in SHARD_POINTS:
-        cluster = ShardedDart(CONFIG, shards=shards, parallel="process",
-                              leg_filter=leg())
-        pps = _throughput(records, cluster)
-        rows.append(("process", shards, pps, pps / serial_pps))
+    for transport in TRANSPORT_MODES:
+        for shards in SHARD_POINTS:
+            cluster = ShardedDart(CONFIG, shards=shards, parallel="process",
+                                  transport=transport, leg_filter=leg())
+            pps = _throughput(records, cluster)
+            rows.append(("process", transport, shards, pps,
+                         pps / serial_pps))
     cluster = ShardedDart(CONFIG, shards=4, parallel="thread",
                           leg_filter=leg())
     pps = _throughput(records, cluster)
-    rows.append(("thread", 4, pps, pps / serial_pps))
-    return rows, _equivalence(records, leg), _dispatch_ceiling(records, 4)
+    rows.append(("thread", "-", 4, pps, pps / serial_pps))
+    equivalence = {
+        transport: _equivalence(records, leg, transport)
+        for transport in TRANSPORT_MODES
+    }
+    ceilings = (_dispatch_ceiling(records, 4),
+                _byte_dispatch_ceiling(records, 4))
+    return rows, equivalence, ceilings
 
 
-def _equivalence(records, leg):
+def _equivalence(records, leg, transport):
     """Sharded multiset / summed-counter equivalence vs the serial run.
 
     Uses unlimited tables: with no eviction pressure, flow-consistent
@@ -89,11 +119,12 @@ def _equivalence(records, leg):
     finite per-shard tables, collision pressure legitimately differs —
     each shard has its own tables — so throughput above is measured at
     the constrained operating point but equivalence is checked here.)
+    Checked per transport: the byte framing must be invisible.
     """
     serial = Dart(ideal_config(), leg_filter=leg())
     replay(records, serial)
     cluster = ShardedDart(ideal_config(), shards=4, parallel="process",
-                          leg_filter=leg())
+                          transport=transport, leg_filter=leg())
     replay(records, cluster)
     sample_match = Counter(cluster.samples) == Counter(serial.samples)
     merged, ref = cluster.stats, serial.stats
@@ -111,7 +142,7 @@ def _equivalence(records, leg):
 
 def test_cluster_scaling(benchmark, campus_trace, external_leg,
                          report_sink):
-    rows, (sample_match, counter_match), ceiling = benchmark.pedantic(
+    rows, equivalence, (ceiling, byte_ceiling) = benchmark.pedantic(
         run_scaling, args=(campus_trace, external_leg),
         rounds=1, iterations=1,
     )
@@ -120,21 +151,30 @@ def test_cluster_scaling(benchmark, campus_trace, external_leg,
         f"cluster scaling, campus trace "
         f"({campus_trace.packets} packets, {_usable_cores()} usable cores)",
         "",
-        f"{'mode':>9}  {'shards':>6}  {'pkts/s':>12}  {'vs serial':>9}",
+        f"{'mode':>9}  {'transport':>9}  {'shards':>6}  {'pkts/s':>12}  "
+        f"{'vs serial':>9}",
     ]
-    for mode, shards, pps, speedup in rows:
+    for mode, transport, shards, pps, speedup in rows:
         lines.append(
-            f"{mode:>9}  {shards:>6}  {pps:>12,.0f}  {speedup:>8.2f}x"
+            f"{mode:>9}  {transport:>9}  {shards:>6}  {pps:>12,.0f}  "
+            f"{speedup:>8.2f}x"
         )
     lines += [
         "",
-        f"dispatch ceiling (4 shards, no workers): {ceiling:,.0f} pkts/s",
-        f"sample multiset == serial: {sample_match}",
-        f"summed counters == serial: {counter_match}",
+        f"dispatch ceiling (4 shards, no workers): "
+        f"objects {ceiling:,.0f} pkts/s, bytes {byte_ceiling:,.0f} pkts/s",
     ]
+    for transport, (sample_match, counter_match) in equivalence.items():
+        lines.append(
+            f"{transport}: sample multiset == serial: {sample_match}, "
+            f"summed counters == serial: {counter_match}"
+        )
     report_sink("\n".join(lines))
     # Correctness is host-independent and asserted hard; the speedup is
     # a property of the bench host and is reported, not asserted, so the
     # bench stays meaningful on single-core CI runners.
-    assert sample_match, "sharded sample multiset diverged from serial"
-    assert counter_match, "summed shard counters diverged from serial"
+    for transport, (sample_match, counter_match) in equivalence.items():
+        assert sample_match, (
+            f"{transport}: sharded sample multiset diverged from serial")
+        assert counter_match, (
+            f"{transport}: summed shard counters diverged from serial")

@@ -15,6 +15,11 @@ Runs the per-packet hot loop over a *pinned* synthetic campus trace
   perfgate asserts telemetry-on costs at most 3% over telemetry-off;
 * **cluster_4shard** — packets/sec through a 4-shard process-mode
   :class:`~repro.cluster.ShardedDart` (dispatch + workers + merge);
+* **cluster_scaling** — serial vs 4-shard vs 8-shard byte-transport
+  throughput with speedups and the host's usable core count; perfgate's
+  core-aware scaling floor gates the 8-shard speedup (info-only below
+  4 cores).  ``--section cluster_scaling`` measures only this section —
+  what CI's ``cluster-scaling`` job runs, with ``--quick``;
 * **fleet_merge** — cumulative deltas/sec through a
   :class:`~repro.fleet.FleetCollector` fed by 8 synthetic agents
   (wire decode + stats replace + flow dedup + window dedup), plus the
@@ -30,7 +35,11 @@ baseline CI's ``perf-regression`` job gates against via
 
 Everything that affects the measurement is pinned here on purpose:
 change the workload constants and you MUST regenerate the baseline in
-the same commit, or the gate compares different experiments.
+the same commit, or the gate compares different experiments
+(``perfgate`` cross-checks the pinned ``connections``/``seed`` and
+fails loudly on a mismatch).  ``--quick`` shrinks the workload for
+time-boxed CI jobs and stamps ``"quick": true`` into the report so a
+quick report can never silently stand in for the committed baseline.
 """
 
 from __future__ import annotations
@@ -49,7 +58,11 @@ from typing import List, Optional
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.perfgate import SCHEMA  # noqa: E402
-from repro.cluster import ShardedDart  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    DEFAULT_TRANSPORT,
+    TRANSPORT_MODES,
+    ShardedDart,
+)
 from repro.core import Dart, DartConfig  # noqa: E402
 from repro.core.analytics import MinFilterAnalytics  # noqa: E402
 from repro.core.flow import flow_of  # noqa: E402
@@ -69,6 +82,10 @@ from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
 
 CONNECTIONS = 500
 SEED = 11
+#: ``--quick`` workload: same seed, fewer connections — sized so the
+#: CI cluster-scaling job (serial + 4-shard + 8-shard, one repeat)
+#: finishes well under its 3-minute budget on shared runners.
+QUICK_CONNECTIONS = 200
 #: Constrained tables sized for ~34k packets / ~1k flows: enough
 #: pressure for evictions and recirculations to occur, so the gate
 #: watches the real pipeline, not just the associative fast case.
@@ -76,6 +93,8 @@ CONFIG = DartConfig(rt_slots=1 << 18, pt_slots=1 << 14, pt_stages=1,
                     max_recirculations=1)
 SHARDS = 4
 CLUSTER_BATCH = 2048
+#: Shard counts the scaling section sweeps (perfgate gates the last).
+SCALING_SHARDS = (4, 8)
 #: The synthetic fleet: agents the trace is partitioned across, and
 #: cumulative delta pushes per agent (each re-states the agent's view
 #: at a growing prefix of its records, like a live push interval does).
@@ -201,6 +220,61 @@ def measure_cluster(records, repeats: int, parallel: str) -> dict:
     }
 
 
+def _usable_cores() -> int:
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_cluster_scaling(records, repeats: int, transport: str) -> dict:
+    """Serial vs 4/8-shard byte-transport throughput with speedups.
+
+    The within-report section perfgate's core-aware scaling floor
+    gates: all three numbers come from the same run on the same
+    records, so shared-runner noise largely cancels.  Sample-count
+    parity with serial is asserted hard — a scaling number from a
+    cluster that dropped samples would be meaningless.
+    """
+    serial_pps = 0.0
+    serial_samples = 0
+    for _ in range(repeats):
+        dart = Dart(CONFIG)
+        start = time.perf_counter()
+        dart.process_batch(records)
+        elapsed = time.perf_counter() - start
+        serial_pps = max(serial_pps, len(records) / elapsed)
+        serial_samples = dart.stats.samples
+    section = {
+        "serial_pps": round(serial_pps, 1),
+        "transport": transport,
+        "usable_cores": _usable_cores(),
+        "batch_size": CLUSTER_BATCH,
+    }
+    for shards in SCALING_SHARDS:
+        best_pps = 0.0
+        for _ in range(repeats):
+            cluster = ShardedDart(CONFIG, shards=shards, parallel="process",
+                                  transport=transport,
+                                  batch_size=CLUSTER_BATCH)
+            start = time.perf_counter()
+            cluster.process_trace(records)
+            cluster.finalize()
+            elapsed = time.perf_counter() - start
+            best_pps = max(best_pps, len(records) / elapsed)
+            if cluster.stats.samples != serial_samples:
+                raise SystemExit(
+                    f"cluster_scaling: {shards}-shard run produced "
+                    f"{cluster.stats.samples} samples, serial produced "
+                    f"{serial_samples} — refusing to report a speedup "
+                    "for a cluster that changed the answer"
+                )
+        section[f"shard_{shards}_pps"] = round(best_pps, 1)
+        section[f"shard_{shards}_speedup"] = round(best_pps / serial_pps, 3)
+    return section
+
+
 def _fleet_deltas(records) -> List[bytes]:
     """Encode the synthetic fleet's wire traffic (setup, untimed).
 
@@ -281,12 +355,48 @@ def measure_fleet_merge(records, repeats: int) -> dict:
     }
 
 
-def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
+def run(repeats: int, parallel: str, skip_cluster: bool, *,
+        section: str = "all", quick: bool = False,
+        transport: str = DEFAULT_TRANSPORT) -> dict:
+    connections = QUICK_CONNECTIONS if quick else CONNECTIONS
     trace = generate_campus_trace(
-        CampusTraceConfig(connections=CONNECTIONS, seed=SEED)
+        CampusTraceConfig(connections=connections, seed=SEED)
     )
     print(f"workload: {trace.packets} packets "
-          f"({CONNECTIONS} connections, seed {SEED})", file=sys.stderr)
+          f"({connections} connections, seed {SEED}"
+          f"{', quick' if quick else ''})", file=sys.stderr)
+    workload = {
+        "connections": connections,
+        "seed": SEED,
+        "packets": trace.packets,
+        "rt_slots": CONFIG.rt_slots,
+        "pt_slots": CONFIG.pt_slots,
+        "pt_stages": CONFIG.pt_stages,
+        "max_recirculations": CONFIG.max_recirculations,
+        "repeats": repeats,
+    }
+    if quick:
+        workload["quick"] = True
+    environment = {
+        # Context only — the gate never compares these.
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+
+    if section == "cluster_scaling":
+        scaling = measure_cluster_scaling(trace.records, repeats, transport)
+        print(f"cluster_scaling ({transport}, "
+              f"{scaling['usable_cores']} cores): "
+              f"serial {scaling['serial_pps']:,.0f} pps, "
+              f"4-shard {scaling['shard_4_speedup']:.2f}x, "
+              f"8-shard {scaling['shard_8_speedup']:.2f}x", file=sys.stderr)
+        return {
+            "schema": SCHEMA,
+            "workload": workload,
+            "environment": environment,
+            "results": {"cluster_scaling": scaling},
+        }
+
     results = {"serial": measure_serial(trace.records, repeats)}
     print(f"serial: {results['serial']['packets_per_second']:,.0f} pps "
           f"(p50 {results['serial']['p50_ns']} ns, "
@@ -314,6 +424,15 @@ def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
         pps = results[f"cluster_{SHARDS}shard"]["packets_per_second"]
         print(f"cluster ({SHARDS} shards, {parallel}): {pps:,.0f} pps",
               file=sys.stderr)
+        scaling = measure_cluster_scaling(
+            trace.records, cluster_reps, transport
+        )
+        results["cluster_scaling"] = scaling
+        print(f"cluster_scaling ({transport}, "
+              f"{scaling['usable_cores']} cores): "
+              f"serial {scaling['serial_pps']:,.0f} pps, "
+              f"4-shard {scaling['shard_4_speedup']:.2f}x, "
+              f"8-shard {scaling['shard_8_speedup']:.2f}x", file=sys.stderr)
     results["fleet_merge"] = measure_fleet_merge(trace.records, repeats)
     fleet = results["fleet_merge"]
     print(f"fleet_merge: {fleet['deltas_per_second']:,.0f} deltas/s "
@@ -321,21 +440,8 @@ def run(repeats: int, parallel: str, skip_cluster: bool) -> dict:
           f"{fleet['summary_ms']:.1f} ms)", file=sys.stderr)
     return {
         "schema": SCHEMA,
-        "workload": {
-            "connections": CONNECTIONS,
-            "seed": SEED,
-            "packets": trace.packets,
-            "rt_slots": CONFIG.rt_slots,
-            "pt_slots": CONFIG.pt_slots,
-            "pt_stages": CONFIG.pt_stages,
-            "max_recirculations": CONFIG.max_recirculations,
-            "repeats": repeats,
-        },
-        "environment": {
-            # Context only — the gate never compares these.
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-        },
+        "workload": workload,
+        "environment": environment,
         "results": results,
     }
 
@@ -354,10 +460,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="cluster worker mode (default process)")
     parser.add_argument("--skip-cluster", action="store_true",
                         help="measure only the serial pipeline")
+    parser.add_argument("--section", default="all",
+                        choices=["all", "cluster_scaling"],
+                        help="measure everything, or only the "
+                             "cluster-scaling sweep (default all)")
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink the workload for time-boxed CI jobs "
+                             "(stamped into the report; a quick report "
+                             "cannot replace the committed baseline)")
+    parser.add_argument("--transport", default=DEFAULT_TRANSPORT,
+                        choices=list(TRANSPORT_MODES),
+                        help="process-mode byte transport for the scaling "
+                             f"sweep (default {DEFAULT_TRANSPORT})")
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be positive")
-    report = run(args.repeats, args.parallel, args.skip_cluster)
+    report = run(args.repeats, args.parallel, args.skip_cluster,
+                 section=args.section, quick=args.quick,
+                 transport=args.transport)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}", file=sys.stderr)
     return 0

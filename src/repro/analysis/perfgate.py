@@ -26,11 +26,27 @@ Rules:
   gate asserts a live :class:`repro.obs.TelemetryEmitter` costs at most
   ``--telemetry-overhead`` (default 3%) over the telemetry-off engine
   pass — the telemetry overhead budget from DESIGN §9.
+* When a report carries a ``cluster_scaling`` section, the gate
+  enforces the byte-transport scaling floor: 8-shard speedup over the
+  same report's serial pass must reach ``--scaling-floor`` (default
+  2×).  This is a *within-report* check, and it is **core-count
+  aware**: the section records ``usable_cores``, and on hosts with
+  fewer than ``--scaling-min-cores`` (default 4) the check reports
+  info-only — a 1-core container cannot physically speed anything up,
+  and failing there would gate on the machine, not the code.  The
+  4-shard point is always an info row.
+* Workload pins must match: comparing two reports whose pinned
+  ``connections``/``seed`` differ is comparing different experiments
+  and fails loudly instead of producing plausible nonsense.
 
 Usage::
 
     python -m repro.analysis.perfgate BENCH_pipeline.json fresh.json \\
         --threshold 0.25
+
+    # scaling floor only (CI's cluster-scaling job; one report):
+    python -m repro.analysis.perfgate fresh.json --scaling-only \\
+        --scaling-floor 2.0
 """
 
 from __future__ import annotations
@@ -53,7 +69,10 @@ from typing import Dict, List, Optional
 #: through :class:`repro.fleet.FleetCollector`), reported info-only —
 #: the merge path is control-plane, far off the per-packet fast path,
 #: and too short-running to gate against shared-runner noise.
-SCHEMA = "dart-perf-baseline/4"
+#: v5 added the ``cluster_scaling`` section (serial vs 4/8-shard
+#: byte-transport throughput with the host's usable core count) and the
+#: core-count-aware scaling-floor check.
+SCHEMA = "dart-perf-baseline/5"
 
 DEFAULT_THRESHOLD = 0.15
 #: Allowed fractional throughput cost of the engine layer vs calling
@@ -62,6 +81,15 @@ ENGINE_OVERHEAD_THRESHOLD = 0.05
 #: Allowed fractional throughput cost of telemetry-on vs telemetry-off
 #: for the same engine pass (DESIGN §9's overhead budget).
 TELEMETRY_OVERHEAD_THRESHOLD = 0.03
+#: Minimum 8-shard speedup over serial the cluster_scaling section must
+#: show (within-report) — deliberately below the ≥3× local target so CI
+#: runners with exactly the minimum core count pass with headroom for
+#: noisy neighbours.
+DEFAULT_SCALING_FLOOR = 2.0
+#: Cores below which the scaling floor is reported info-only: with
+#: fewer usable cores than this, multi-core speedup is a property of
+#: the machine, not the code.
+SCALING_MIN_CORES = 4
 
 
 class PerfGateError(ValueError):
@@ -123,6 +151,24 @@ def _flatten(report: dict) -> Dict[str, float]:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 flat[f"{section}.{name}"] = float(value)
     return flat
+
+
+def check_workload_pins(baseline: dict, fresh: dict) -> None:
+    """Refuse to compare reports measured on different pinned workloads.
+
+    ``connections`` and ``seed`` are the workload's identity; a size or
+    seed drift between baseline and fresh (say, one side ran
+    ``--quick``) would make every throughput delta meaningless while
+    still rendering a plausible-looking table.
+    """
+    for pin in ("connections", "seed"):
+        base = baseline.get("workload", {}).get(pin)
+        new = fresh.get("workload", {}).get(pin)
+        if base is not None and new is not None and base != new:
+            raise PerfGateError(
+                f"workload pin mismatch: baseline {pin}={base!r} vs "
+                f"fresh {pin}={new!r} — these are different experiments"
+            )
 
 
 def compare(
@@ -228,6 +274,104 @@ def check_telemetry_overhead(
                           threshold=threshold)
 
 
+@dataclass(slots=True)
+class ScalingCheck:
+    """The cluster_scaling section's verdict, core-count aware.
+
+    ``enforced`` is False on hosts below ``min_cores`` — the rows still
+    render (the numbers are honest measurements of that machine) but a
+    sub-floor speedup cannot fail the gate there.
+    """
+
+    serial_pps: float
+    shard_4_pps: Optional[float]
+    shard_4_speedup: Optional[float]
+    shard_8_pps: Optional[float]
+    shard_8_speedup: Optional[float]
+    transport: str
+    usable_cores: int
+    floor: float
+    min_cores: int
+
+    @property
+    def enforced(self) -> bool:
+        return self.usable_cores >= self.min_cores
+
+    @property
+    def failed(self) -> bool:
+        if not self.enforced:
+            return False
+        if self.shard_8_speedup is None:
+            return True  # the gated measurement vanished: fail loud
+        return self.shard_8_speedup < self.floor
+
+
+def check_cluster_scaling(
+    report: dict,
+    *,
+    floor: float = DEFAULT_SCALING_FLOOR,
+    min_cores: int = SCALING_MIN_CORES,
+) -> Optional[ScalingCheck]:
+    """Check the report's cluster_scaling section against the floor.
+
+    Returns ``None`` (check skipped) when the report carries no
+    ``cluster_scaling`` section.  A within-report check: serial and
+    sharded numbers come from the same run on the same machine, so
+    shared-runner noise largely cancels out of the ratio.
+    """
+    if floor <= 0:
+        raise PerfGateError("scaling floor must be positive")
+    section = report["results"].get("cluster_scaling")
+    if not isinstance(section, dict):
+        return None
+    serial = section.get("serial_pps")
+    if not isinstance(serial, (int, float)) or serial <= 0:
+        raise PerfGateError("cluster_scaling section lacks serial_pps")
+    return ScalingCheck(
+        serial_pps=float(serial),
+        shard_4_pps=section.get("shard_4_pps"),
+        shard_4_speedup=section.get("shard_4_speedup"),
+        shard_8_pps=section.get("shard_8_pps"),
+        shard_8_speedup=section.get("shard_8_speedup"),
+        transport=str(section.get("transport", "?")),
+        usable_cores=int(section.get("usable_cores", 0)),
+        floor=floor,
+        min_cores=min_cores,
+    )
+
+
+def render_scaling(check: ScalingCheck) -> str:
+    """Human-readable scaling table for logs."""
+    lines = [
+        f"cluster scaling ({check.transport} transport, "
+        f"{check.usable_cores} usable cores)",
+        f"{'point':<16} {'pkts/s':>14} {'vs serial':>10}  gate",
+        f"{'serial':<16} {check.serial_pps:>14,.0f} {'1.00x':>10}  -",
+    ]
+    for shards, pps, speedup in (
+        (4, check.shard_4_pps, check.shard_4_speedup),
+        (8, check.shard_8_pps, check.shard_8_speedup),
+    ):
+        if pps is None or speedup is None:
+            lines.append(f"{f'{shards}-shard':<16} {'MISSING':>14}")
+            continue
+        if shards == 8 and check.enforced:
+            verdict = "FAIL" if speedup < check.floor else "ok"
+        else:
+            verdict = "info"
+        lines.append(
+            f"{f'{shards}-shard':<16} {pps:>14,.0f} "
+            f"{speedup:>9.2f}x  {verdict}"
+        )
+    if not check.enforced:
+        lines.append(
+            f"floor {check.floor:.1f}x not enforced: "
+            f"{check.usable_cores} usable core(s) < required "
+            f"{check.min_cores} — speedup is machine-bound here"
+        )
+    return "\n".join(lines)
+
+
 def render(comparisons: List[MetricComparison]) -> str:
     """Human-readable comparison table for logs."""
     lines = [
@@ -251,8 +395,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="perfgate",
         description="Fail when a fresh perf report regresses the baseline.",
     )
-    parser.add_argument("baseline", help="committed BENCH_pipeline.json")
-    parser.add_argument("fresh", help="freshly measured report")
+    parser.add_argument("baseline",
+                        help="committed BENCH_pipeline.json (or, with "
+                             "--scaling-only, the single report to check)")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly measured report (omitted with "
+                             "--scaling-only)")
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="allowed fractional drop before failing "
                              f"(default {DEFAULT_THRESHOLD})")
@@ -266,11 +414,56 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=TELEMETRY_OVERHEAD_THRESHOLD, metavar="FRAC",
                         help="allowed telemetry-on-vs-off throughput cost "
                              f"(default {TELEMETRY_OVERHEAD_THRESHOLD})")
+    parser.add_argument("--scaling-only", action="store_true",
+                        help="check only the cluster_scaling floor of one "
+                             "report (no baseline comparison)")
+    parser.add_argument("--scaling-floor", type=float,
+                        default=DEFAULT_SCALING_FLOOR, metavar="X",
+                        help="required 8-shard speedup over serial "
+                             f"(default {DEFAULT_SCALING_FLOOR})")
+    parser.add_argument("--scaling-min-cores", type=int,
+                        default=SCALING_MIN_CORES, metavar="N",
+                        help="usable cores below which the scaling floor "
+                             f"is info-only (default {SCALING_MIN_CORES})")
     args = parser.parse_args(argv)
+
+    if args.scaling_only:
+        if args.fresh is not None:
+            parser.error("--scaling-only takes a single report")
+        try:
+            scaling = check_cluster_scaling(
+                load_report(args.baseline),
+                floor=args.scaling_floor,
+                min_cores=args.scaling_min_cores,
+            )
+        except PerfGateError as exc:
+            print(f"perfgate: {exc}", file=sys.stderr)
+            return 2
+        if scaling is None:
+            print(f"perfgate: {args.baseline} has no cluster_scaling "
+                  "section", file=sys.stderr)
+            return 2
+        print(render_scaling(scaling))
+        if scaling.failed:
+            print(
+                f"perfgate: 8-shard speedup "
+                f"{scaling.shard_8_speedup or 0:.2f}x is below the "
+                f"{args.scaling_floor:.1f}x floor on a "
+                f"{scaling.usable_cores}-core host",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perfgate: ok (scaling floor {args.scaling_floor:.1f}x)")
+        return 0
+
+    if args.fresh is None:
+        parser.error("fresh report required unless --scaling-only")
     try:
+        baseline = load_report(args.baseline)
         fresh = load_report(args.fresh)
+        check_workload_pins(baseline, fresh)
         comparisons = compare(
-            load_report(args.baseline),
+            baseline,
             fresh,
             threshold=args.threshold,
             gate_latency=args.gate_latency,
@@ -279,6 +472,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                          threshold=args.engine_overhead)
         telemetry_overhead = check_telemetry_overhead(
             fresh, threshold=args.telemetry_overhead
+        )
+        scaling = check_cluster_scaling(
+            fresh, floor=args.scaling_floor,
+            min_cores=args.scaling_min_cores,
         )
     except PerfGateError as exc:
         print(f"perfgate: {exc}", file=sys.stderr)
@@ -315,6 +512,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "perfgate: telemetry costs more than "
                 f"{args.telemetry_overhead:.0%} over a telemetry-off run",
+                file=sys.stderr,
+            )
+            failed = True
+    if scaling is not None:
+        print(render_scaling(scaling))
+        if scaling.failed:
+            print(
+                f"perfgate: 8-shard speedup "
+                f"{scaling.shard_8_speedup or 0:.2f}x is below the "
+                f"{args.scaling_floor:.1f}x floor on a "
+                f"{scaling.usable_cores}-core host",
                 file=sys.stderr,
             )
             failed = True

@@ -63,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="process",
                         help="execution mode for --shards > 1 "
                              "(default: process)")
+    parser.add_argument("--transport", choices=["shm", "queue"],
+                        default="shm",
+                        help="process-mode byte transport: shared-memory "
+                             "ring or mp.Queue fallback (default: shm)")
     add_telemetry_arguments(parser)
     return parser
 
@@ -110,7 +114,8 @@ def main(argv: Optional[list] = None) -> int:
             from ..cluster import ShardedDart
 
             return ShardedDart(config, shards=args.shards,
-                               parallel=args.parallel, leg_filter=leg())
+                               parallel=args.parallel,
+                               transport=args.transport, leg_filter=leg())
         return Dart(config, leg_filter=leg())
 
     extra = list(dict.fromkeys(args.monitors or ()))

@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default="process",
                         help="execution mode for --shards > 1 "
                              "(default: process)")
+    parser.add_argument("--transport", choices=["shm", "queue"],
+                        default="shm",
+                        help="process-mode byte transport: shared-memory "
+                             "ring or mp.Queue fallback (default: shm)")
     parser.add_argument("--dump", action="store_true",
                         help="print one line per RTT sample")
     parser.add_argument("--csv", metavar="PATH",
@@ -135,6 +139,7 @@ def build_monitor(name: str, args, options: MonitorOptions):
         return ShardedMonitor(
             shards=args.shards,
             parallel=args.parallel,
+            transport=args.transport,
             monitor_factory=monitor_factory(name, options),
         )
     return create(name, options)

@@ -17,8 +17,13 @@ Public surface:
   :class:`repro.engine.RttMonitor`, not just Dart.
 * :class:`ShardFailure` / :class:`ShardResult` — the failure and result
   types of the worker layer.
-* :func:`shard_of` / :func:`shard_of_flow` / :func:`split_trace` /
-  :class:`BatchDispatcher` — the sharding primitives.
+* :func:`shard_of` / :func:`shard_of_flow` / :func:`shard_of_wire` /
+  :func:`split_trace` / :class:`BatchDispatcher` /
+  :class:`ByteBatchDispatcher` — the sharding primitives (object and
+  byte-batch flavours).
+* :class:`ShmRingTransport` / :class:`QueueTransport` — how process-
+  mode byte batches cross the process boundary (``transport="shm"``
+  is the default, ``"queue"`` the portable fallback).
 * ``merge_*`` — pure aggregation of stats, sample streams, collectors,
   and analytics window histories.
 """
@@ -34,12 +39,23 @@ from .merge import (
     merge_window_histories,
 )
 from .sharding import (
+    DEFAULT_BATCH_BYTES,
     DEFAULT_BATCH_SIZE,
     SHARD_SALT,
     BatchDispatcher,
+    ByteBatchDispatcher,
     shard_of,
     shard_of_flow,
+    shard_of_key_bytes,
+    shard_of_wire,
     split_trace,
+)
+from .transport import (
+    DEFAULT_TRANSPORT,
+    TRANSPORT_MODES,
+    QueueTransport,
+    ShmRingTransport,
+    make_transport,
 )
 from .worker import (
     DEFAULT_JOIN_TIMEOUT,
@@ -56,22 +72,29 @@ from .worker import (
 
 __all__ = [
     "BatchDispatcher",
+    "ByteBatchDispatcher",
     "ClusterPartialResultWarning",
+    "DEFAULT_BATCH_BYTES",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_JOIN_TIMEOUT",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_TRANSPORT",
     "InlineWorker",
     "MonitorFactory",
     "PARALLEL_MODES",
     "ProcessWorker",
+    "QueueTransport",
     "SHARD_SALT",
     "ShardFailure",
     "ShardResult",
     "ShardedDart",
     "ShardedMonitor",
+    "ShmRingTransport",
+    "TRANSPORT_MODES",
     "ThreadWorker",
     "absorb_window_history",
     "harvest",
+    "make_transport",
     "merge_collectors",
     "merge_results",
     "merge_sample_lists",
@@ -80,5 +103,7 @@ __all__ = [
     "merge_window_histories",
     "shard_of",
     "shard_of_flow",
+    "shard_of_key_bytes",
+    "shard_of_wire",
     "split_trace",
 ]

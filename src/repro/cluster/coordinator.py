@@ -32,9 +32,15 @@ from ..core.analytics import WindowMinimum
 from ..core.config import DartConfig
 from ..core.pipeline import Dart, LegFilter, TargetFilter
 from ..core.samples import RttSample
-from ..net.packet import PacketRecord
+from ..net.packet import PacketRecord, from_wire_bytes
+from ..net.scan import TCP_ONLY, scan_shard_key
 from .merge import merge_results
-from .sharding import DEFAULT_BATCH_SIZE, BatchDispatcher
+from .sharding import (
+    DEFAULT_BATCH_SIZE,
+    BatchDispatcher,
+    ByteBatchDispatcher,
+)
+from .transport import DEFAULT_TRANSPORT, TRANSPORT_MODES
 from .worker import (
     DEFAULT_JOIN_TIMEOUT,
     DEFAULT_QUEUE_DEPTH,
@@ -70,6 +76,11 @@ class ShardedDart:
         analytics_factory: build one shard's analytics module (a shared
             analytics *instance* cannot be handed to N workers).
         leg_filter / target_filter: as for :class:`Dart`.
+        transport: how process-mode byte batches cross the process
+            boundary — ``"shm"`` (shared-memory ring, the default) or
+            ``"queue"`` (bounded ``multiprocessing.Queue``, the
+            portable fallback).  Ignored by the other parallel modes,
+            which have no serialization boundary to optimise.
         batch_size: records per dispatched batch.
         queue_depth: batches buffered per worker before the dispatcher
             blocks (backpressure).
@@ -88,6 +99,7 @@ class ShardedDart:
         analytics_factory: Optional[Callable[[], object]] = None,
         leg_filter: Optional[LegFilter] = None,
         target_filter: Optional[TargetFilter] = None,
+        transport: str = DEFAULT_TRANSPORT,
         batch_size: int = DEFAULT_BATCH_SIZE,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         join_timeout: float = DEFAULT_JOIN_TIMEOUT,
@@ -98,6 +110,11 @@ class ShardedDart:
             raise ValueError(
                 f"parallel must be one of {sorted(WORKER_MODES)}, "
                 f"got {parallel!r}"
+            )
+        if transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"transport must be one of {sorted(TRANSPORT_MODES)}, "
+                f"got {transport!r}"
             )
         if monitor_factory is not None and dart_factory is not None:
             raise ValueError(
@@ -120,10 +137,20 @@ class ShardedDart:
                 )
         self.shards = shards
         self.parallel = parallel if shards > 1 else "serial"
+        #: The transport process-mode batches ride on; ``None`` when no
+        #: process boundary exists (serial/thread modes, one shard).
+        self.transport = (
+            transport if shards > 1 and parallel == "process" else None
+        )
         #: Multi-shard runs surface samples only after :meth:`finalize`
         #: (workers retain them until harvest); the engine reads this to
         #: route retained samples post-finalize instead of per batch.
         self.defers_samples = shards > 1
+        #: Raw frames :meth:`process_wire` dropped because the header
+        #: scanner could not shard them (non-IP, non-TCP, truncated
+        #: before the ports) — the cluster twin of a capture reader
+        #: skipping undecodable frames.
+        self.wire_skipped = 0
         self._join_timeout = join_timeout
         self._results: Optional[List[ShardResult]] = None
         self._merged: Optional[ShardResult] = None
@@ -133,7 +160,7 @@ class ShardedDart:
         self._end_ns: Optional[int] = None
         self.dart: Optional[Any] = None
         self._workers: List = []
-        self._dispatcher: Optional[BatchDispatcher] = None
+        self._dispatcher: Optional[Any] = None
         if shards == 1:
             # Degenerate case: the serial monitor itself, no workers,
             # no batching, live stats.
@@ -141,12 +168,25 @@ class ShardedDart:
             return
         worker_cls = WORKER_MODES[parallel]
         self._workers = [
-            worker_cls(shard, monitor_factory, queue_depth=queue_depth)
+            worker_cls(
+                shard, monitor_factory,
+                queue_depth=queue_depth, transport=transport,
+            )
             for shard in range(shards)
         ]
-        self._dispatcher = BatchDispatcher(
-            shards, self._submit, batch_size=batch_size
-        )
+        if parallel == "process":
+            # Byte path: records are framed as they are routed and the
+            # workers parse — the coordinator never pickles an object
+            # graph and never decodes a shipped wire frame.
+            self._dispatcher = ByteBatchDispatcher(
+                shards, self._submit_bytes, batch_size=batch_size
+            )
+        else:
+            # No serialization boundary: object batches are strictly
+            # cheaper in-process.
+            self._dispatcher = BatchDispatcher(
+                shards, self._submit, batch_size=batch_size
+            )
 
     # -- Packet entry points ----------------------------------------------
 
@@ -200,9 +240,72 @@ class ShardedDart:
         self.process_trace(r for r in records if r is not None)
         return []
 
+    def process_wire(
+        self,
+        data: bytes,
+        timestamp_ns: int,
+        *,
+        linktype_ethernet: bool = True,
+    ) -> List[RttSample]:
+        """Ingest one raw captured frame — the zero-copy entry point.
+
+        In process mode the frame is sharded by the pre-parse header
+        scan and shipped *unparsed*; the owning worker runs the full
+        decode.  Frames the scanner cannot shard (non-IP, non-TCP,
+        truncated before the L4 ports) are dropped and counted in
+        :attr:`wire_skipped` — in every mode, so shard count never
+        changes which frames are skipped.  Frames that scan but are
+        malformed deeper in raise wherever the decode runs: inline
+        here for serial/thread modes, as a :class:`ShardFailure` from
+        the owning shard in process mode.
+        """
+        if self._results is not None:
+            raise RuntimeError("ShardedDart already finalized")
+        if self._dispatcher is not None and isinstance(
+            self._dispatcher, ByteBatchDispatcher
+        ):
+            # Process mode: one header scan routes the frame, unparsed.
+            if not self._dispatcher.dispatch_wire(
+                data, timestamp_ns,
+                linktype_ethernet=linktype_ethernet, protocols=TCP_ONLY,
+            ):
+                self.wire_skipped += 1
+                return []
+            if self._end_ns is None or timestamp_ns > self._end_ns:
+                self._end_ns = timestamp_ns
+            return []
+        # No byte transport below this point (serial or thread mode):
+        # apply the same scanner gate — shard count and parallel mode
+        # must never change *which* frames are skipped — then decode
+        # inline.
+        if scan_shard_key(
+            data, linktype_ethernet=linktype_ethernet, protocols=TCP_ONLY
+        ) is None:
+            self.wire_skipped += 1
+            return []
+        record = from_wire_bytes(
+            data, timestamp_ns, linktype_ethernet=linktype_ethernet
+        )
+        if record is None:
+            self.wire_skipped += 1
+            return []
+        if self.dart is not None:
+            return self.dart.process(record)
+        if self._end_ns is None or timestamp_ns > self._end_ns:
+            self._end_ns = timestamp_ns
+        self._dispatcher.dispatch(record)
+        return []
+
     def _submit(self, shard: int, batch: List[PacketRecord]) -> None:
         try:
             self._workers[shard].submit(batch)
+        except ShardFailure as failure:
+            self._abort_workers(exclude=shard)
+            raise failure
+
+    def _submit_bytes(self, shard: int, payload: bytes) -> None:
+        try:
+            self._workers[shard].submit_bytes(payload)
         except ShardFailure as failure:
             self._abort_workers(exclude=shard)
             raise failure
@@ -344,6 +447,11 @@ class ShardedDart:
         )
         for shard, count in self._dispatcher.dispatched.items():
             dispatched.set_cumulative((name, str(shard)), count)
+        registry.counter(
+            "dart_cluster_wire_skipped_total",
+            "Raw frames dropped by the pre-parse shard scanner",
+            ("monitor",),
+        ).set_cumulative((name,), self.wire_skipped)
         if self._merged is None:
             return
         registry.counter(

@@ -20,11 +20,13 @@ load and collision pressure.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from ..core.flow import FlowKey, flow_of
 from ..core.hashing import crc32_hash
+from ..net.framing import BatchEncoder
 from ..net.packet import PacketRecord
+from ..net.scan import SCAN_PROTOCOLS, scan_shard_key
 
 #: Salt for the shard hash; distinct from every table-stage salt and the
 #: signature salt in :mod:`repro.core.hashing`.
@@ -34,6 +36,12 @@ SHARD_SALT = 0x5AD0CAFE
 #: Large enough to amortise queue/pickling overhead in process mode,
 #: small enough to keep workers busy on modest traces.
 DEFAULT_BATCH_SIZE = 2048
+
+#: Byte ceiling per emitted byte batch: record frames are ~36 bytes so
+#: a count-full batch stays well under this, but raw wire frames can be
+#: MTU-sized — the ceiling keeps any single batch far below the shm
+#: ring's capacity regardless of frame mix.
+DEFAULT_BATCH_BYTES = 256 * 1024
 
 
 @lru_cache(maxsize=1 << 20)
@@ -52,6 +60,40 @@ def shard_of_flow(flow: FlowKey, shards: int) -> int:
 def shard_of(record: PacketRecord, shards: int) -> int:
     """Shard index of one observed packet."""
     return shard_of_flow(flow_of(record), shards)
+
+
+def shard_of_key_bytes(key: bytes, shards: int) -> int:
+    """Shard index from pre-built canonical flow-key bytes.
+
+    ``key`` is what :func:`repro.net.scan.scan_shard_key` (or
+    :func:`repro.net.scan.canonical_key_bytes`) returns — the exact
+    bytes ``FlowKey.canonical().key_bytes()`` would produce after a
+    full decode, so this always agrees with :func:`shard_of_flow`.
+    """
+    if shards <= 1:
+        return 0
+    return crc32_hash(key, SHARD_SALT) % shards
+
+
+def shard_of_wire(
+    data: bytes,
+    shards: int,
+    *,
+    linktype_ethernet: bool = True,
+    protocols: FrozenSet[int] = SCAN_PROTOCOLS,
+) -> Optional[int]:
+    """Shard index of a raw captured frame, without parsing it.
+
+    ``None`` means the frame is not shardable (non-IP, protocol outside
+    ``protocols``, or too short to reach the ports) — the byte-path
+    analogue of the decoder returning ``None`` for non-TCP frames.
+    """
+    key = scan_shard_key(
+        data, linktype_ethernet=linktype_ethernet, protocols=protocols
+    )
+    if key is None:
+        return None
+    return shard_of_key_bytes(key, shards)
 
 
 def split_trace(
@@ -107,3 +149,92 @@ class BatchDispatcher:
             if buffer:
                 self._buffers[shard] = []
                 self._emit(shard, buffer)
+
+
+class ByteBatchDispatcher:
+    """Buffers framed *bytes* per shard and emits contiguous batches.
+
+    The process-mode twin of :class:`BatchDispatcher`: instead of
+    per-shard record lists (which each cost a pickled object graph at
+    the queue), every shard owns a :class:`~repro.net.framing.BatchEncoder`
+    and records are packed into its buffer the moment they are routed.
+    ``emit(shard_id, payload)`` receives a finished ``bytes`` batch when
+    a shard's buffer reaches ``batch_size`` records *or* ``batch_bytes``
+    bytes — the byte ceiling matters on the raw-frame path, where one
+    record can be MTU-sized.
+
+    Two routing entry points:
+
+    * :meth:`dispatch` — a parsed :class:`~repro.net.packet.PacketRecord`;
+      sharded via the (cached) flow hash, framed as a packed record.
+    * :meth:`dispatch_wire` — a raw captured frame; sharded via the
+      zero-copy header scan, framed *unparsed* so the worker does the
+      decode.  Returns ``False`` for frames the scanner rejects, which
+      the caller counts rather than ships.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        emit: Callable[[int, bytes], None],
+        *,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        batch_bytes: int = DEFAULT_BATCH_BYTES,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if batch_bytes < 1:
+            raise ValueError("batch_bytes must be positive")
+        self.shards = shards
+        self.batch_size = batch_size
+        self.batch_bytes = batch_bytes
+        self._emit = emit
+        self._encoders: List[BatchEncoder] = [
+            BatchEncoder() for _ in range(shards)
+        ]
+        #: Packets routed to each shard so far (including buffered ones).
+        self.dispatched: Dict[int, int] = {i: 0 for i in range(shards)}
+
+    def _maybe_emit(self, shard: int, encoder: BatchEncoder) -> None:
+        if (encoder.count >= self.batch_size
+                or encoder.size >= self.batch_bytes):
+            self._emit(shard, encoder.take())
+
+    def dispatch(self, record: PacketRecord) -> None:
+        """Route one parsed record; may emit a full batch."""
+        shard = shard_of(record, self.shards)
+        self.dispatched[shard] += 1
+        encoder = self._encoders[shard]
+        encoder.add_record(record)
+        self._maybe_emit(shard, encoder)
+
+    def dispatch_wire(
+        self,
+        data: bytes,
+        timestamp_ns: int,
+        *,
+        linktype_ethernet: bool = True,
+        protocols: FrozenSet[int] = SCAN_PROTOCOLS,
+    ) -> bool:
+        """Route one raw frame unparsed; ``False`` if not shardable."""
+        key = scan_shard_key(
+            data, linktype_ethernet=linktype_ethernet, protocols=protocols
+        )
+        if key is None:
+            return False
+        shard = shard_of_key_bytes(key, self.shards)
+        self.dispatched[shard] += 1
+        encoder = self._encoders[shard]
+        encoder.add_wire(
+            data, timestamp_ns, linktype_ethernet=linktype_ethernet
+        )
+        self._maybe_emit(shard, encoder)
+        return True
+
+    def flush(self) -> None:
+        """Emit every non-empty partial batch (end of trace)."""
+        for shard, encoder in enumerate(self._encoders):
+            if encoder.count:
+                self._emit(shard, encoder.take())

@@ -1,0 +1,388 @@
+"""Shard transports: byte batches from coordinator to worker processes.
+
+The original cluster shipped every packet as a pickled Python object
+through a ``multiprocessing.Queue`` — and lost to the serial monitor
+(``BENCH_pipeline.json`` v4: 4-shard process mode at ~70k pps vs ~131k
+serial), because per-object pickling on the coordinator ate more CPU
+than sharding saved.  This module replaces that seam with transports
+that move *contiguous byte batches* (see :mod:`repro.net.framing`):
+
+* :class:`ShmRingTransport` — the default.  A single-producer /
+  single-consumer ring buffer in ``multiprocessing.shared_memory``:
+  the producer memcpys a batch into the ring and bumps a counter; the
+  payload crosses the process boundary with **zero** pickling and zero
+  kernel copies (both sides map the same pages).
+* :class:`QueueTransport` — the fallback (platforms without usable
+  shared memory, or ``transport="queue"``).  The same byte batches
+  over a bounded ``multiprocessing.Queue``; pickling a ``bytes`` blob
+  is a memcpy, so this is still far cheaper than object batches, just
+  with the queue's copy-through-a-pipe cost on top.
+
+Both speak the same three-message protocol the worker loop consumes:
+``("batch", payload)``, ``("finish", end_ns)``, ``("stop", None)``.
+
+Backpressure and fault rules (shared by both):
+
+* a full channel blocks the *producer*, in ``poll_s`` steps, calling
+  ``stall_check()`` between steps — the coordinator passes a callback
+  that raises :class:`~repro.cluster.worker.ShardFailure` when the
+  worker died, so a dead shard can never wedge the dispatch loop;
+* the consumer blocks natively (queue get / semaphore acquire) — no
+  busy-wait in workers;
+* ``destroy()`` is idempotent and safe to call with the peer gone; the
+  *coordinator* owns shared-memory unlinking (workers only close their
+  mapping).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+from typing import Callable, Optional, Tuple
+
+#: Seconds between stall checks while a producer waits for space.
+POLL_S = 0.05
+
+#: Target bytes per shipped batch.  Big enough that the per-batch fixed
+#: costs (one semaphore op, one counter update or queue put) amortise
+#: over thousands of packets; small enough that workers start promptly.
+DEFAULT_BATCH_BYTES = 256 * 1024
+
+#: Ring capacity as a multiple of the batch target: room for several
+#: in-flight batches before the producer blocks (the byte-level
+#: equivalent of the queue transport's ``queue_depth``).
+RING_BATCHES = 8
+
+TRANSPORT_MODES = ("shm", "queue")
+DEFAULT_TRANSPORT = "shm"
+
+Message = Tuple[str, object]
+
+#: Ring message kinds.
+_K_BATCH = 0
+_K_CONTROL = 1
+
+_MSG_HEAD = struct.Struct("<IB")  # payload length, kind
+#: Length sentinel: "no message fits before the ring edge — wrap".
+_WRAP = 0xFFFFFFFF
+
+
+class TransportClosed(RuntimeError):
+    """The channel is gone (peer exited and tore the transport down)."""
+
+
+def _default_stall_check() -> None:
+    """No-op stall check for callers without liveness to consult."""
+
+
+class QueueTransport:
+    """Byte batches over a bounded ``multiprocessing.Queue``.
+
+    The fallback transport: portable everywhere multiprocessing works,
+    with the queue's pipe copy as its only overhead — the payload is a
+    single ``bytes`` object, so pickling it is O(len) memcpy, not an
+    object-graph walk.
+    """
+
+    name = "queue"
+
+    def __init__(self, ctx, *, queue_depth: int,
+                 batch_bytes: int = DEFAULT_BATCH_BYTES) -> None:
+        self.batch_bytes = batch_bytes
+        self._queue = ctx.Queue(maxsize=queue_depth)
+
+    # -- producer (coordinator) side --------------------------------------
+
+    def send_batch(self, payload: bytes,
+                   stall_check: Callable[[], None] = _default_stall_check,
+                   ) -> None:
+        self._send(("batch", payload), stall_check)
+
+    def send_finish(self, end_ns: Optional[int],
+                    stall_check: Callable[[], None] = _default_stall_check,
+                    ) -> None:
+        self._send(("finish", end_ns), stall_check)
+
+    def send_stop(self) -> None:
+        """Best-effort abort wake-up; never blocks."""
+        try:
+            self._queue.put_nowait(("stop", None))
+        except Exception:
+            pass
+
+    def _send(self, message: Message,
+              stall_check: Callable[[], None]) -> None:
+        import queue as queue_mod
+
+        while True:
+            try:
+                self._queue.put(message, timeout=POLL_S)
+                return
+            except queue_mod.Full:
+                stall_check()
+
+    # -- consumer (worker) side --------------------------------------------
+
+    def recv(self) -> Message:
+        return self._queue.get()
+
+    def drain(self) -> None:
+        """Discard queued batches (abort path, thread-safe best effort)."""
+        import queue as queue_mod
+
+        try:
+            while True:
+                self._queue.get_nowait()
+        except (queue_mod.Empty, OSError, ValueError):
+            pass
+
+    def depth(self) -> int:
+        """Messages currently queued (-1 where unsupported)."""
+        try:
+            return self._queue.qsize()
+        except NotImplementedError:
+            return -1
+
+    def close_consumer(self) -> None:
+        pass
+
+    def destroy(self) -> None:
+        try:
+            self._queue.close()
+        except Exception:
+            pass
+
+
+class ShmRingTransport:
+    """SPSC byte ring in POSIX shared memory — the default transport.
+
+    Layout of the segment: a 16-byte header (``head`` and ``tail``
+    monotonic u64 byte counters) followed by ``capacity`` data bytes.
+    The producer alone advances ``head``, the consumer alone advances
+    ``tail``; both updates happen under one cross-process lock (two
+    lock ops per *batch*, thousands of packets — noise), and a
+    semaphore counts ready messages so the consumer blocks natively.
+
+    Messages are framed ``u32 length | u8 kind | payload`` and never
+    split across the ring edge: when a message does not fit in the
+    space before the edge, the producer writes a 4-byte wrap sentinel
+    (or, with less than 4 contiguous bytes left, relies on the shared
+    "dead tail" rule) and restarts at offset zero.  Ring capacity is
+    sized to ``RING_BATCHES`` batch targets, so backpressure engages
+    only when the worker is genuinely behind.
+    """
+
+    name = "shm"
+
+    _HEADER = 16
+
+    def __init__(self, ctx, *, queue_depth: int,
+                 batch_bytes: int = DEFAULT_BATCH_BYTES) -> None:
+        from multiprocessing import shared_memory
+
+        self.batch_bytes = batch_bytes
+        self.capacity = max(queue_depth, RING_BATCHES) * batch_bytes
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._HEADER + self.capacity
+        )
+        self._shm_name = self._shm.name
+        self._owner = True
+        struct.pack_into("<QQ", self._shm.buf, 0, 0, 0)
+        self._lock = ctx.Lock()
+        self._items = ctx.Semaphore(0)
+
+    # -- pickling: the consumer half re-attaches by name -------------------
+
+    def __getstate__(self):
+        return {
+            "batch_bytes": self.batch_bytes,
+            "capacity": self.capacity,
+            "shm_name": self._shm_name,
+            "lock": self._lock,
+            "items": self._items,
+        }
+
+    def __setstate__(self, state):
+        from multiprocessing import resource_tracker, shared_memory
+
+        self.batch_bytes = state["batch_bytes"]
+        self.capacity = state["capacity"]
+        self._shm_name = state["shm_name"]
+        self._lock = state["lock"]
+        self._items = state["items"]
+        self._owner = False
+        self._shm = shared_memory.SharedMemory(name=self._shm_name)
+        # Attaching registers the segment with this process's resource
+        # tracker (CPython gh-82300); the coordinator owns the unlink,
+        # so deregister here or the tracker double-unlinks at exit.
+        try:
+            resource_tracker.unregister(self._shm._name, "shared_memory")
+        except Exception:
+            pass
+
+    # -- counters -----------------------------------------------------------
+
+    def _read_counters(self) -> Tuple[int, int]:
+        with self._lock:
+            return struct.unpack_from("<QQ", self._shm.buf, 0)
+
+    def _advance_head(self, by: int) -> None:
+        with self._lock:
+            head, = struct.unpack_from("<Q", self._shm.buf, 0)
+            struct.pack_into("<Q", self._shm.buf, 0, head + by)
+
+    def _advance_tail(self, by: int) -> None:
+        with self._lock:
+            tail, = struct.unpack_from("<Q", self._shm.buf, 8)
+            struct.pack_into("<Q", self._shm.buf, 8, tail + by)
+
+    # -- producer (coordinator) side ----------------------------------------
+
+    def send_batch(self, payload: bytes,
+                   stall_check: Callable[[], None] = _default_stall_check,
+                   ) -> None:
+        self._send(_K_BATCH, payload, stall_check)
+
+    def send_finish(self, end_ns: Optional[int],
+                    stall_check: Callable[[], None] = _default_stall_check,
+                    ) -> None:
+        self._send(_K_CONTROL, pickle.dumps(("finish", end_ns)), stall_check)
+
+    def send_stop(self) -> None:
+        try:
+            self._send(_K_CONTROL, pickle.dumps(("stop", None)),
+                       _default_stall_check, timeout=1.0)
+        except (TransportClosed, TimeoutError):
+            pass
+
+    def _send(self, kind: int, payload: bytes,
+              stall_check: Callable[[], None],
+              timeout: Optional[float] = None) -> None:
+        need = _MSG_HEAD.size + len(payload)
+        if need > self.capacity - 4:
+            raise ValueError(
+                f"message of {len(payload)} bytes exceeds the ring "
+                f"capacity ({self.capacity}); raise batch_bytes"
+            )
+        if self._shm is None:
+            raise TransportClosed("ring is destroyed")
+        deadline = (time.monotonic() + timeout) if timeout else None
+        while True:
+            head, tail = self._read_counters()
+            offset = head % self.capacity
+            edge = self.capacity - offset
+            # Worst case we burn `edge` padding bytes before the data.
+            advance = need if edge >= need else edge + need
+            if self.capacity - (head - tail) >= advance:
+                break
+            stall_check()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError("ring full")
+            time.sleep(POLL_S)
+        buf = self._shm.buf
+        if edge < need:
+            # Not enough room before the edge: mark the dead tail (a
+            # wrap sentinel when >= 4 bytes remain; fewer bytes are
+            # skipped implicitly by the consumer's same edge rule).
+            if edge >= 4:
+                struct.pack_into("<I", buf, self._HEADER + offset, _WRAP)
+            offset = 0
+        _MSG_HEAD.pack_into(buf, self._HEADER + offset, len(payload), kind)
+        data_at = self._HEADER + offset + _MSG_HEAD.size
+        buf[data_at:data_at + len(payload)] = payload
+        self._advance_head(advance)
+        self._items.release()
+
+    # -- consumer (worker) side ---------------------------------------------
+
+    def recv(self) -> Message:
+        self._items.acquire()
+        head, tail = self._read_counters()
+        offset = tail % self.capacity
+        edge = self.capacity - offset
+        buf = self._shm.buf
+        skipped = 0
+        if edge < _MSG_HEAD.size or (
+            edge >= 4
+            and struct.unpack_from("<I", buf, self._HEADER + offset)[0]
+            == _WRAP
+        ):
+            skipped = edge
+            offset = 0
+        length, kind = _MSG_HEAD.unpack_from(buf, self._HEADER + offset)
+        data_at = self._HEADER + offset + _MSG_HEAD.size
+        payload = bytes(buf[data_at:data_at + length])
+        self._advance_tail(skipped + _MSG_HEAD.size + length)
+        if kind == _K_BATCH:
+            return ("batch", payload)
+        return pickle.loads(payload)
+
+    def drain(self) -> None:
+        """Fast-forward the consumer past everything queued (abort)."""
+        while self._items.acquire(block=False):
+            head, tail = self._read_counters()
+            offset = tail % self.capacity
+            edge = self.capacity - offset
+            buf = self._shm.buf
+            skipped = 0
+            if edge < _MSG_HEAD.size or (
+                edge >= 4
+                and struct.unpack_from("<I", buf, self._HEADER + offset)[0]
+                == _WRAP
+            ):
+                skipped = edge
+                offset = 0
+            length, _ = _MSG_HEAD.unpack_from(buf, self._HEADER + offset)
+            self._advance_tail(skipped + _MSG_HEAD.size + length)
+
+    def depth(self) -> int:
+        """Unconsumed bytes in the ring (a load signal, not messages)."""
+        if self._shm is None:
+            return -1
+        head, tail = self._read_counters()
+        return head - tail
+
+    def close_consumer(self) -> None:
+        """Detach the worker-side mapping (never unlinks)."""
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def destroy(self) -> None:
+        """Release the segment.  Owner side also unlinks; idempotent."""
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+
+
+def make_transport(name: str, ctx, *, queue_depth: int,
+                   batch_bytes: int = DEFAULT_BATCH_BYTES):
+    """Build a shard transport by name (``"shm"`` or ``"queue"``)."""
+    if name == "shm":
+        try:
+            return ShmRingTransport(ctx, queue_depth=queue_depth,
+                                    batch_bytes=batch_bytes)
+        except (ImportError, OSError):
+            # No usable POSIX shared memory (exotic platforms, tiny
+            # /dev/shm): degrade to the portable queue transport.
+            return QueueTransport(ctx, queue_depth=queue_depth,
+                                  batch_bytes=batch_bytes)
+    if name == "queue":
+        return QueueTransport(ctx, queue_depth=queue_depth,
+                              batch_bytes=batch_bytes)
+    raise ValueError(
+        f"transport must be one of {TRANSPORT_MODES}, got {name!r}"
+    )

@@ -14,9 +14,12 @@ shard.  Three interchangeable implementations share the
   :class:`queue.Queue` (backpressure: the dispatcher blocks when a
   shard falls behind).  Threads share the GIL, so this mode overlaps
   I/O, not CPU — it exists for sink-heavy pipelines and for tests.
-* :class:`ProcessWorker` — a ``multiprocessing`` subprocess fed pickled
-  packet batches through a bounded queue; the mode that actually buys
-  multi-core speedup.
+* :class:`ProcessWorker` — a ``multiprocessing`` subprocess fed framed
+  *byte* batches through a shard transport (shared-memory ring by
+  default, bounded queue as fallback — see
+  :mod:`repro.cluster.transport`); the mode that actually buys
+  multi-core speedup.  Parsing happens worker-side, so the coordinator
+  never materialises packet objects for shipped frames.
 
 Fault handling: every blocking operation on a worker is guarded by a
 liveness check or a deadline, so a crashed or hung worker surfaces as a
@@ -37,7 +40,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..core.analytics import WindowMinimum
 from ..core.samples import RttSample
+from ..net.framing import decode_batch as decode_frames
+from ..net.framing import encode_records
 from ..net.packet import PacketRecord
+from .transport import DEFAULT_TRANSPORT, make_transport
 
 #: Builds one shard's monitor.  Any object satisfying the
 #: :class:`repro.engine.RttMonitor` protocol works; the callable must be
@@ -350,41 +356,34 @@ class ThreadWorker:
 
 # -- Process mode ----------------------------------------------------------
 
-def encode_batch(batch: List[PacketRecord]) -> List[Tuple]:
-    """Flatten records to field tuples for cheap cross-process pickling."""
-    return [
-        (r.timestamp_ns, r.src_ip, r.dst_ip, r.src_port, r.dst_port,
-         r.seq, r.ack, r.flags, r.payload_len, r.ipv6)
-        for r in batch
-    ]
-
-
-def decode_batch(encoded: List[Tuple]) -> List[PacketRecord]:
-    """Rebuild records in the worker process (parallel with dispatch)."""
-    return [PacketRecord(*fields) for fields in encoded]
-
-
 def _worker_main(
     shard_id: int,
     monitor_factory: MonitorFactory,
-    batch_queue,
+    transport,
     result_queue,
 ) -> None:
-    """Subprocess entry point: consume batches until the sentinel."""
+    """Subprocess entry point: consume byte batches until the sentinel.
+
+    Batches arrive as framed bytes (:mod:`repro.net.framing`) over the
+    shard's transport; *this* is where they become
+    :class:`~repro.net.packet.PacketRecord` objects — parsing runs in
+    the worker, in parallel across shards, while the coordinator only
+    ever touches bytes.  Wire frames that decode to non-TCP come back
+    as ``None`` entries, which ``process_batch`` skips, matching the
+    serial reader's behaviour for mixed captures.
+    """
     monitor: Optional[Any] = None
     try:
         monitor = monitor_factory()
         end_ns: Optional[int] = None
         while True:
-            encoded = batch_queue.get()
-            if encoded is _STOP:
+            kind, payload = transport.recv()
+            if kind == "stop":
                 return
-            # Equality, not identity: the sentinel is pickled across
-            # the process boundary.
-            if isinstance(encoded, tuple) and encoded[0] == _FINISH:
-                end_ns = encoded[1]
+            if kind == "finish":
+                end_ns = payload
                 break
-            monitor.process_batch(decode_batch(encoded))
+            monitor.process_batch(decode_frames(payload))
         result_queue.put(("ok", harvest(shard_id, monitor, end_ns=end_ns)))
     except BaseException as exc:
         partial = None
@@ -400,6 +399,8 @@ def _worker_main(
         except Exception:
             pass
         raise SystemExit(1)
+    finally:
+        transport.close_consumer()
 
 
 def _default_context():
@@ -413,11 +414,18 @@ def _default_context():
 class ProcessWorker:
     """A shard worker in a subprocess — the multi-core mode.
 
+    Batches cross the process boundary as contiguous framed bytes over
+    a shard transport (:mod:`repro.cluster.transport`): the shared-
+    memory ring by default, a bounded queue as the portable fallback.
+    Either way the coordinator ships bytes and the *worker* parses, so
+    dispatch cost no longer grows with per-packet object overhead.
+
     With the (Linux-default) fork start method the monitor factory may
     be any callable, closures included; under spawn it must be
     picklable.  Results travel back as plain-data :class:`ShardResult`
-    objects, so unpicklable analytics internals (lambda key functions,
-    open sinks) never cross the process boundary.
+    objects on a separate queue, so unpicklable analytics internals
+    (lambda key functions, open sinks) never cross the process
+    boundary.
     """
 
     def __init__(
@@ -426,20 +434,28 @@ class ProcessWorker:
         monitor_factory: MonitorFactory,
         *,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        transport: str = DEFAULT_TRANSPORT,
         mp_context=None,
         **_: object,
     ) -> None:
         self.shard_id = shard_id
         ctx = mp_context if mp_context is not None else _default_context()
-        self._batches = ctx.Queue(maxsize=queue_depth)
+        self._transport = make_transport(
+            transport, ctx, queue_depth=queue_depth
+        )
         self._results = ctx.Queue()
         self._proc = ctx.Process(
             target=_worker_main,
-            args=(shard_id, monitor_factory, self._batches, self._results),
+            args=(shard_id, monitor_factory, self._transport, self._results),
             name=f"dart-shard-{shard_id}",
             daemon=True,
         )
         self._proc.start()
+
+    @property
+    def transport_name(self) -> str:
+        """The transport actually in use (``"shm"`` may have degraded)."""
+        return self._transport.name
 
     def _died(self) -> ShardFailure:
         # The worker reports errors (with partial stats) on the result
@@ -449,6 +465,7 @@ class ProcessWorker:
             report = self._results.get(timeout=0.5)
         except queue.Empty:
             report = None
+        self._transport.destroy()
         if report is not None and report[0] == "error":
             _, reason, partial_result = report
             partial = (
@@ -460,39 +477,43 @@ class ProcessWorker:
             f"worker process died (exitcode {self._proc.exitcode})",
         )
 
-    def _checked_put(self, item: object) -> None:
-        while True:
-            try:
-                self._batches.put(item, timeout=_POLL_S)
-                return
-            except queue.Full:
-                if not self._proc.is_alive():
-                    raise self._died()
-
-    def submit(self, batch: List[PacketRecord]) -> None:
+    def _stall_check(self) -> None:
+        """Raised into the transport's space-wait loop: a dead worker
+        must surface as a :class:`ShardFailure`, never a stuck send."""
         if not self._proc.is_alive():
             raise self._died()
-        self._checked_put(encode_batch(batch))
+
+    def submit(self, batch: List[PacketRecord]) -> None:
+        """Frame an object batch and ship it (convenience entry point).
+
+        The coordinator's process-mode dispatcher frames records as it
+        routes them and calls :meth:`submit_bytes` directly; this path
+        exists for callers holding record lists (tests, the thread/
+        process mode-agnostic fan-out in the engine).
+        """
+        self.submit_bytes(encode_records(batch))
+
+    def submit_bytes(self, payload: bytes) -> None:
+        """Ship one framed byte batch to the worker."""
+        if not self._proc.is_alive():
+            raise self._died()
+        self._transport.send_batch(payload, self._stall_check)
 
     def telemetry_probe(self) -> Tuple[int, bool]:
-        """(inbox depth in batches, subprocess liveness).
+        """(inbox depth, subprocess liveness).
 
-        ``multiprocessing.Queue.qsize`` is unimplemented on some
-        platforms (macOS); report -1 ("unknown") there rather than
-        breaking the probe.
+        Depth units depend on the transport: queued messages for the
+        queue transport, unconsumed ring *bytes* for shm; -1 where the
+        platform cannot say.  Either way zero means "caught up".
         """
-        try:
-            depth = self._batches.qsize()
-        except NotImplementedError:
-            depth = -1
-        return depth, self._proc.is_alive()
+        return self._transport.depth(), self._proc.is_alive()
 
     def finish(
         self,
         timeout: float = DEFAULT_JOIN_TIMEOUT,
         end_ns: Optional[int] = None,
     ) -> ShardResult:
-        self._checked_put((_FINISH, end_ns))
+        self._transport.send_finish(end_ns, self._stall_check)
         deadline = time.monotonic() + timeout
         while True:
             try:
@@ -506,6 +527,7 @@ class ProcessWorker:
                         report = self._results.get(timeout=0.5)
                         break
                     except queue.Empty:
+                        self._transport.destroy()
                         raise ShardFailure(
                             self.shard_id,
                             "worker process died "
@@ -520,6 +542,7 @@ class ProcessWorker:
         if report[0] == "error":
             _, reason, partial_result = report
             self._proc.join(timeout=1.0)
+            self._transport.destroy()
             partial = (
                 {self.shard_id: partial_result} if partial_result else None
             )
@@ -527,6 +550,8 @@ class ProcessWorker:
         self._proc.join(timeout=max(1.0, deadline - time.monotonic()))
         if self._proc.is_alive():
             self.abort()
+        else:
+            self._transport.destroy()
         return report[1]
 
     def abort(self) -> None:
@@ -536,6 +561,7 @@ class ProcessWorker:
             if self._proc.is_alive():
                 self._proc.kill()
                 self._proc.join(timeout=1.0)
+        self._transport.destroy()
 
 
 WORKER_MODES = {

@@ -6,6 +6,12 @@ the codec-independent view of one TCP packet that all monitors consume.
 """
 
 from .ethernet import EthernetFrame
+from .framing import (
+    BatchEncoder,
+    FrameError,
+    decode_batch,
+    encode_records,
+)
 from .inet import (
     format_prefix,
     int_to_ipv4,
@@ -35,6 +41,7 @@ from .pcap import (
     write_packets,
 )
 from .pcapng import read_any_capture, read_pcapng_packets, sniff_format
+from .scan import canonical_key_bytes, scan_shard_key
 from .tcp import (
     FLAG_ACK,
     FLAG_FIN,
@@ -46,7 +53,9 @@ from .tcp import (
 )
 
 __all__ = [
+    "BatchEncoder",
     "EthernetFrame",
+    "FrameError",
     "IPv4Packet",
     "IPv6Packet",
     "PacketRecord",
@@ -65,6 +74,9 @@ __all__ = [
     "NS_PER_SEC",
     "NS_PER_US",
     "append_packets",
+    "canonical_key_bytes",
+    "decode_batch",
+    "encode_records",
     "format_prefix",
     "from_wire_bytes",
     "int_to_ipv4",
@@ -76,6 +88,7 @@ __all__ = [
     "read_frames",
     "read_packets",
     "read_pcapng_packets",
+    "scan_shard_key",
     "sniff_format",
     "to_wire_bytes",
     "write_packets",

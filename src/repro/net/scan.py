@@ -1,0 +1,126 @@
+"""Zero-copy header scanning: shard keys from raw frames, pre-parse.
+
+The cluster coordinator must route every captured frame to its flow
+shard, but full decoding (:func:`repro.net.packet.from_wire_bytes`)
+builds an Ethernet frame object, an IP packet object, and a TCP segment
+object per packet — far too much work for a stage whose only question
+is "which shard?".  This module answers that question with pure offset
+arithmetic on the raw buffer: no objects, no copies beyond the final
+small key, no option parsing.
+
+:func:`scan_shard_key` returns the *canonical* (smaller-endpoint-first)
+flow key bytes — byte-for-byte the same value
+``flow_of(record).canonical().key_bytes()`` produces after a full
+decode, which is the invariant the pre-parse shard hash rests on (and
+the one ``tests/net/test_scan.py`` pins with hypothesis).  TCP and UDP
+share their port layout in the first four L4 bytes, so the scanner
+also covers QUIC datagrams (the spin-bit monitor's input).
+
+Truncated or non-IP frames scan to ``None`` — the scanner never raises.
+A frame may scan successfully and still fail the full decode later
+(e.g. a TCP header cut off after its ports); such frames fail in the
+worker exactly like they would fail a serial run, so scanning never
+changes *which* packets error, only where the error surfaces.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from .ethernet import ETHERTYPE_IPV4, ETHERTYPE_IPV6
+from .ethernet import HEADER_LEN as _ETH_LEN
+from .ipv4 import MIN_HEADER_LEN as _IP4_MIN
+from .ipv4 import PROTO_TCP, PROTO_UDP
+from .ipv6 import HEADER_LEN as _IP6_LEN
+
+#: L4 protocols the scanner recognises by default: TCP flows and UDP
+#: (QUIC) datagrams both carry ``src_port, dst_port`` in their first 4
+#: bytes, so one offset walk covers both record kinds.
+SCAN_PROTOCOLS: FrozenSet[int] = frozenset((PROTO_TCP, PROTO_UDP))
+
+#: TCP only — what a TCP-monitor dispatcher passes so non-TCP frames
+#: scan to ``None`` exactly where ``from_wire_bytes`` returns ``None``.
+TCP_ONLY: FrozenSet[int] = frozenset((PROTO_TCP,))
+
+
+def canonical_key_bytes(src_ip: int, dst_ip: int, src_port: int,
+                        dst_port: int, ipv6: bool = False) -> bytes:
+    """Canonical flow-key bytes straight from 4-tuple fields.
+
+    Equals ``FlowKey(...).canonical().key_bytes()`` without building
+    either :class:`~repro.core.flow.FlowKey` — the record-path twin of
+    :func:`scan_shard_key` for packets that are already parsed.
+    """
+    if (dst_ip, dst_port) < (src_ip, src_port):
+        src_ip, dst_ip = dst_ip, src_ip
+        src_port, dst_port = dst_port, src_port
+    addr_len = 16 if ipv6 else 4
+    return (src_ip.to_bytes(addr_len, "big")
+            + dst_ip.to_bytes(addr_len, "big")
+            + src_port.to_bytes(2, "big")
+            + dst_port.to_bytes(2, "big"))
+
+
+def scan_shard_key(
+    data: bytes,
+    *,
+    linktype_ethernet: bool = True,
+    protocols: FrozenSet[int] = SCAN_PROTOCOLS,
+) -> Optional[bytes]:
+    """Canonical flow-key bytes of a raw captured frame, or ``None``.
+
+    Reads only the fixed-offset header fields needed to build the key:
+    ethertype, IP version/IHL/protocol, addresses, and the first four
+    L4 bytes (the ports, identical for TCP and UDP).  Returns ``None``
+    for non-IP ethertypes, protocols outside ``protocols``, and any
+    frame too short to reach the ports.  Deliberately *no* validation
+    beyond that: a malformed frame that would make the full decoder
+    raise still scans to the key the decoder's field offsets imply, so
+    it lands on — and raises in — the same shard a serial run would
+    raise in.
+    """
+    view = memoryview(data)
+    if linktype_ethernet:
+        if len(view) < _ETH_LEN:
+            return None
+        ethertype = (view[12] << 8) | view[13]
+        if ethertype != ETHERTYPE_IPV4 and ethertype != ETHERTYPE_IPV6:
+            return None
+        ip = view[_ETH_LEN:]
+    else:
+        ip = view
+
+    if not len(ip):
+        return None
+    version = ip[0] >> 4
+
+    if version == 4:
+        if len(ip) < _IP4_MIN:
+            return None
+        header_len = (ip[0] & 0x0F) * 4
+        if header_len < _IP4_MIN or len(ip) < header_len + 4:
+            return None
+        if ip[9] not in protocols:
+            return None
+        src = bytes(ip[12:16])
+        dst = bytes(ip[16:20])
+        sport = bytes(ip[header_len:header_len + 2])
+        dport = bytes(ip[header_len + 2:header_len + 4])
+    elif version == 6:
+        if len(ip) < _IP6_LEN + 4:
+            return None
+        if ip[6] not in protocols:
+            return None
+        src = bytes(ip[8:24])
+        dst = bytes(ip[24:40])
+        sport = bytes(ip[_IP6_LEN:_IP6_LEN + 2])
+        dport = bytes(ip[_IP6_LEN + 2:_IP6_LEN + 4])
+    else:
+        return None
+
+    # Canonical order: smaller (address, port) endpoint first, matching
+    # FlowKey.canonical()'s integer comparison (big-endian bytes of
+    # equal length compare like the integers they encode).
+    if (dst, dport) < (src, sport):
+        return dst + src + dport + sport
+    return src + dst + sport + dport

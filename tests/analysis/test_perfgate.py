@@ -7,11 +7,14 @@ import pytest
 from repro.analysis.perfgate import (
     SCHEMA,
     PerfGateError,
+    check_cluster_scaling,
     check_engine_overhead,
+    check_workload_pins,
     compare,
     load_report,
     main,
     render,
+    render_scaling,
 )
 
 
@@ -141,6 +144,121 @@ class TestEngineOverhead:
             serial_engine={"packets_per_second": 80_000.0}
         ))
         assert main([base, fresh, "--engine-overhead", "0.5"]) == 0
+
+
+def scaling_section(serial=100_000.0, s4=1.6, s8=3.1, cores=8,
+                    transport="shm"):
+    return {
+        "serial_pps": serial,
+        "shard_4_pps": serial * s4, "shard_4_speedup": s4,
+        "shard_8_pps": serial * s8, "shard_8_speedup": s8,
+        "transport": transport, "usable_cores": cores,
+    }
+
+
+class TestClusterScaling:
+    def test_skipped_without_section(self):
+        assert check_cluster_scaling(make_report()) is None
+
+    def test_above_floor_passes(self):
+        report = make_report(cluster_scaling=scaling_section(s8=3.1))
+        check = check_cluster_scaling(report)
+        assert check is not None and check.enforced and not check.failed
+
+    def test_below_floor_fails_on_capable_host(self):
+        report = make_report(cluster_scaling=scaling_section(s8=1.2, cores=8))
+        check = check_cluster_scaling(report)
+        assert check.enforced and check.failed
+
+    def test_below_floor_is_info_only_on_small_host(self):
+        report = make_report(cluster_scaling=scaling_section(s8=0.5, cores=1))
+        check = check_cluster_scaling(report)
+        assert not check.enforced and not check.failed
+        assert "not enforced" in render_scaling(check)
+
+    def test_missing_8shard_point_fails_when_enforced(self):
+        section = scaling_section(cores=8)
+        del section["shard_8_speedup"]
+        check = check_cluster_scaling(make_report(cluster_scaling=section))
+        assert check.failed
+
+    def test_missing_serial_is_malformed(self):
+        with pytest.raises(PerfGateError):
+            check_cluster_scaling(
+                make_report(cluster_scaling={"shard_8_speedup": 3.0})
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_floor_must_be_positive(self, bad):
+        report = make_report(cluster_scaling=scaling_section())
+        with pytest.raises(PerfGateError):
+            check_cluster_scaling(report, floor=bad)
+
+    def test_four_shard_point_is_always_info(self):
+        # Even a terrible 4-shard point never fails the gate.
+        report = make_report(
+            cluster_scaling=scaling_section(s4=0.1, s8=3.0, cores=8)
+        )
+        check = check_cluster_scaling(report)
+        assert not check.failed
+        assert "info" in render_scaling(check)
+
+    def test_cli_scaling_only_passes(self, tmp_path, capsys):
+        path = write(tmp_path, "r.json",
+                     make_report(cluster_scaling=scaling_section()))
+        assert main([path, "--scaling-only"]) == 0
+        assert "cluster scaling" in capsys.readouterr().out
+
+    def test_cli_scaling_only_fails_below_floor(self, tmp_path, capsys):
+        path = write(tmp_path, "r.json", make_report(
+            cluster_scaling=scaling_section(s8=1.5, cores=8)
+        ))
+        assert main([path, "--scaling-only"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_scaling_only_custom_floor(self, tmp_path):
+        path = write(tmp_path, "r.json", make_report(
+            cluster_scaling=scaling_section(s8=1.5, cores=8)
+        ))
+        assert main([path, "--scaling-only", "--scaling-floor", "1.2"]) == 0
+
+    def test_cli_scaling_only_missing_section_exits_two(self, tmp_path):
+        path = write(tmp_path, "r.json", make_report())
+        assert main([path, "--scaling-only"]) == 2
+
+    def test_cli_two_report_mode_gates_fresh_scaling(self, tmp_path, capsys):
+        base = write(tmp_path, "base.json", make_report())
+        fresh = write(tmp_path, "fresh.json", make_report(
+            cluster_scaling=scaling_section(s8=1.2, cores=8)
+        ))
+        assert main([base, fresh]) == 1
+        assert "below the" in capsys.readouterr().err
+
+
+class TestWorkloadPins:
+    def test_matching_pins_pass(self):
+        check_workload_pins(make_report(), make_report())
+
+    def test_seed_mismatch_fails(self):
+        fresh = make_report()
+        fresh["workload"]["seed"] = 12
+        with pytest.raises(PerfGateError, match="seed"):
+            check_workload_pins(make_report(), fresh)
+
+    def test_connections_mismatch_fails(self):
+        base = make_report()
+        base["workload"]["connections"] = 500
+        fresh = make_report()
+        fresh["workload"]["connections"] = 200
+        with pytest.raises(PerfGateError, match="connections"):
+            check_workload_pins(base, fresh)
+
+    def test_cli_rejects_mismatched_workloads(self, tmp_path):
+        base = write(tmp_path, "base.json", make_report())
+        fresh_report = make_report()
+        fresh_report["workload"]["seed"] = 99
+        fresh = write(tmp_path, "fresh.json", fresh_report)
+        assert main([base, fresh]) == 2
 
 
 class TestLoadReport:

@@ -1,0 +1,323 @@
+"""Byte-batched shard transports: framing, ring mechanics, equivalence.
+
+Three layers of guarantees:
+
+* the record framing round-trips exactly and rejects malformed batches;
+* the shared-memory ring delivers every message intact through
+  wrap-around, applies backpressure via the caller's stall check, and
+  tears down idempotently;
+* a process-mode cluster produces results *identical* to serial — and
+  identical across transports — on both the object and raw-wire entry
+  points, including the telemetry that ships home under partial
+  harvest.
+"""
+
+import multiprocessing
+from collections import Counter
+
+import pytest
+
+from repro.cluster import (
+    ClusterPartialResultWarning,
+    QueueTransport,
+    ShardFailure,
+    ShardedDart,
+    ShmRingTransport,
+    make_transport,
+    merge_results,
+)
+from repro.cluster.transport import TransportClosed
+from repro.core import Dart, MinFilterAnalytics, ideal_config
+from repro.net import tcp as tcpf
+from repro.net.framing import (
+    BatchEncoder,
+    FrameError,
+    decode_batch,
+    encode_records,
+)
+from repro.net.packet import PacketRecord, to_wire_bytes
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+
+@pytest.fixture(scope="module")
+def records():
+    return generate_campus_trace(
+        CampusTraceConfig(connections=60, seed=5)
+    ).records
+
+
+def make_record(**overrides):
+    base = dict(
+        timestamp_ns=1_000_000, src_ip=0x0A000001, dst_ip=0x10000001,
+        src_port=40000, dst_port=443, seq=1000, ack=500,
+        flags=tcpf.FLAG_ACK, payload_len=100,
+    )
+    base.update(overrides)
+    return PacketRecord(**base)
+
+
+# -- Framing ---------------------------------------------------------------
+
+class TestFraming:
+    def test_record_roundtrip_v4_v6(self):
+        originals = [
+            make_record(),
+            make_record(src_ip=(1 << 127) | 7, dst_ip=(1 << 100) | 9,
+                        ipv6=True),
+            make_record(flags=tcpf.FLAG_SYN, payload_len=0, seq=2**32 - 1),
+        ]
+        assert decode_batch(encode_records(originals)) == originals
+
+    def test_wire_roundtrip_interleaved_with_records(self, records):
+        encoder = BatchEncoder()
+        sample = list(records[:64])
+        for i, record in enumerate(sample):
+            if i % 2:
+                encoder.add_wire(to_wire_bytes(record), record.timestamp_ns)
+            else:
+                encoder.add_record(record)
+        assert encoder.count == len(sample)
+        assert decode_batch(encoder.take()) == sample
+        assert encoder.count == 0 and encoder.size == 0
+
+    def test_decode_accepts_memoryview(self):
+        payload = encode_records([make_record()])
+        assert decode_batch(memoryview(payload)) == [make_record()]
+
+    def test_batches_concatenate(self):
+        a, b = make_record(), make_record(src_port=555)
+        assert decode_batch(
+            encode_records([a]) + encode_records([b])
+        ) == [a, b]
+
+    def test_truncated_batch_rejected(self):
+        payload = encode_records([make_record()])
+        with pytest.raises(FrameError):
+            decode_batch(payload[:-3])
+
+    def test_unknown_type_rejected(self):
+        payload = bytearray(encode_records([make_record()]))
+        payload[2] = 99
+        with pytest.raises(FrameError):
+            decode_batch(bytes(payload))
+
+    def test_oversized_wire_frame_rejected(self):
+        encoder = BatchEncoder()
+        with pytest.raises(FrameError):
+            encoder.add_wire(b"\x00" * 70_000, 0)
+
+
+# -- The shared-memory ring ------------------------------------------------
+
+def small_ring(batch_bytes=64):
+    ctx = multiprocessing.get_context()
+    return ShmRingTransport(ctx, queue_depth=1, batch_bytes=batch_bytes)
+
+
+class TestShmRing:
+    def test_messages_cross_intact_through_wraparound(self):
+        ring = small_ring()
+        try:
+            # Payload sizes chosen to hit the edge at misaligned
+            # offsets (including the < 4-byte dead-tail case) many
+            # times over the ring's 512-byte capacity.
+            sizes = [100, 37, 101, 64, 99, 3, 61] * 40
+            sent = []
+            for i, size in enumerate(sizes):
+                payload = bytes([i % 251]) * size
+                ring.send_batch(payload)
+                sent.append(payload)
+                kind, got = ring.recv()
+                assert kind == "batch"
+                assert got == sent[-1]
+        finally:
+            ring.destroy()
+
+    def test_several_in_flight(self):
+        ring = small_ring()
+        try:
+            payloads = [bytes([i]) * 40 for i in range(4)]
+            for p in payloads:
+                ring.send_batch(p)
+            assert ring.depth() > 0
+            for p in payloads:
+                assert ring.recv() == ("batch", p)
+            assert ring.depth() == 0
+        finally:
+            ring.destroy()
+
+    def test_control_messages(self):
+        ring = small_ring()
+        try:
+            ring.send_batch(b"x" * 10)
+            ring.send_finish(123_456)
+            assert ring.recv() == ("batch", b"x" * 10)
+            assert ring.recv() == ("finish", 123_456)
+            ring.send_stop()
+            assert ring.recv() == ("stop", None)
+        finally:
+            ring.destroy()
+
+    def test_backpressure_runs_stall_check(self):
+        ring = small_ring()
+        try:
+            class Dead(Exception):
+                pass
+
+            def stall_check():
+                raise Dead
+
+            with pytest.raises(Dead):
+                for _ in range(1000):
+                    ring.send_batch(b"y" * 60, stall_check)
+        finally:
+            ring.destroy()
+
+    def test_drain_fast_forwards(self):
+        ring = small_ring()
+        try:
+            for _ in range(4):
+                ring.send_batch(b"z" * 50)
+            ring.drain()
+            assert ring.depth() == 0
+            ring.send_batch(b"after")
+            assert ring.recv() == ("batch", b"after")
+        finally:
+            ring.destroy()
+
+    def test_oversized_message_rejected(self):
+        ring = small_ring()
+        try:
+            with pytest.raises(ValueError):
+                ring.send_batch(b"x" * ring.capacity)
+        finally:
+            ring.destroy()
+
+    def test_destroy_idempotent_and_closes(self):
+        ring = small_ring()
+        ring.destroy()
+        ring.destroy()
+        with pytest.raises(TransportClosed):
+            ring.send_batch(b"x")
+
+    def test_make_transport_names(self):
+        ctx = multiprocessing.get_context()
+        shm = make_transport("shm", ctx, queue_depth=2)
+        queue = make_transport("queue", ctx, queue_depth=2)
+        try:
+            assert isinstance(shm, ShmRingTransport) and shm.name == "shm"
+            assert isinstance(queue, QueueTransport) and queue.name == "queue"
+        finally:
+            shm.destroy()
+            queue.destroy()
+        with pytest.raises(ValueError):
+            make_transport("carrier-pigeon", ctx, queue_depth=2)
+
+
+# -- End-to-end equivalence ------------------------------------------------
+
+def run_serial(records):
+    dart = Dart(ideal_config())
+    dart.process_trace(records)
+    dart.finalize()
+    return dart
+
+
+@pytest.mark.parametrize("transport", ["shm", "queue"])
+class TestTransportEquivalence:
+    def test_records_match_serial(self, records, transport):
+        serial = run_serial(records)
+        cluster = ShardedDart(
+            ideal_config(), shards=4, parallel="process",
+            transport=transport, batch_size=256, join_timeout=15.0,
+        )
+        cluster.process_trace(records)
+        cluster.finalize()
+        assert cluster.stats == serial.stats
+        assert Counter(cluster.samples) == Counter(serial.samples)
+
+    def test_wire_path_matches_serial(self, records, transport):
+        serial = run_serial(records)
+        cluster = ShardedDart(
+            ideal_config(), shards=4, parallel="process",
+            transport=transport, batch_size=256, join_timeout=15.0,
+        )
+        for record in records:
+            cluster.process_wire(to_wire_bytes(record), record.timestamp_ns)
+        cluster.finalize()
+        assert cluster.wire_skipped == 0
+        assert cluster.stats == serial.stats
+        assert Counter(cluster.samples) == Counter(serial.samples)
+
+    def test_unshardable_frames_skipped_and_counted(self, records, transport):
+        cluster = ShardedDart(
+            ideal_config(), shards=2, parallel="process",
+            transport=transport, batch_size=64, join_timeout=15.0,
+        )
+        arp = b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28
+        cluster.process_wire(arp, 1)
+        cluster.process_wire(b"\x00\x01", 2)
+        for record in records[:200]:
+            cluster.process_wire(to_wire_bytes(record), record.timestamp_ns)
+        cluster.finalize()
+        assert cluster.wire_skipped == 2
+        assert cluster.stats.packets_processed == 200
+
+
+class CrashingWindowedDart(Dart):
+    """Windowed analytics + a deterministic crash mid-trace, so partial
+    harvests ship identical telemetry no matter which transport ran."""
+
+    def __init__(self, crash_after: int) -> None:
+        super().__init__(
+            ideal_config(),
+            analytics=MinFilterAnalytics(window_samples=10_000),
+        )
+        self._crash_after = crash_after
+
+    def process(self, record):
+        if self.stats.packets_processed >= self._crash_after:
+            raise RuntimeError("injected crash")
+        return super().process(record)
+
+
+def partial_merge(records, transport):
+    # At 2 shards this trace splits 5813/4189, so a crash budget of
+    # 5000 fells exactly one shard (the same one on every transport)
+    # while the other completes — the partial set is deterministic.
+    cluster = ShardedDart(
+        shards=2, parallel="process", transport=transport,
+        batch_size=64, join_timeout=15.0,
+        monitor_factory=lambda: CrashingWindowedDart(crash_after=5000),
+    )
+    with pytest.raises(ShardFailure) as excinfo:
+        cluster.process_trace(records)
+        cluster.finalize()
+    results = sorted(
+        excinfo.value.partial.values(), key=lambda r: r.shard_id
+    )
+    with pytest.warns(ClusterPartialResultWarning):
+        merged = merge_results(results)
+    return results, merged
+
+
+class TestTelemetryParityUnderPartialHarvest:
+    def test_queue_and_shm_ship_identical_telemetry_sums(self, records):
+        """Regression for the ShardResult.telemetry merge contract: the
+        snapshot sums must be a function of the *work*, not of the
+        transport the batches rode on or the partial-harvest path."""
+        queue_results, queue_merged = partial_merge(records, "queue")
+        shm_results, shm_merged = partial_merge(records, "shm")
+        assert [r.shard_id for r in queue_results] == [
+            r.shard_id for r in shm_results
+        ]
+        for q, s in zip(queue_results, shm_results):
+            assert q.partial == s.partial
+            assert q.stats == s.stats
+            assert q.telemetry is not None and s.telemetry is not None
+            assert q.telemetry.to_wire() == s.telemetry.to_wire()
+        assert queue_merged.telemetry.to_wire() == (
+            shm_merged.telemetry.to_wire()
+        )
+        assert queue_merged.windows_lost == shm_merged.windows_lost
+        assert queue_merged.windows_lost > 0

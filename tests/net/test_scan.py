@@ -1,0 +1,173 @@
+"""Property tests for the zero-copy header scanner.
+
+The cluster's byte transport rests on one invariant: the shard key the
+scanner reads off raw header bytes *before* parsing must equal the
+canonical flow key a full decode would produce — for every frame the
+decoder accepts, TCP and QUIC alike.  These tests pin that invariant
+with hypothesis, including truncated and odd-length tails.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster import shard_of, shard_of_flow, shard_of_key_bytes
+from repro.core.flow import FlowKey, flow_of
+from repro.net import tcp as tcpf
+from repro.net.packet import PacketRecord, to_wire_bytes
+from repro.net.scan import (
+    SCAN_PROTOCOLS,
+    TCP_ONLY,
+    canonical_key_bytes,
+    scan_shard_key,
+)
+from repro.quic.packet import QuicPacketRecord
+from repro.quic.wire import quic_to_wire_bytes
+
+ipv4_addr = st.integers(min_value=0, max_value=(1 << 32) - 1)
+ipv6_addr = st.integers(min_value=0, max_value=(1 << 128) - 1)
+port = st.integers(min_value=0, max_value=0xFFFF)
+shard_counts = st.integers(min_value=1, max_value=16)
+
+
+@st.composite
+def tcp_records(draw):
+    ipv6 = draw(st.booleans())
+    addr = ipv6_addr if ipv6 else ipv4_addr
+    return PacketRecord(
+        timestamp_ns=draw(st.integers(min_value=0, max_value=2**62)),
+        src_ip=draw(addr),
+        dst_ip=draw(addr),
+        src_port=draw(port),
+        dst_port=draw(port),
+        seq=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        ack=draw(st.integers(min_value=0, max_value=2**32 - 1)),
+        flags=draw(st.integers(min_value=0, max_value=0x3F)),
+        payload_len=draw(st.integers(min_value=0, max_value=1200)),
+        ipv6=ipv6,
+    )
+
+
+@st.composite
+def quic_records(draw):
+    return QuicPacketRecord(
+        timestamp_ns=draw(st.integers(min_value=0, max_value=2**62)),
+        src_ip=draw(ipv4_addr),
+        dst_ip=draw(ipv4_addr),
+        src_port=draw(port),
+        dst_port=draw(port),
+        spin_bit=draw(st.booleans()),
+        long_header=draw(st.booleans()),
+        payload_len=draw(st.integers(min_value=0, max_value=1200)),
+    )
+
+
+class TestTcpShardInvariant:
+    @given(tcp_records())
+    def test_scan_equals_post_parse_canonical_key(self, record):
+        key = scan_shard_key(to_wire_bytes(record))
+        assert key == flow_of(record).canonical().key_bytes()
+
+    @given(tcp_records(), shard_counts)
+    def test_scan_shard_equals_record_shard(self, record, shards):
+        key = scan_shard_key(to_wire_bytes(record), protocols=TCP_ONLY)
+        assert key is not None
+        assert shard_of_key_bytes(key, shards) == shard_of(record, shards)
+
+    @given(tcp_records(), shard_counts)
+    def test_both_directions_one_shard(self, record, shards):
+        reverse = PacketRecord(
+            timestamp_ns=record.timestamp_ns,
+            src_ip=record.dst_ip,
+            dst_ip=record.src_ip,
+            src_port=record.dst_port,
+            dst_port=record.src_port,
+            seq=record.ack,
+            ack=record.seq,
+            flags=tcpf.FLAG_ACK,
+            payload_len=0,
+            ipv6=record.ipv6,
+        )
+        forward = scan_shard_key(to_wire_bytes(record))
+        backward = scan_shard_key(to_wire_bytes(reverse))
+        assert forward == backward
+        assert (shard_of_key_bytes(forward, shards)
+                == shard_of(reverse, shards))
+
+    @given(tcp_records())
+    def test_canonical_key_bytes_matches_flowkey(self, record):
+        assert canonical_key_bytes(
+            record.src_ip, record.dst_ip, record.src_port,
+            record.dst_port, ipv6=record.ipv6,
+        ) == flow_of(record).canonical().key_bytes()
+
+
+class TestQuicShardInvariant:
+    @given(quic_records())
+    def test_scan_equals_post_parse_canonical_key(self, record):
+        key = scan_shard_key(quic_to_wire_bytes(record))
+        assert key == record.flow.canonical().key_bytes()
+
+    @given(quic_records(), shard_counts)
+    def test_scan_shard_equals_flow_shard(self, record, shards):
+        key = scan_shard_key(quic_to_wire_bytes(record))
+        assert key is not None
+        assert (shard_of_key_bytes(key, shards)
+                == shard_of_flow(record.flow, shards))
+
+    @given(quic_records())
+    def test_tcp_only_scan_rejects_quic(self, record):
+        assert scan_shard_key(
+            quic_to_wire_bytes(record), protocols=TCP_ONLY
+        ) is None
+
+
+class TestTruncatedAndGarbageFrames:
+    @given(tcp_records(), st.data())
+    def test_truncated_tail_never_raises_never_disagrees(self, record, data):
+        """A cut-off frame scans to None or to the full frame's key.
+
+        Truncation may make the frame unshardable (cut before the L4
+        ports) but must never silently change its shard — that would
+        split a connection across workers.
+        """
+        frame = to_wire_bytes(record)
+        cut = data.draw(st.integers(min_value=0, max_value=len(frame)))
+        full_key = scan_shard_key(frame)
+        truncated_key = scan_shard_key(frame[:cut])
+        assert truncated_key is None or truncated_key == full_key
+
+    @given(st.binary(max_size=128))
+    def test_arbitrary_bytes_never_raise(self, blob):
+        scan_shard_key(blob)
+        scan_shard_key(blob, linktype_ethernet=False)
+        scan_shard_key(blob, protocols=SCAN_PROTOCOLS)
+
+    @given(tcp_records(), st.binary(min_size=1, max_size=7))
+    def test_odd_length_tail_keeps_the_key(self, record, tail):
+        """Trailing padding (odd lengths included) never moves a frame:
+        the scanner reads fixed offsets, so appended junk is invisible."""
+        frame = to_wire_bytes(record)
+        assert scan_shard_key(frame + tail) == scan_shard_key(frame)
+
+    def test_non_ip_ethertype_is_none(self):
+        arp = b"\xff" * 12 + b"\x08\x06" + b"\x00" * 28
+        assert scan_shard_key(arp) is None
+
+    def test_raw_ip_linktype(self):
+        record = PacketRecord(
+            timestamp_ns=0, src_ip=0x0A000001, dst_ip=0x0A000002,
+            src_port=1234, dst_port=443, seq=0, ack=0,
+            flags=tcpf.FLAG_ACK, payload_len=0,
+        )
+        frame = to_wire_bytes(record)
+        ip_only = frame[14:]
+        assert (scan_shard_key(ip_only, linktype_ethernet=False)
+                == scan_shard_key(frame))
+
+    def test_equal_endpoints_canonical_stability(self):
+        # (src, sport) == (dst, dport): canonicalisation must agree
+        # with FlowKey.canonical()'s <= tie-break.
+        flow = FlowKey(src_ip=1, dst_ip=1, src_port=9, dst_port=9)
+        assert canonical_key_bytes(1, 1, 9, 9) == (
+            flow.canonical().key_bytes()
+        )
