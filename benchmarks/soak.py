@@ -77,8 +77,16 @@ def build_records(connections: int):
     return trace, quic_trace, merged
 
 
-def build_engine(trace, emitter) -> MonitorEngine:
-    """All five registered monitors on one engine; Dart sharded."""
+def build_engine(trace, emitter, fastpath: bool = False) -> MonitorEngine:
+    """All five registered monitors on one engine; Dart sharded.
+
+    With ``fastpath`` the sharded Dart's process workers decode their
+    byte batches columnar (``columns_from_framed``) instead of object
+    by object.  The main mixed pass itself stays record-driven — it
+    interleaves QUIC datagrams, which the columnar engine does not
+    decode — so the fastpath axis exercises the worker-side decode
+    here and the full columnar ingest in the streaming leg.
+    """
     engine = MonitorEngine(telemetry=emitter)
     options = MonitorOptions(
         is_client=lambda addr: trace.is_internal(addr)
@@ -90,6 +98,7 @@ def build_engine(trace, emitter) -> MonitorEngine:
                 shards=SHARDS,
                 parallel="process",
                 monitor_factory=monitor_factory(name, options),
+                fastpath=fastpath,
             )
         else:
             monitor = create(name, options)
@@ -128,7 +137,8 @@ def check_snapshot(path: str, failures: List[str]) -> None:
         failures.append("telemetry recorded partial shards")
 
 
-def check_streaming_kill_resume(tcp_records, failures: List[str]) -> None:
+def check_streaming_kill_resume(tcp_records, failures: List[str],
+                                fastpath: bool = False) -> None:
     """The continuous-operation leg: stream, stop mid-run, resume.
 
     A soak isn't only about one long pass — a daemon that runs for
@@ -152,12 +162,12 @@ def check_streaming_kill_resume(tcp_records, failures: List[str]) -> None:
         engine, monitor = fresh_engine()
         ref_csv = ResumableSink("csv", tmp / "ref.csv")
         engine.add_monitor(monitor, name="dart", sinks=[ref_csv])
-        StreamRunner(engine, CaptureFileSource(capture),
+        StreamRunner(engine, CaptureFileSource(capture, fastpath=fastpath),
                      sinks=[ref_csv], chunk_size=1024).run()
 
         # Segment 1: stop after a handful of chunks, checkpoint.
         stop = GracefulShutdown()
-        source = CaptureFileSource(capture)
+        source = CaptureFileSource(capture, fastpath=fastpath)
         inner_chunks = source.chunks
 
         def stopping_chunks(max_records):
@@ -189,6 +199,7 @@ def check_streaming_kill_resume(tcp_records, failures: List[str]) -> None:
             capture,
             capture_format=loaded.header["source"]["format"],
             resume_offset=loaded.header["source"]["offset"],
+            fastpath=fastpath,
         )
         runner = StreamRunner(engine, source, sinks=[resumed_csv],
                               chunk_size=1024, checkpoint_path=str(ckpt))
@@ -219,7 +230,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "soak_telemetry.prom)")
     parser.add_argument("--telemetry-interval", type=float, default=2.0,
                         help="seconds between emissions (default 2.0)")
+    parser.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="columnar axis: sharded workers decode byte "
+                             "batches columnar and the streaming leg "
+                             "ingests columns — same samples required; "
+                             "falls back to the object path when numpy "
+                             "is unavailable (default: off)")
     args = parser.parse_args(argv)
+
+    fastpath = args.fastpath
+    if fastpath:
+        from repro.net.columnar import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            print("soak: --fastpath disabled (numpy is not installed); "
+                  "using the object path", file=sys.stderr)
+            fastpath = False
 
     print(f"generating traces ({args.connections} connections, seed {SEED})"
           "...", file=sys.stderr)
@@ -230,7 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     emitter = TelemetryEmitter(
         "prom", interval_s=args.telemetry_interval, path=args.telemetry_out
     )
-    engine = build_engine(trace, emitter)
+    engine = build_engine(trace, emitter, fastpath)
 
     failures: List[str] = []
     started = time.perf_counter()
@@ -246,7 +273,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     check_samples(engine, failures)
     check_snapshot(args.telemetry_out, failures)
     print("streaming kill/resume leg...", file=sys.stderr)
-    check_streaming_kill_resume(trace.records, failures)
+    check_streaming_kill_resume(trace.records, failures, fastpath)
 
     print(f"soak: {report.records} records in {elapsed:.1f}s "
           f"({report.records_per_second:,.0f} rec/s)", file=sys.stderr)

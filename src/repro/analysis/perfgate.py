@@ -35,9 +35,19 @@ Rules:
   info-only — a 1-core container cannot physically speed anything up,
   and failing there would gate on the machine, not the code.  The
   4-shard point is always an info row.
+* When a report carries a ``serial_fastpath`` section, the gate
+  enforces the columnar floor: the fast path's speedup over the
+  object path (same run, same wire bytes, sample parity asserted by
+  the harness before the report exists) must reach
+  ``--fastpath-floor`` (default 2×).  Reports measured without numpy
+  render the section info-only — the columnar engine never ran there.
+  ``--fastpath-only`` checks just this floor on a single report (CI's
+  ``fastpath-gate`` job).
 * Workload pins must match: comparing two reports whose pinned
-  ``connections``/``seed`` differ is comparing different experiments
-  and fails loudly instead of producing plausible nonsense.
+  ``connections``/``seed`` differ is comparing different experiments,
+  and a ``quick`` or ``fastpath`` flag mismatch (one side measured the
+  shrunk workload or without the columnar engine) likewise fails
+  loudly instead of producing plausible nonsense.
 
 Usage::
 
@@ -72,7 +82,11 @@ from typing import Dict, List, Optional
 #: v5 added the ``cluster_scaling`` section (serial vs 4/8-shard
 #: byte-transport throughput with the host's usable core count) and the
 #: core-count-aware scaling-floor check.
-SCHEMA = "dart-perf-baseline/5"
+#: v6 added the ``serial_fastpath`` section (columnar ``process_columns``
+#: vs object-path ``process_batch`` over identical wire bytes, sample
+#: parity asserted by the harness) with the fastpath-floor check, and
+#: pinned ``quick``/``fastpath`` into the workload identity.
+SCHEMA = "dart-perf-baseline/6"
 
 DEFAULT_THRESHOLD = 0.15
 #: Allowed fractional throughput cost of the engine layer vs calling
@@ -90,6 +104,10 @@ DEFAULT_SCALING_FLOOR = 2.0
 #: fewer usable cores than this, multi-core speedup is a property of
 #: the machine, not the code.
 SCALING_MIN_CORES = 4
+#: Minimum columnar-over-object speedup the serial_fastpath section
+#: must show (within-report; parity with the object path is asserted
+#: by the measurement harness before the numbers exist).
+DEFAULT_FASTPATH_FLOOR = 2.0
 
 
 class PerfGateError(ValueError):
@@ -157,14 +175,25 @@ def check_workload_pins(baseline: dict, fresh: dict) -> None:
     """Refuse to compare reports measured on different pinned workloads.
 
     ``connections`` and ``seed`` are the workload's identity; a size or
-    seed drift between baseline and fresh (say, one side ran
-    ``--quick``) would make every throughput delta meaningless while
-    still rendering a plausible-looking table.
+    seed drift between baseline and fresh would make every throughput
+    delta meaningless while still rendering a plausible-looking table.
+    ``quick`` and ``fastpath`` are boolean pins compared with a missing
+    key meaning False: a ``--quick`` report can never stand in for the
+    full committed baseline, and a report measured without the columnar
+    engine (no numpy) is a different experiment from one with it.
     """
     for pin in ("connections", "seed"):
         base = baseline.get("workload", {}).get(pin)
         new = fresh.get("workload", {}).get(pin)
         if base is not None and new is not None and base != new:
+            raise PerfGateError(
+                f"workload pin mismatch: baseline {pin}={base!r} vs "
+                f"fresh {pin}={new!r} — these are different experiments"
+            )
+    for pin in ("quick", "fastpath"):
+        base = bool(baseline.get("workload", {}).get(pin))
+        new = bool(fresh.get("workload", {}).get(pin))
+        if base != new:
             raise PerfGateError(
                 f"workload pin mismatch: baseline {pin}={base!r} vs "
                 f"fresh {pin}={new!r} — these are different experiments"
@@ -372,6 +401,89 @@ def render_scaling(check: ScalingCheck) -> str:
     return "\n".join(lines)
 
 
+@dataclass(slots=True)
+class FastpathCheck:
+    """The serial_fastpath section's verdict, numpy-aware.
+
+    ``enforced`` is False when the report was measured without numpy —
+    the object-leg number still renders, but a container that cannot
+    run the columnar engine cannot fail its floor.  Sample parity is
+    not re-checked here: the measurement harness refuses to *write* a
+    speedup whose answer diverged, so a present ``speedup`` key implies
+    parity held.
+    """
+
+    object_pps: float
+    fastpath_pps: Optional[float]
+    speedup: Optional[float]
+    numpy: bool
+    floor: float
+
+    @property
+    def enforced(self) -> bool:
+        return self.numpy
+
+    @property
+    def failed(self) -> bool:
+        if not self.enforced:
+            return False
+        if self.speedup is None:
+            return True  # the gated measurement vanished: fail loud
+        return self.speedup < self.floor
+
+
+def check_serial_fastpath(
+    report: dict, *, floor: float = DEFAULT_FASTPATH_FLOOR
+) -> Optional[FastpathCheck]:
+    """Check the report's serial_fastpath section against the floor.
+
+    Returns ``None`` (check skipped) when the report carries no
+    ``serial_fastpath`` section.  A within-report check like
+    :func:`check_cluster_scaling`: object and columnar legs were
+    interleaved in the same run on the same machine, so shared-runner
+    noise largely cancels out of the ratio.
+    """
+    if floor <= 0:
+        raise PerfGateError("fastpath floor must be positive")
+    section = report["results"].get("serial_fastpath")
+    if not isinstance(section, dict):
+        return None
+    object_pps = section.get("object_pps")
+    if not isinstance(object_pps, (int, float)) or object_pps <= 0:
+        raise PerfGateError("serial_fastpath section lacks object_pps")
+    return FastpathCheck(
+        object_pps=float(object_pps),
+        fastpath_pps=section.get("fastpath_pps"),
+        speedup=section.get("speedup"),
+        numpy=bool(section.get("numpy")),
+        floor=floor,
+    )
+
+
+def render_fastpath(check: FastpathCheck) -> str:
+    """Human-readable fastpath table for logs."""
+    lines = [
+        "serial fastpath (columnar vs object, identical wire bytes)",
+        f"{'leg':<16} {'pkts/s':>14} {'vs object':>10}  gate",
+        f"{'object':<16} {check.object_pps:>14,.0f} {'1.00x':>10}  -",
+    ]
+    if check.fastpath_pps is None or check.speedup is None:
+        lines.append(f"{'columnar':<16} {'MISSING':>14}")
+    else:
+        verdict = ("FAIL" if check.speedup < check.floor else "ok") \
+            if check.enforced else "info"
+        lines.append(
+            f"{'columnar':<16} {check.fastpath_pps:>14,.0f} "
+            f"{check.speedup:>9.2f}x  {verdict}"
+        )
+    if not check.enforced:
+        lines.append(
+            f"floor {check.floor:.1f}x not enforced: report measured "
+            "without numpy — the columnar engine never ran"
+        )
+    return "\n".join(lines)
+
+
 def render(comparisons: List[MetricComparison]) -> str:
     """Human-readable comparison table for logs."""
     lines = [
@@ -425,7 +537,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=SCALING_MIN_CORES, metavar="N",
                         help="usable cores below which the scaling floor "
                              f"is info-only (default {SCALING_MIN_CORES})")
+    parser.add_argument("--fastpath-only", action="store_true",
+                        help="check only the serial_fastpath floor of one "
+                             "report (no baseline comparison)")
+    parser.add_argument("--fastpath-floor", type=float,
+                        default=DEFAULT_FASTPATH_FLOOR, metavar="X",
+                        help="required columnar speedup over the object "
+                             f"path (default {DEFAULT_FASTPATH_FLOOR})")
     args = parser.parse_args(argv)
+
+    if args.scaling_only and args.fastpath_only:
+        parser.error("--scaling-only and --fastpath-only are exclusive")
+
+    if args.fastpath_only:
+        if args.fresh is not None:
+            parser.error("--fastpath-only takes a single report")
+        try:
+            fast = check_serial_fastpath(
+                load_report(args.baseline), floor=args.fastpath_floor
+            )
+        except PerfGateError as exc:
+            print(f"perfgate: {exc}", file=sys.stderr)
+            return 2
+        if fast is None:
+            print(f"perfgate: {args.baseline} has no serial_fastpath "
+                  "section", file=sys.stderr)
+            return 2
+        print(render_fastpath(fast))
+        if fast.failed:
+            print(
+                f"perfgate: columnar speedup {fast.speedup or 0:.2f}x is "
+                f"below the {args.fastpath_floor:.1f}x floor",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"perfgate: ok (fastpath floor {args.fastpath_floor:.1f}x)")
+        return 0
 
     if args.scaling_only:
         if args.fresh is not None:
@@ -477,6 +624,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             fresh, floor=args.scaling_floor,
             min_cores=args.scaling_min_cores,
         )
+        fastpath = check_serial_fastpath(
+            fresh, floor=args.fastpath_floor
+        )
     except PerfGateError as exc:
         print(f"perfgate: {exc}", file=sys.stderr)
         return 2
@@ -523,6 +673,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{scaling.shard_8_speedup or 0:.2f}x is below the "
                 f"{args.scaling_floor:.1f}x floor on a "
                 f"{scaling.usable_cores}-core host",
+                file=sys.stderr,
+            )
+            failed = True
+    if fastpath is not None:
+        print(render_fastpath(fastpath))
+        if fastpath.failed:
+            print(
+                f"perfgate: columnar speedup "
+                f"{fastpath.speedup or 0:.2f}x is below the "
+                f"{args.fastpath_floor:.1f}x floor",
                 file=sys.stderr,
             )
             failed = True

@@ -71,6 +71,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default="shm",
                         help="process-mode byte transport: shared-memory "
                              "ring or mp.Queue fallback (default: shm)")
+    parser.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="decode the capture columnar (numpy) — same "
+                             "samples and stats, higher throughput; falls "
+                             "back to the object path when unavailable "
+                             "(default: off)")
     parser.add_argument("--dump", action="store_true",
                         help="print one line per RTT sample")
     parser.add_argument("--csv", metavar="PATH",
@@ -141,6 +147,7 @@ def build_monitor(name: str, args, options: MonitorOptions):
             parallel=args.parallel,
             transport=args.transport,
             monitor_factory=monitor_factory(name, options),
+            fastpath=args.fastpath,
         )
     return create(name, options)
 
@@ -184,21 +191,49 @@ def main(argv: Optional[list] = None) -> int:
             record_kind=kind,
         )
 
-    if kind == "quic":
-        from ..quic import read_quic_capture
+    fastpath = args.fastpath
+    if fastpath:
+        from ..net.columnar import HAVE_NUMPY
 
-        records = read_quic_capture(args.pcap)
-    else:
-        from ..net.pcapng import read_any_capture
+        reason = None
+        if not HAVE_NUMPY:
+            reason = "numpy is not installed"
+        elif kind == "quic":
+            reason = "spinbit decodes QUIC datagrams"
+        if reason is not None:
+            print(f"dart-replay: --fastpath disabled ({reason}); "
+                  "using the object path", file=sys.stderr)
+            fastpath = False
 
-        records = read_any_capture(args.pcap)
     from ..stream import GracefulShutdown
 
     with GracefulShutdown() as stop:
         # A SIGTERM/SIGINT stops ingest at the next record; the engine
         # then finalizes and flushes sinks normally, so an interrupted
         # replay still exits 0 with complete partial results.
-        report = engine.run(stop.wrap(records))
+        if fastpath:
+            from itertools import islice
+
+            from ..core.pipeline import TRACE_CHUNK
+            from ..net.pcapng import read_any_frames
+
+            frames = iter(stop.wrap(read_any_frames(args.pcap)))
+            while True:
+                chunk = list(islice(frames, TRACE_CHUNK))
+                if not chunk:
+                    break
+                engine.ingest_wire_chunk(chunk, fastpath=True)
+            report = engine.finish()
+        else:
+            if kind == "quic":
+                from ..quic import read_quic_capture
+
+                records = read_quic_capture(args.pcap)
+            else:
+                from ..net.pcapng import read_any_capture
+
+                records = read_any_capture(args.pcap)
+            report = engine.run(stop.wrap(records))
     if stop.triggered:
         print("dart-replay: interrupted — finalized and flushed after "
               f"{report.records} records", file=sys.stderr)

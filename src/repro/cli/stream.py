@@ -145,6 +145,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "records (default 65536; bounds memory)")
     parser.add_argument("--chunk-size", type=int, default=8192, metavar="N",
                         help="ingest chunk size (default 8192)")
+    parser.add_argument("--fastpath", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="decode capture chunks columnar (numpy) — "
+                             "same samples and checkpoints, higher "
+                             "throughput; falls back to the object path "
+                             "when unavailable (default: off)")
     parser.add_argument("--max-records", type=int, default=None, metavar="N",
                         help="stop (and finalize) after N records")
     parser.add_argument("--poll-interval", type=float, default=0.5,
@@ -204,8 +210,34 @@ def build_leg_filter(args) -> Optional[PrefixLegFilter]:
     return None
 
 
+def effective_fastpath(args) -> bool:
+    """Resolve ``--fastpath`` against what this run can actually use.
+
+    The columnar path needs numpy and a one-shot file pass (tailing
+    and pacing are per-record by nature); anything else degrades to
+    the object path with a note, never an error — the two paths are
+    sample-identical.
+    """
+    if not args.fastpath:
+        return False
+    from ..net.columnar import HAVE_NUMPY
+
+    reason = None
+    if not HAVE_NUMPY:
+        reason = "numpy is not installed"
+    elif args.follow:
+        reason = "--follow tails the capture per record"
+    elif args.pace is not None:
+        reason = "--pace replays per record"
+    if reason is not None:
+        print(f"dart-stream: --fastpath disabled ({reason}); "
+              "using the object path", file=sys.stderr)
+        return False
+    return True
+
+
 def build_source(args, resume_offset: Optional[int],
-                 capture_format: Optional[str]):
+                 capture_format: Optional[str], fastpath: bool = False):
     if args.follow:
         return TailCaptureSource(
             args.pcap,
@@ -225,6 +257,7 @@ def build_source(args, resume_offset: Optional[int],
         args.pcap,
         capture_format=capture_format,
         resume_offset=resume_offset,
+        fastpath=fastpath,
     )
 
 
@@ -321,7 +354,8 @@ def main(argv: Optional[list] = None) -> int:
         engine_sinks.append(AnalyticsTap(analytics))
     engine.add_monitor(monitor, name=args.monitor, sinks=engine_sinks)
 
-    source = build_source(args, resume_offset, capture_format)
+    source = build_source(args, resume_offset, capture_format,
+                          effective_fastpath(args))
 
     with GracefulShutdown() as stop:
         runner = StreamRunner(

@@ -86,6 +86,12 @@ class ShardedDart:
             blocks (backpressure).
         join_timeout: seconds to wait for a worker at ``finalize``
             before declaring it hung.
+        fastpath: decode byte batches columnar in process-mode workers
+            (``process_columns`` instead of per-record parse) — same
+            verdicts, stats, and samples, pinned by the cluster
+            equivalence suite.  A no-op when numpy is unavailable in
+            the worker, for monitors without ``process_columns``, and
+            in serial/thread modes (no byte boundary to vectorise).
     """
 
     def __init__(
@@ -103,6 +109,7 @@ class ShardedDart:
         batch_size: int = DEFAULT_BATCH_SIZE,
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         join_timeout: float = DEFAULT_JOIN_TIMEOUT,
+        fastpath: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be positive")
@@ -137,6 +144,8 @@ class ShardedDart:
                 )
         self.shards = shards
         self.parallel = parallel if shards > 1 else "serial"
+        #: Whether process-mode workers were asked to decode columnar.
+        self.fastpath = fastpath
         #: The transport process-mode batches ride on; ``None`` when no
         #: process boundary exists (serial/thread modes, one shard).
         self.transport = (
@@ -171,6 +180,7 @@ class ShardedDart:
             worker_cls(
                 shard, monitor_factory,
                 queue_depth=queue_depth, transport=transport,
+                fastpath=fastpath,
             )
             for shard in range(shards)
         ]

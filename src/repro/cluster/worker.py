@@ -361,6 +361,7 @@ def _worker_main(
     monitor_factory: MonitorFactory,
     transport,
     result_queue,
+    fastpath: bool = False,
 ) -> None:
     """Subprocess entry point: consume byte batches until the sentinel.
 
@@ -371,10 +372,24 @@ def _worker_main(
     ever touches bytes.  Wire frames that decode to non-TCP come back
     as ``None`` entries, which ``process_batch`` skips, matching the
     serial reader's behaviour for mixed captures.
+
+    With ``fastpath`` (and numpy importable in the worker) framed
+    batches decode columnar and feed the monitor's ``process_columns``
+    — same verdicts, stats, and samples, pinned by the cluster
+    equivalence suite.  Monitors without ``process_columns`` silently
+    keep the object path.
     """
     monitor: Optional[Any] = None
     try:
         monitor = monitor_factory()
+        use_columns = False
+        if fastpath:
+            from ..net import columnar
+
+            use_columns = (
+                columnar.HAVE_NUMPY
+                and hasattr(monitor, "process_columns")
+            )
         end_ns: Optional[int] = None
         while True:
             kind, payload = transport.recv()
@@ -383,7 +398,10 @@ def _worker_main(
             if kind == "finish":
                 end_ns = payload
                 break
-            monitor.process_batch(decode_frames(payload))
+            if use_columns:
+                monitor.process_columns(columnar.columns_from_framed(payload))
+            else:
+                monitor.process_batch(decode_frames(payload))
         result_queue.put(("ok", harvest(shard_id, monitor, end_ns=end_ns)))
     except BaseException as exc:
         partial = None
@@ -436,6 +454,7 @@ class ProcessWorker:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         transport: str = DEFAULT_TRANSPORT,
         mp_context=None,
+        fastpath: bool = False,
         **_: object,
     ) -> None:
         self.shard_id = shard_id
@@ -446,7 +465,8 @@ class ProcessWorker:
         self._results = ctx.Queue()
         self._proc = ctx.Process(
             target=_worker_main,
-            args=(shard_id, monitor_factory, self._transport, self._results),
+            args=(shard_id, monitor_factory, self._transport, self._results,
+                  fastpath),
             name=f"dart-shard-{shard_id}",
             daemon=True,
         )

@@ -28,7 +28,7 @@ from typing import Optional
 
 from ..net.inet import int_to_ipv4, int_to_ipv6
 from ..net.packet import PacketRecord
-from .hashing import signature32
+from .hashing import _mix32, signature32
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,6 +50,8 @@ class FlowKey:
                                 default=None)
     _sig: Optional[int] = field(init=False, repr=False, compare=False,
                                 default=None)
+    _mix0: Optional[int] = field(init=False, repr=False, compare=False,
+                                 default=None)
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -111,6 +113,22 @@ class FlowKey:
         return crc
 
     @property
+    def mix0(self) -> int:
+        """Stage-0 avalanche mix of :attr:`key_crc`.
+
+        ``stage_index_from_crc(crc, 0, size)`` is ``_mix32(crc) % size``
+        (stage 0's salt is zero), so tables whose index function is the
+        stage-0 hash — the Range Tracker, every single-stage layout —
+        reduce their per-lookup work to one modulo by caching the mix
+        here.  The columnar fast path pre-fills it vectorially.
+        """
+        mix = self._mix0
+        if mix is None:
+            mix = _mix32(self.key_crc)
+            object.__setattr__(self, "_mix0", mix)
+        return mix
+
+    @property
     def signature(self) -> int:
         """The compact 4-byte signature stored in table records."""
         sig = self._sig
@@ -118,6 +136,24 @@ class FlowKey:
             sig = signature32(self.key_bytes())
             object.__setattr__(self, "_sig", sig)
         return sig
+
+    _CACHE_SLOTS = ("_bytes", "_crc", "_sig", "_mix0")
+
+    def __getstate__(self):
+        # Which caches are filled depends on the decode path (the
+        # columnar fast path pre-fills CRC and mix vectorially; the
+        # object path fills on first use) — but serialized flows must
+        # not carry that history: stream checkpoints are pinned
+        # byte-identical across paths.  The caches are pure functions
+        # of the 4-tuple and recompute lazily after unpickling.
+        state = {s: getattr(self, s) for s in self.__slots__}
+        for slot in self._CACHE_SLOTS:
+            state[slot] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
 
     def describe(self) -> str:
         """Render as ``src:port > dst:port``."""

@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .flow import FlowKey
-from .hashing import pack2_u32, stage_index_from_crc
+from .hashing import _mix32, pack2_u32, stage_index_from_crc
 
 
 @dataclass(slots=True)
@@ -60,12 +60,16 @@ class PtRecord:
     leg: Optional[str] = None
     recirc_count: int = 0
     last_evicted_id: Optional[int] = None
-    #: Lazily cached ``key_bytes()`` — a record is re-hashed on every
-    #: insertion pass (recirculation re-enters the stages), so the
-    #: packing cost is paid once.  Pure function of (signature, eack);
-    #: pickled copies stay consistent.
+    #: Lazily cached ``key_bytes()`` and its CRC — a record is re-hashed
+    #: on every insertion pass (recirculation re-enters the stages), so
+    #: the packing and CRC costs are paid once.  Pure functions of
+    #: (signature, eack); pickled copies stay consistent.
     _key: Optional[bytes] = field(init=False, default=None, repr=False,
                                   compare=False)
+    _crc: Optional[int] = field(init=False, default=None, repr=False,
+                                compare=False)
+    _mix0: Optional[int] = field(init=False, default=None, repr=False,
+                                 compare=False)
 
     def key_bytes(self) -> bytes:
         """Bytes hashed into stage indices."""
@@ -74,9 +78,43 @@ class PtRecord:
             key = self._key = pack2_u32(self.signature, self.eack)
         return key
 
+    def key_crc(self) -> int:
+        """Unsalted CRC32 of :meth:`key_bytes` — the stage-index seed."""
+        crc = self._crc
+        if crc is None:
+            crc = self._crc = zlib.crc32(self.key_bytes())
+        return crc
+
+    def mix0(self) -> int:
+        """Stage-0 avalanche mix of :meth:`key_crc` (stage 0's salt is
+        zero, so this *is* the stage-0 index before the modulo — see
+        ``FlowKey.mix0``).  Cached across recirculation passes; the
+        columnar fast path pre-fills it vectorially."""
+        mix = self._mix0
+        if mix is None:
+            mix = self._mix0 = _mix32(self.key_crc())
+        return mix
+
     def matches(self, signature: int, eack: int) -> bool:
         """Constrained-mode match: 4-byte signature plus expected ACK."""
         return self.signature == signature and self.eack == eack
+
+    _CACHE_SLOTS = ("_key", "_crc", "_mix0")
+
+    def __getstate__(self):
+        # Whether a cache is filled depends on which decode path ran
+        # (the columnar fast path pre-fills vectorially, the object
+        # path fills lazily).  Serialized state must not: checkpoints
+        # are required to be byte-identical across paths, so the
+        # caches — pure derived values — are dropped and recomputed.
+        state = {s: getattr(self, s) for s in self.__slots__}
+        for slot in self._CACHE_SLOTS:
+            state[slot] = None
+        return state
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
 
 
 class InsertStatus(enum.Enum):
@@ -136,8 +174,14 @@ class AssociativePacketTable:
         self.stats.placed_empty += 1
         return InsertOutcome(InsertStatus.PLACED)
 
-    def match_ack(self, flow: FlowKey, ack: int) -> Optional[PtRecord]:
-        """Find-and-delete the record acknowledged by ``ack``."""
+    def match_ack(self, flow: FlowKey, ack: int, *,
+                  key_crc: Optional[int] = None,
+                  key_mix0: Optional[int] = None) -> Optional[PtRecord]:
+        """Find-and-delete the record acknowledged by ``ack``.
+
+        ``key_crc`` and ``key_mix0`` are accepted (and ignored) for
+        interface parity with the staged backend.
+        """
         record = self._records.pop((flow, ack), None)
         if record is None:
             self.stats.lookup_misses += 1
@@ -198,10 +242,13 @@ class StagedPacketTable:
     def insert(self, record: PtRecord) -> InsertOutcome:
         """One insertion pass; never recirculates by itself."""
         self.stats.insert_passes += 1
-        key_crc = zlib.crc32(record.key_bytes())
         force_stage = self._force_stage(record)
         for stage in range(self._stage_count):
-            index = stage_index_from_crc(key_crc, stage, self._stage_slots)
+            if stage == 0:
+                index = record.mix0() % self._stage_slots
+            else:
+                index = stage_index_from_crc(record.key_crc(), stage,
+                                             self._stage_slots)
             occupant = self._stages[stage][index]
             if occupant is None:
                 self._stages[stage][index] = record
@@ -224,17 +271,30 @@ class StagedPacketTable:
         self.stats.unplaced += 1
         return InsertOutcome(InsertStatus.UNPLACED)
 
-    def match_ack(self, flow: FlowKey, ack: int) -> Optional[PtRecord]:
+    def match_ack(self, flow: FlowKey, ack: int, *,
+                  key_crc: Optional[int] = None,
+                  key_mix0: Optional[int] = None) -> Optional[PtRecord]:
         """Find-and-delete the record acknowledged by ``ack``.
 
         Matching uses the constrained 4-byte signature, so a signature
         collision between distinct flows can (rarely) yield a mismatched
         sample — faithfully reproducing the hardware (paper §4).
+        ``key_crc``, when given, must equal
+        ``crc32(pack2_u32(flow.signature, ack))``, and ``key_mix0`` its
+        stage-0 mix — the columnar fast path passes the vectorised
+        values so no key is hashed here.
         """
         signature = flow.signature
-        key_crc = zlib.crc32(pack2_u32(signature, ack))
+        if key_crc is None:
+            key_crc = zlib.crc32(pack2_u32(signature, ack))
+        if key_mix0 is None:
+            key_mix0 = _mix32(key_crc)
         for stage in range(self._stage_count):
-            index = stage_index_from_crc(key_crc, stage, self._stage_slots)
+            if stage == 0:
+                index = key_mix0 % self._stage_slots
+            else:
+                index = stage_index_from_crc(key_crc, stage,
+                                             self._stage_slots)
             occupant = self._stages[stage][index]
             if occupant is not None and occupant.matches(signature, ack):
                 self._stages[stage][index] = None

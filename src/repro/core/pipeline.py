@@ -36,7 +36,7 @@ from ..net.inet import prefix_of
 from ..net.packet import PacketRecord
 from .analytics import CollectAllAnalytics
 from .config import DartConfig
-from .flow import FlowKey, ack_target_flow, flow_of
+from .flow import FlowKey, ack_target_flow, flow_of, intern_flow
 from .packet_tracker import (
     InsertStatus,
     PtRecord,
@@ -290,6 +290,149 @@ class Dart:
                 return self
             process_batch(chunk)
 
+    def process_columns(self, cols) -> List[RttSample]:
+        """Process a decoded columnar batch
+        (:class:`~repro.net.columnar.PacketColumns`).
+
+        The classification stage — decode, role masks, expected ACKs,
+        flow CRCs and signatures — arrives precomputed as columns; this
+        method runs only the scalar mutation stage (``_data_op`` /
+        ``_ack_op``) per row, pre-filling each interned ``FlowKey``'s
+        lazy hash caches from the vectorised values so the trackers
+        never hash a key on this path.  Semantically identical to
+        ``process_batch(cols.to_records())`` — same stats, samples,
+        analytics windows, and table state, pinned by the equivalence
+        suite — and falls back to exactly that call whenever a subclass
+        hook or a configured filter needs the per-record view.
+        """
+        if (type(self).process is not Dart.process
+                or type(self)._process_data is not Dart._process_data
+                or type(self)._process_ack is not Dart._process_ack
+                or self._target_filter is not None
+                or self._leg_filter is not None):
+            return self.process_batch(cols.to_records())
+        n = cols.n
+        if n == 0:
+            return []
+        from ..fastpath import classify
+        from ..net.columnar import KIND_RECORD, KIND_SKIP
+
+        kinds = cols.kinds.tolist()
+        ts_col = cols.timestamps.tolist()
+        src = cols.src_ip.tolist()
+        dst = cols.dst_ip.tolist()
+        sport = cols.src_port.tolist()
+        dport = cols.dst_port.tolist()
+        seq_col = cols.seq.tolist()
+        ack_col = cols.ack.tolist()
+        eack_arr = classify.eack_values(cols)
+        eack_col = eack_arr.tolist()
+        crc_arr = classify.flow_crcs(cols)
+        crc_col = crc_arr.tolist()
+        sig_arr = classify.signatures(cols)
+        sig_col = sig_arr.tolist()
+        mix_col = classify.mix32(crc_arr).tolist()
+        rcrc_arr = classify.flow_crcs(cols, reverse=True)
+        rcrc_col = rcrc_arr.tolist()
+        rsig_arr = classify.signatures(cols, reverse=True)
+        rsig_col = rsig_arr.tolist()
+        rmix_col = classify.mix32(rcrc_arr).tolist()
+        # PT keys, both sides: the insertion key of a data packet and
+        # the lookup key of an ACK, each with its stage-0 mix.
+        ptcrc_arr = classify.pt_match_crcs(sig_arr, eack_arr)
+        ptcrc_col = ptcrc_arr.tolist()
+        ptmix_col = classify.mix32(ptcrc_arr).tolist()
+        match_arr = classify.pt_match_crcs(rsig_arr, cols.ack)
+        match_col = match_arr.tolist()
+        mmix_col = classify.mix32(match_arr).tolist()
+        # Role bitfield per row: 1=data, 2=ack, 4=syn, 8=rst — the same
+        # four tests ``process`` makes, evaluated batch-wide.
+        flags_arr = cols.flags
+        role = (((cols.payload_len > 0)
+                 | ((flags_arr & _SEQ_SPACE_FLAGS) != 0)) * 1
+                + ((flags_arr & _ACK) != 0) * 2
+                + ((flags_arr & _SYN) != 0) * 4
+                + ((flags_arr & _RST) != 0) * 8).tolist()
+
+        stats = self.stats
+        track_handshake = self.config.track_handshake
+        shadow = self._shadow_tracker
+        recirc_queue = self._recirc_queue
+        fallback_records = cols.records
+        data_op = self._data_op
+        ack_op = self._ack_op
+        process_data = self._process_data
+        process_ack = self._process_ack
+        intern = intern_flow
+        samples: List[RttSample] = []
+        append = samples.append
+        set_cache = object.__setattr__
+        for i in range(n):
+            kind = kinds[i]
+            if kind == KIND_SKIP:
+                continue
+            if kind == KIND_RECORD:
+                # Fallback row (IPv6, IP/TCP options): the per-record
+                # path, inlined from ``process_batch``.
+                record = fallback_records[i]
+                stats.packets_processed += 1
+                self._now_ns = record.timestamp_ns
+                if recirc_queue:
+                    self._drain_due_recirculations()
+                if shadow is not None:
+                    self._drain_shadow_updates()
+                flags = record.flags
+                if flags & _SYN and not track_handshake:
+                    stats.ignored_syn += 1
+                    continue
+                if flags & _RST:
+                    stats.ignored_rst += 1
+                    continue
+                if record.payload_len or flags & _SEQ_SPACE_FLAGS:
+                    process_data(record)
+                if flags & _ACK:
+                    if not flags & _SYN or track_handshake:
+                        sample = process_ack(record)
+                        if sample is not None:
+                            append(sample)
+                continue
+            # Vectorised row: classification already done.
+            stats.packets_processed += 1
+            ts = ts_col[i]
+            self._now_ns = ts
+            if recirc_queue:
+                self._drain_due_recirculations()
+            if shadow is not None:
+                self._drain_shadow_updates()
+            r = role[i]
+            if r & 4 and not track_handshake:
+                stats.ignored_syn += 1
+                continue
+            if r & 8:
+                stats.ignored_rst += 1
+                continue
+            if r & 1:
+                flow = intern(src[i], dst[i], sport[i], dport[i], False)
+                if flow._crc is None:
+                    set_cache(flow, "_crc", crc_col[i])
+                    set_cache(flow, "_sig", sig_col[i])
+                    set_cache(flow, "_mix0", mix_col[i])
+                data_op(flow, seq_col[i], eack_col[i], ts,
+                        bool(r & 4), None, ptcrc_col[i], ptmix_col[i])
+            if r & 2:
+                if not r & 4 or track_handshake:
+                    flow = intern(dst[i], src[i], dport[i], sport[i],
+                                  False)
+                    if flow._crc is None:
+                        set_cache(flow, "_crc", rcrc_col[i])
+                        set_cache(flow, "_sig", rsig_col[i])
+                        set_cache(flow, "_mix0", rmix_col[i])
+                    sample = ack_op(flow, ack_col[i], ts, match_col[i],
+                                    mmix_col[i])
+                    if sample is not None:
+                        append(sample)
+        return samples
+
     def finalize(self, at_ns: Optional[int] = None) -> None:
         """Signal end-of-trace to the analytics (flush open windows).
 
@@ -304,6 +447,13 @@ class Dart:
             flush(now)
 
     # -- SEQ side ------------------------------------------------------------
+    #
+    # Each side is split into a *classification* stage (which fields
+    # matter, which flow tuple, the expected ACK — pure functions of the
+    # record, vectorizable batch-wide) and a *mutation* stage
+    # (``_data_op``/``_ack_op``: tracker state transitions, inherently
+    # scalar).  ``process_columns`` runs the classification as numpy
+    # column ops and feeds the same mutation stage row by row.
 
     def _process_data(self, record: PacketRecord) -> None:
         leg: Optional[str] = None
@@ -311,8 +461,6 @@ class Dart:
             leg = self._leg_filter(record)
             if leg is None:
                 return
-        stats = self.stats
-        stats.seq_packets += 1
         flow = flow_of(record)
         # record.eack, unrolled: computed once here instead of three
         # property-call chains below.
@@ -320,13 +468,29 @@ class Dart:
         seq = record.seq
         eack = (seq + record.payload_len + (1 if flags & _SYN else 0)
                 + (1 if flags & tcp_mod.FLAG_FIN else 0)) & 0xFFFFFFFF
-        timestamp_ns = record.timestamp_ns
+        self._data_op(flow, seq, eack, record.timestamp_ns,
+                      bool(flags & _SYN), leg)
+
+    def _data_op(self, flow: FlowKey, seq: int, eack: int,
+                 timestamp_ns: int, handshake: bool,
+                 leg: Optional[str],
+                 pt_crc: Optional[int] = None,
+                 pt_mix: Optional[int] = None) -> None:
+        """Scalar mutation stage of the SEQ side: RT verdict, PT insert.
+
+        ``pt_crc``/``pt_mix`` optionally carry the vectorised PT
+        insertion-key CRC (``crc32(pack2_u32(signature, eack))``) and
+        its stage-0 mix, pre-filling the new record's lazy hash caches.
+        """
+        stats = self.stats
+        stats.seq_packets += 1
         if self._shadow_tracker is not None:
             self._enqueue_shadow_update("data", flow, seq, eack)
         verdict = self.range_tracker.on_data(
             flow, seq, eack, now_ns=timestamp_ns
         )
-        stats._bump(stats.seq_verdicts, verdict)
+        verdicts = stats.seq_verdicts
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
         if not verdict.trackable:
             return
         pt_record = PtRecord(
@@ -335,9 +499,12 @@ class Dart:
             signature=flow.signature,
             eack=eack,
             timestamp_ns=timestamp_ns,
-            handshake=bool(flags & _SYN),
+            handshake=handshake,
             leg=leg,
         )
+        if pt_crc is not None:
+            pt_record._crc = pt_crc
+            pt_record._mix0 = pt_mix
         self._next_record_id += 1
         stats.tracked_inserts += 1
         self._submit(pt_record)
@@ -345,18 +512,30 @@ class Dart:
     # -- ACK side ------------------------------------------------------------
 
     def _process_ack(self, record: PacketRecord) -> Optional[RttSample]:
+        return self._ack_op(ack_target_flow(record), record.ack,
+                            record.timestamp_ns)
+
+    def _ack_op(self, flow: FlowKey, ack: int, timestamp_ns: int,
+                match_crc: Optional[int] = None,
+                match_mix: Optional[int] = None) -> Optional[RttSample]:
+        """Scalar mutation stage of the ACK side: RT verdict, PT match.
+
+        ``match_crc``/``match_mix`` optionally carry the vectorised PT
+        lookup-key CRC (``crc32(pack2_u32(flow.signature, ack))``) and
+        its stage-0 mix.
+        """
         stats = self.stats
         stats.ack_packets += 1
-        flow = ack_target_flow(record)
-        ack = record.ack
-        timestamp_ns = record.timestamp_ns
         if self._shadow_tracker is not None:
             self._enqueue_shadow_update("ack", flow, ack, 0)
         verdict = self.range_tracker.on_ack(flow, ack, now_ns=timestamp_ns)
-        stats._bump(stats.ack_verdicts, verdict)
+        verdicts = stats.ack_verdicts
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
         if verdict is not AckVerdict.VALID:
             return None
-        pt_record = self.packet_tracker.match_ack(flow, ack)
+        pt_record = self.packet_tracker.match_ack(flow, ack,
+                                                  key_crc=match_crc,
+                                                  key_mix0=match_mix)
         if pt_record is None:
             return None
         sample = RttSample(

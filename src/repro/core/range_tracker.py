@@ -31,7 +31,6 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from .flow import FlowKey
-from .hashing import stage_index_from_crc
 from .seqspace import seq_between, seq_gt, seq_le, seq_lt, seq_sub
 
 
@@ -173,10 +172,10 @@ class HashedRangeTable:
         return self._size
 
     def _index(self, flow: FlowKey) -> int:
-        # stage 0 with the flow's cached CRC: identical to
+        # stage 0 with the flow's cached stage-0 mix: identical to
         # stage_index(flow.key_bytes(), 0, size) without re-walking the
-        # key bytes on every lookup.
-        return stage_index_from_crc(flow.key_crc, 0, self._size)
+        # key bytes — or re-running the avalanche mix — on any lookup.
+        return flow.mix0 % self._size
 
     def lookup(self, flow: FlowKey) -> Optional[RangeEntry]:
         entry = self._slots[self._index(flow)]

@@ -236,6 +236,85 @@ class MonitorEngine:
         if telemetry is not None:
             telemetry.maybe_emit()
 
+    def ingest_columns(self, cols: Any) -> None:
+        """Feed one decoded columnar batch
+        (:class:`~repro.net.columnar.PacketColumns`) to every monitor.
+
+        The fast-path twin of :meth:`ingest_chunk`: monitors exposing
+        ``process_columns`` consume the columns directly; others get
+        the materialised per-record view.  Report counters stay
+        byte-identical to the object path — skip rows (frames that
+        decode to non-TCP) are not counted, exactly as the capture
+        readers drop them before the object path ever sees them.
+
+        Column batches only carry the TCP view, so an engine with a
+        QUIC monitor attached falls back to :meth:`ingest_chunk` on
+        the materialised records.
+        """
+        if not self._runs:
+            raise RuntimeError("no monitors attached (call add_monitor first)")
+        if self._finished:
+            raise RuntimeError("engine already finished")
+        if self._started is None:
+            self._started = time.perf_counter()
+        decoded = cols.decoded_count()
+        if decoded == 0:
+            return
+        if {run.record_kind for run in self._runs} != {"tcp"}:
+            self.ingest_chunk(cols.compact_records())
+            return
+        telemetry = self._telemetry
+        self._records += decoded
+        last = cols.last_timestamp_ns()
+        if last is not None:
+            self._end_ns = last
+        for run in self._runs:
+            run.records_seen += decoded
+            monitor = run.monitor
+            process_columns = getattr(monitor, "process_columns", None)
+            if telemetry is not None:
+                chunk_started = time.perf_counter()
+                if process_columns is not None:
+                    samples = process_columns(cols)
+                else:
+                    samples = monitor.process_batch(cols.compact_records())
+                elapsed = time.perf_counter() - chunk_started
+                self._chunk_seconds.observe(elapsed, (run.name,))
+                if elapsed > 0:
+                    self._chunk_pps.set((run.name,), decoded / elapsed)
+            elif process_columns is not None:
+                samples = process_columns(cols)
+            else:
+                samples = monitor.process_batch(cols.compact_records())
+            if samples:
+                run.samples_routed += len(samples)
+                run.router.route_batch(samples)
+        if telemetry is not None:
+            telemetry.maybe_emit()
+
+    def ingest_wire_chunk(self, chunk: List[Tuple[int, bool, bytes]],
+                          *, fastpath: bool = True) -> None:
+        """Decode one chunk of raw capture frames and feed it.
+
+        ``chunk`` holds ``(timestamp_ns, linktype_ethernet, frame)``
+        tuples as produced by the capture readers.  With ``fastpath``
+        (and numpy present) the frames decode columnar; otherwise each
+        frame goes through ``from_wire_bytes`` and the object path.
+        Non-TCP frames are dropped either way, as the capture readers
+        do, so report counters match across the two modes.
+        """
+        from ..net import columnar
+        from ..net.packet import from_wire_bytes
+
+        if fastpath and columnar.HAVE_NUMPY:
+            self.ingest_columns(columnar.decode_wire_columns(chunk))
+            return
+        records = [
+            from_wire_bytes(frame, ts, linktype_ethernet=eth)
+            for ts, eth, frame in chunk
+        ]
+        self.ingest_chunk([r for r in records if r is not None])
+
     def finish(self) -> EngineReport:
         """Finalize monitors, route deferred samples, close routers.
 

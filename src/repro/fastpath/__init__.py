@@ -1,0 +1,35 @@
+"""``repro.fastpath`` — the columnar/vectorized batch engine.
+
+Splits per-packet work into a *vectorizable classification stage*
+(decode, flow hashing, role masks — :mod:`repro.net.columnar` and
+:mod:`repro.fastpath.classify`) and the existing *scalar mutation
+stage* (tracker state transitions — ``Dart.process_columns`` in
+:mod:`repro.core.pipeline`), with byte-identical verdicts, stats, and
+sample multisets versus the reference object path.  DESIGN §15 states
+the equivalence argument; numpy is optional and every entry point
+gates on :data:`HAVE_NUMPY`.
+"""
+
+from ..net.columnar import (
+    HAVE_NUMPY,
+    KIND_RECORD,
+    KIND_SKIP,
+    KIND_VEC,
+    PacketColumns,
+    columns_from_framed,
+    decode_wire_columns,
+    records_to_columns,
+)
+from . import classify
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KIND_RECORD",
+    "KIND_SKIP",
+    "KIND_VEC",
+    "PacketColumns",
+    "classify",
+    "columns_from_framed",
+    "decode_wire_columns",
+    "records_to_columns",
+]

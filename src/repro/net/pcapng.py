@@ -284,3 +284,35 @@ def read_any_capture(path: PathLike) -> Iterator[PacketRecord]:
     if sniff_format(path) == "pcapng":
         return read_pcapng_packets(path)
     return read_packets(path)
+
+
+def read_any_frames(
+    path: PathLike,
+) -> Iterator[Tuple[int, bool, bytes]]:
+    """Yield raw ``(timestamp_ns, is_ethernet, frame)`` from either
+    capture format — the undecoded twin of :func:`read_any_capture`,
+    feeding the columnar fast path.
+
+    Linktype handling matches the record readers exactly: a pcap on an
+    unsupported linktype raises, a pcapng frame on an unsupported
+    linktype is skipped.
+    """
+    if sniff_format(path) == "pcapng":
+        with open(path, "rb") as stream:
+            for timestamp_ns, linktype, frame in PcapngReader(stream):
+                if linktype == LINKTYPE_ETHERNET:
+                    yield timestamp_ns, True, frame
+                elif linktype == LINKTYPE_RAW:
+                    yield timestamp_ns, False, frame
+        return
+    from .pcap import PcapReader
+
+    with open(path, "rb") as stream:
+        reader = PcapReader(stream)
+        ethernet = reader.header.linktype == LINKTYPE_ETHERNET
+        if not ethernet and reader.header.linktype != LINKTYPE_RAW:
+            raise PcapFormatError(
+                f"unsupported linktype {reader.header.linktype}"
+            )
+        for timestamp_ns, frame in reader:
+            yield timestamp_ns, ethernet, frame

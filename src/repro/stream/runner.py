@@ -180,13 +180,22 @@ class StreamRunner:
             # a pulled chunk (e.g. on shutdown) would lose them from the
             # checkpoint.  The shutdown check runs after, never between
             # pull and ingest.
-            if chunk:
+            if isinstance(chunk, list):
+                n = len(chunk)
+                ingest = self._engine.ingest_chunk
+            else:
+                # Columnar batch from a fastpath source: same records,
+                # counters, and checkpoint boundaries — see
+                # CaptureFileSource(fastpath=True).
+                n = chunk.decoded_count()
+                ingest = self._engine.ingest_columns
+            if n:
                 chunk_started = self._clock()
-                self._engine.ingest_chunk(chunk)
+                ingest(chunk)
                 elapsed = self._clock() - chunk_started
                 if elapsed > 0:
-                    self._live_pps = len(chunk) / elapsed
-                self._since_rotation += len(chunk)
+                    self._live_pps = n / elapsed
+                self._since_rotation += n
                 if self._since_rotation >= self._rotation_records:
                     self._rotate()
             elif self._telemetry is not None:

@@ -71,6 +71,16 @@ class CaptureFileSource(PacketSource):
     ``resume_offset`` starts the pass at a checkpointed byte offset
     instead of the beginning; ``capture_format`` pins the format when
     the caller already knows it (otherwise it is sniffed).
+
+    ``fastpath`` makes :meth:`chunks` yield decoded *columnar* batches
+    (:class:`~repro.net.columnar.PacketColumns`) instead of record
+    lists.  Chunk boundaries — and therefore ``resume_state`` offsets
+    and checkpoint bytes — are identical to the object path: frames
+    are pulled in sub-batches of exactly the records still missing
+    from the chunk, which can never overshoot (a batch of *k* frames
+    decodes to at most *k* records), so the reader always stops on the
+    same frame the per-record pull would have stopped on.  A no-op
+    when numpy is unavailable.
     """
 
     def __init__(
@@ -79,12 +89,18 @@ class CaptureFileSource(PacketSource):
         *,
         capture_format: Optional[str] = None,
         resume_offset: Optional[int] = None,
+        fastpath: bool = False,
     ) -> None:
         self.path = str(path)
         self._format = capture_format
         self._stream = None
         self._reader: Optional[Union[PcapReader, PcapngReader]] = None
         self._ethernet = True  # pcap: fixed per file; pcapng: per record
+        self._fastpath = False
+        if fastpath:
+            from ..net.columnar import HAVE_NUMPY
+
+            self._fastpath = HAVE_NUMPY
         self._open(resume_offset)
 
     # -- opening -----------------------------------------------------------
@@ -161,6 +177,9 @@ class CaptureFileSource(PacketSource):
     def chunks(self, max_records: int) -> Iterator[List[PacketRecord]]:
         if max_records <= 0:
             raise ValueError("max_records must be positive")
+        if self._fastpath:
+            yield from self._fast_chunks(max_records)
+            return
         while True:
             chunk: List[PacketRecord] = []
             while len(chunk) < max_records:
@@ -171,6 +190,42 @@ class CaptureFileSource(PacketSource):
                     return
                 chunk.append(pulled[0])
             yield chunk
+
+    def _fast_chunks(self, max_records: int):
+        """Columnar twin of :meth:`chunks` (see class docstring).
+
+        The chunk completes exactly when a sub-pull's every frame
+        decodes — so the last frame read is always a decoded record,
+        and the reader offset matches the object path's at every chunk
+        boundary.
+        """
+        from ..net.columnar import PacketColumns, decode_wire_columns
+
+        while True:
+            parts: List[PacketColumns] = []
+            decoded = 0
+            eof = False
+            while decoded < max_records:
+                frames: List[Tuple[int, bool, bytes]] = []
+                needed = max_records - decoded
+                while len(frames) < needed:
+                    raw = self._pull_raw()
+                    if raw is None:
+                        eof = True
+                        break
+                    frames.append(raw)
+                if frames:
+                    cols = decode_wire_columns(frames)
+                    got = cols.decoded_count()
+                    if got:
+                        parts.append(cols)
+                        decoded += got
+                if eof:
+                    break
+            if parts:
+                yield PacketColumns.concat(parts)
+            if eof:
+                return
 
     def resume_state(self) -> Dict[str, Any]:
         return {

@@ -35,7 +35,8 @@ class ReplayReport:
         return self.packets / self.wall_seconds
 
 
-def replay(records: Iterable[PacketRecord], *monitors) -> ReplayReport:
+def replay(records: Iterable[PacketRecord], *monitors,
+           fastpath: bool = False) -> ReplayReport:
     """Feed every record to every monitor, in timestamp order.
 
     Monitors exposing ``process_batch`` (Dart, ShardedDart) are fed in
@@ -43,7 +44,21 @@ def replay(records: Iterable[PacketRecord], *monitors) -> ReplayReport:
     classic per-record ``process`` loop.  Per-monitor packet order is
     identical either way, and monitors are independent, so mixing
     batched and unbatched monitors in one replay is fine.
+
+    With ``fastpath=True`` each chunk is additionally lifted into
+    :class:`~repro.net.columnar.PacketColumns` once and handed to
+    monitors exposing ``process_columns`` — same samples and stats,
+    vectorised classification.  Monitors without ``process_columns``
+    (and every monitor when numpy is missing) keep the object path.
     """
+    columns_fns = [None] * len(monitors)
+    if fastpath:
+        from ..net.columnar import HAVE_NUMPY, records_to_columns
+
+        if HAVE_NUMPY:
+            columns_fns = [getattr(monitor, "process_columns", None)
+                           for monitor in monitors]
+        fastpath = any(fn is not None for fn in columns_fns)
     batch_fns = [getattr(monitor, "process_batch", None)
                  for monitor in monitors]
     count = 0
@@ -53,8 +68,12 @@ def replay(records: Iterable[PacketRecord], *monitors) -> ReplayReport:
         chunk = list(islice(iterator, REPLAY_CHUNK))
         if not chunk:
             break
-        for monitor, batch_fn in zip(monitors, batch_fns):
-            if batch_fn is not None:
+        cols = records_to_columns(chunk) if fastpath else None
+        for monitor, batch_fn, columns_fn in zip(monitors, batch_fns,
+                                                 columns_fns):
+            if cols is not None and columns_fn is not None:
+                columns_fn(cols)
+            elif batch_fn is not None:
                 batch_fn(chunk)
             else:
                 process = monitor.process

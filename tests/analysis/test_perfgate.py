@@ -9,11 +9,13 @@ from repro.analysis.perfgate import (
     PerfGateError,
     check_cluster_scaling,
     check_engine_overhead,
+    check_serial_fastpath,
     check_workload_pins,
     compare,
     load_report,
     main,
     render,
+    render_fastpath,
     render_scaling,
 )
 
@@ -235,6 +237,94 @@ class TestClusterScaling:
         assert "below the" in capsys.readouterr().err
 
 
+def fastpath_section(object_pps=50_000.0, speedup=2.3, numpy=True):
+    section = {"object_pps": object_pps, "numpy": numpy,
+               "rtt_samples": 7910}
+    if numpy:
+        section["fastpath_pps"] = object_pps * speedup
+        section["speedup"] = speedup
+    return section
+
+
+class TestSerialFastpath:
+    def test_skipped_without_section(self):
+        assert check_serial_fastpath(make_report()) is None
+
+    def test_above_floor_passes(self):
+        report = make_report(serial_fastpath=fastpath_section(speedup=2.3))
+        check = check_serial_fastpath(report)
+        assert check is not None and check.enforced and not check.failed
+
+    def test_below_floor_fails(self):
+        report = make_report(serial_fastpath=fastpath_section(speedup=1.4))
+        check = check_serial_fastpath(report)
+        assert check.enforced and check.failed
+        assert "FAIL" in render_fastpath(check)
+
+    def test_no_numpy_report_is_info_only(self):
+        report = make_report(serial_fastpath=fastpath_section(numpy=False))
+        check = check_serial_fastpath(report)
+        assert not check.enforced and not check.failed
+        assert "not enforced" in render_fastpath(check)
+
+    def test_missing_speedup_fails_when_enforced(self):
+        section = fastpath_section()
+        del section["speedup"]
+        check = check_serial_fastpath(make_report(serial_fastpath=section))
+        assert check.failed
+
+    def test_missing_object_leg_is_malformed(self):
+        with pytest.raises(PerfGateError):
+            check_serial_fastpath(
+                make_report(serial_fastpath={"speedup": 2.5, "numpy": True})
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -2.0])
+    def test_floor_must_be_positive(self, bad):
+        report = make_report(serial_fastpath=fastpath_section())
+        with pytest.raises(PerfGateError):
+            check_serial_fastpath(report, floor=bad)
+
+    def test_cli_fastpath_only_passes(self, tmp_path, capsys):
+        path = write(tmp_path, "r.json",
+                     make_report(serial_fastpath=fastpath_section()))
+        assert main([path, "--fastpath-only"]) == 0
+        assert "fastpath" in capsys.readouterr().out
+
+    def test_cli_fastpath_only_fails_below_floor(self, tmp_path, capsys):
+        path = write(tmp_path, "r.json", make_report(
+            serial_fastpath=fastpath_section(speedup=1.5)
+        ))
+        assert main([path, "--fastpath-only"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_cli_fastpath_only_custom_floor(self, tmp_path):
+        path = write(tmp_path, "r.json", make_report(
+            serial_fastpath=fastpath_section(speedup=1.5)
+        ))
+        assert main([path, "--fastpath-only", "--fastpath-floor",
+                     "1.2"]) == 0
+
+    def test_cli_fastpath_only_missing_section_exits_two(self, tmp_path):
+        path = write(tmp_path, "r.json", make_report())
+        assert main([path, "--fastpath-only"]) == 2
+
+    def test_cli_exclusive_with_scaling_only(self, tmp_path):
+        path = write(tmp_path, "r.json",
+                     make_report(serial_fastpath=fastpath_section()))
+        with pytest.raises(SystemExit):
+            main([path, "--fastpath-only", "--scaling-only"])
+
+    def test_cli_two_report_mode_gates_fresh_fastpath(self, tmp_path,
+                                                      capsys):
+        base = write(tmp_path, "base.json", make_report())
+        fresh = write(tmp_path, "fresh.json", make_report(
+            serial_fastpath=fastpath_section(speedup=1.2)
+        ))
+        assert main([base, fresh]) == 1
+        assert "below the" in capsys.readouterr().err
+
+
 class TestWorkloadPins:
     def test_matching_pins_pass(self):
         check_workload_pins(make_report(), make_report())
@@ -252,6 +342,29 @@ class TestWorkloadPins:
         fresh["workload"]["connections"] = 200
         with pytest.raises(PerfGateError, match="connections"):
             check_workload_pins(base, fresh)
+
+    def test_quick_pin_mismatch_fails(self):
+        base = make_report()
+        base["workload"]["quick"] = True
+        with pytest.raises(PerfGateError, match="quick"):
+            check_workload_pins(base, make_report())
+
+    def test_fastpath_pin_mismatch_fails(self):
+        # A fresh report measured without numpy must not be compared
+        # against a baseline whose serial numbers were taken with it.
+        base = make_report()
+        base["workload"]["fastpath"] = True
+        fresh = make_report()
+        fresh["workload"]["fastpath"] = False
+        with pytest.raises(PerfGateError, match="fastpath"):
+            check_workload_pins(base, fresh)
+
+    def test_matching_fastpath_pins_pass(self):
+        base = make_report()
+        base["workload"]["fastpath"] = True
+        fresh = make_report()
+        fresh["workload"]["fastpath"] = True
+        check_workload_pins(base, fresh)
 
     def test_cli_rejects_mismatched_workloads(self, tmp_path):
         base = write(tmp_path, "base.json", make_report())

@@ -1,0 +1,139 @@
+"""Batch-equivalence suite: ``process_columns`` == ``process_batch``.
+
+The columnar loop must be *semantically invisible*: for any table
+configuration — ideal associative, constrained with evictions,
+multi-stage with handshake tracking, shadow RT with delayed
+recirculation — feeding the same packets as columns must leave the
+monitor in the same observable state as the object path: identical
+stats (verdict insertion order included), identical sample sequence,
+identical table occupancy.
+"""
+
+import pytest
+
+from repro.core import Dart, DartConfig, make_leg_filter
+from repro.net.columnar import HAVE_NUMPY
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the columnar fast path requires numpy"
+)
+
+CHUNK = 1000
+
+CONFIGS = {
+    "ideal": DartConfig(),
+    "constrained": DartConfig(rt_slots=1 << 10, pt_slots=1 << 8,
+                              pt_stages=2, max_recirculations=2),
+    "multistage_syn": DartConfig(rt_slots=1 << 12, pt_slots=1 << 9,
+                                 pt_stages=4, max_recirculations=4,
+                                 track_handshake=True),
+    "shadow_delay": DartConfig(rt_slots=1 << 10, pt_slots=1 << 8,
+                               pt_stages=2, max_recirculations=2,
+                               shadow_rt=True,
+                               recirculation_delay_packets=3,
+                               track_handshake=True),
+}
+
+
+@pytest.fixture(scope="module")
+def records():
+    trace = generate_campus_trace(
+        CampusTraceConfig(connections=80, seed=7)
+    )
+    return trace.records
+
+
+def _columns(chunk):
+    from repro.net.columnar import records_to_columns
+
+    return records_to_columns(chunk)
+
+
+def _run_object(config, records, **kwargs):
+    dart = Dart(config, **kwargs)
+    for i in range(0, len(records), CHUNK):
+        dart.process_batch(records[i:i + CHUNK])
+    return dart
+
+def _run_columns(config, records, **kwargs):
+    dart = Dart(config, **kwargs)
+    for i in range(0, len(records), CHUNK):
+        dart.process_columns(_columns(records[i:i + CHUNK]))
+    return dart
+
+
+def _assert_identical(reference: Dart, candidate: Dart) -> None:
+    assert candidate.stats == reference.stats
+    # Dict equality ignores order; verdict rendering must not.
+    assert (list(candidate.stats.seq_verdicts)
+            == list(reference.stats.seq_verdicts))
+    assert (list(candidate.stats.ack_verdicts)
+            == list(reference.stats.ack_verdicts))
+    assert candidate.samples == reference.samples
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_columns_equal_object_path(name, records):
+    config = CONFIGS[name]
+    _assert_identical(_run_object(config, records),
+                      _run_columns(config, records))
+
+
+def test_leg_filter_falls_back_identically(records):
+    """A configured leg filter routes through the per-record fallback —
+    the columnar entry point must still give identical results."""
+    config = CONFIGS["constrained"]
+
+    def build():
+        return make_leg_filter(lambda addr: (addr >> 24) == 10,
+                               legs=("external", "internal"))
+
+    _assert_identical(
+        _run_object(config, records, leg_filter=build()),
+        _run_columns(config, records, leg_filter=build()),
+    )
+
+
+def test_subclass_override_falls_back_identically(records):
+    """A subclass overriding ``process`` keeps its hook on the columnar
+    entry point: every row must route through the override."""
+    config = CONFIGS["constrained"]
+
+    class CountingDart(Dart):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.seen = 0
+
+        def process(self, record):
+            self.seen += 1
+            return super().process(record)
+
+    reference = CountingDart(config)
+    for i in range(0, len(records), CHUNK):
+        reference.process_batch(records[i:i + CHUNK])
+    candidate = CountingDart(config)
+    for i in range(0, len(records), CHUNK):
+        candidate.process_columns(_columns(records[i:i + CHUNK]))
+    _assert_identical(reference, candidate)
+    assert candidate.seen == reference.seen == len(records)
+
+
+def test_columns_with_skip_rows_match(records):
+    """Skip rows (non-TCP frames in a batch) are invisible to stats."""
+    config = CONFIGS["constrained"]
+    reference = _run_object(config, records)
+    candidate = Dart(config)
+    for i in range(0, len(records), CHUNK):
+        chunk = []
+        for record in records[i:i + CHUNK]:
+            chunk.append(record)
+            chunk.append(None)  # the object decoder's non-TCP result
+        candidate.process_columns(_columns(chunk))
+    _assert_identical(reference, candidate)
+
+
+def test_empty_columns_are_a_no_op():
+    dart = Dart(CONFIGS["ideal"])
+    assert dart.process_columns(_columns([])) == []
+    assert dart.stats.packets_processed == 0

@@ -1,0 +1,132 @@
+"""Engine columnar ingest: the fast-path twins of ingest_chunk.
+
+``ingest_columns`` / ``ingest_wire_chunk(fastpath=True)`` must leave
+the engine — monitors, report counters, routed samples — in exactly
+the state the object path produces, including when a monitor has no
+``process_columns`` (batch fallback) and when a QUIC monitor forces
+the record fallback.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import MonitorEngine, MonitorOptions, create, get_spec
+from repro.net.columnar import (
+    HAVE_NUMPY,
+    decode_wire_columns,
+    records_to_columns,
+)
+from repro.net.packet import to_wire_bytes
+from repro.quic import QuicScenarioConfig, generate_quic_trace
+from repro.quic.wire import quic_to_wire_bytes
+from repro.traces import CampusTraceConfig, generate_campus_trace
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the columnar fast path requires numpy"
+)
+
+CHUNK = 256
+
+
+@pytest.fixture(scope="module")
+def tcp_records():
+    return generate_campus_trace(
+        CampusTraceConfig(connections=60, seed=5)
+    ).records
+
+
+def build(*names):
+    engine = MonitorEngine()
+    monitors = {}
+    for name in names:
+        monitor = create(name, MonitorOptions())
+        engine.add_monitor(monitor, name=name,
+                           record_kind=get_spec(name).record_kind)
+        monitors[name] = monitor
+    return engine, monitors
+
+
+def chunks(items):
+    it = iter(items)
+    while True:
+        chunk = list(itertools.islice(it, CHUNK))
+        if not chunk:
+            return
+        yield chunk
+
+
+def assert_engines_match(ref_engine, ref_monitors, got_engine,
+                         got_monitors):
+    ref_report = ref_engine.finish()
+    got_report = got_engine.finish()
+    assert got_report.records == ref_report.records
+    for ref_run, got_run in zip(ref_report.runs, got_report.runs):
+        assert got_run.records_seen == ref_run.records_seen
+        assert got_run.samples_routed == ref_run.samples_routed
+    for name, ref in ref_monitors.items():
+        got = got_monitors[name]
+        assert list(got.samples) == list(ref.samples)
+        assert got.stats == ref.stats
+
+
+@pytest.mark.parametrize("names", [("dart",), ("dart", "tcptrace")])
+def test_ingest_columns_matches_ingest_chunk(tcp_records, names):
+    """dart consumes columns natively; tcptrace exercises the
+    process_batch fallback inside the same columnar ingest."""
+    ref_engine, ref_monitors = build(*names)
+    for chunk in chunks(tcp_records):
+        ref_engine.ingest_chunk(chunk)
+    got_engine, got_monitors = build(*names)
+    for chunk in chunks(tcp_records):
+        got_engine.ingest_columns(records_to_columns(chunk))
+    assert_engines_match(ref_engine, ref_monitors, got_engine,
+                         got_monitors)
+
+
+def test_ingest_wire_chunk_fastpath_matches_object(tcp_records):
+    quic = generate_quic_trace(QuicScenarioConfig(duration_ns=10**9))
+    frames = [(r.timestamp_ns, True, to_wire_bytes(r))
+              for r in tcp_records]
+    frames += [(r.timestamp_ns, True, quic_to_wire_bytes(r))
+               for r in quic.records]
+    frames.sort(key=lambda item: item[0])
+
+    ref_engine, ref_monitors = build("dart")
+    for chunk in chunks(frames):
+        ref_engine.ingest_wire_chunk(chunk, fastpath=False)
+    got_engine, got_monitors = build("dart")
+    for chunk in chunks(frames):
+        got_engine.ingest_wire_chunk(chunk, fastpath=True)
+    assert_engines_match(ref_engine, ref_monitors, got_engine,
+                         got_monitors)
+
+
+def test_quic_monitor_forces_record_fallback(tcp_records):
+    """Column batches carry only the TCP view; a QUIC monitor on the
+    engine must push the whole ingest through the record path with no
+    drift in the TCP monitors riding along."""
+    ref_engine, ref_monitors = build("dart", "spinbit")
+    for chunk in chunks(tcp_records):
+        ref_engine.ingest_chunk(chunk)
+    got_engine, got_monitors = build("dart", "spinbit")
+    for chunk in chunks(tcp_records):
+        got_engine.ingest_columns(records_to_columns(chunk))
+    assert_engines_match(ref_engine, ref_monitors, got_engine,
+                         got_monitors)
+
+
+def test_skip_rows_do_not_count(tcp_records):
+    """Report counters must match the object path, which never sees
+    the frames the decoder skipped."""
+    frames = [(r.timestamp_ns, True, to_wire_bytes(r))
+              for r in tcp_records[:500]]
+    quic = generate_quic_trace(QuicScenarioConfig(duration_ns=10**9))
+    frames += [(r.timestamp_ns, True, quic_to_wire_bytes(r))
+               for r in quic.records[:100]]
+    engine, _ = build("dart")
+    cols = decode_wire_columns(frames)
+    engine.ingest_columns(cols)
+    report = engine.finish()
+    assert report.records == 500
+    assert report.runs[0].records_seen == 500

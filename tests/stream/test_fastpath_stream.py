@@ -1,0 +1,180 @@
+"""Streaming fastpath: columnar chunks keep the resume contract.
+
+``CaptureFileSource(fastpath=True)`` yields decoded columnar batches,
+but everything the daemon's durability story rests on — chunk
+boundaries, the reader's resume offsets, checkpoint state, and the
+emitted CSVs — must be indistinguishable from the object path.  That
+is what makes a checkpoint written by a fastpath daemon resumable by
+an object-path daemon and vice versa.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import MonitorEngine, MonitorOptions, create
+from repro.net.columnar import HAVE_NUMPY
+from repro.net.pcap import PcapWriter, write_packets
+from repro.net.packet import to_wire_bytes
+from repro.quic import QuicScenarioConfig, generate_quic_trace
+from repro.quic.wire import quic_to_wire_bytes
+from repro.stream import (
+    CaptureFileSource,
+    GracefulShutdown,
+    ResumableSink,
+    StreamRunner,
+    read_checkpoint,
+    read_header,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the columnar fast path requires numpy"
+)
+
+CHUNK = 97  # deliberately not a divisor of any trace length
+
+
+@pytest.fixture()
+def mixed_pcap(campus_records, tmp_path):
+    """A capture with QUIC datagrams interleaved between TCP segments —
+    the skip frames that make chunk-boundary bookkeeping interesting."""
+    quic = generate_quic_trace(QuicScenarioConfig(duration_ns=10**9))
+    frames = [(r.timestamp_ns, to_wire_bytes(r)) for r in campus_records]
+    frames += [(r.timestamp_ns, quic_to_wire_bytes(r))
+               for r in quic.records]
+    frames.sort(key=lambda item: item[0])
+    path = tmp_path / "mixed.pcap"
+    with open(path, "wb") as stream:
+        writer = PcapWriter(stream, nanosecond=True)
+        for timestamp_ns, frame in frames:
+            writer.write(timestamp_ns, frame)
+    return path
+
+
+def test_fast_chunks_match_object_chunks_and_offsets(mixed_pcap):
+    obj = CaptureFileSource(mixed_pcap)
+    fast = CaptureFileSource(mixed_pcap, fastpath=True)
+    assert fast._fastpath  # numpy present: the flag must stick
+    pairs = itertools.zip_longest(obj.chunks(CHUNK), fast.chunks(CHUNK))
+    for i, (obj_chunk, cols) in enumerate(pairs):
+        assert obj_chunk is not None and cols is not None, (
+            f"chunk count diverged at chunk {i}"
+        )
+        decoded = [r for r in cols.to_records() if r is not None]
+        assert decoded == obj_chunk
+        # The durability invariant: after every chunk both readers sit
+        # on the same byte, so their checkpoints are interchangeable.
+        assert fast.resume_state() == obj.resume_state()
+    obj.close()
+    fast.close()
+
+
+def test_resume_offset_restart_matches_object_path(mixed_pcap):
+    """Stopping after chunk k and reopening at the recorded offset
+    yields exactly the remaining chunks, columnar or not."""
+    obj = CaptureFileSource(mixed_pcap)
+    chunks = list(obj.chunks(CHUNK))
+    replay = CaptureFileSource(mixed_pcap, fastpath=True)
+    fast_iter = replay.chunks(CHUNK)
+    next(fast_iter)
+    next(fast_iter)
+    offset = replay.resume_state()["offset"]
+    replay.close()
+
+    resumed = CaptureFileSource(mixed_pcap, resume_offset=offset,
+                                fastpath=True)
+    rest = [
+        [r for r in cols.to_records() if r is not None]
+        for cols in resumed.chunks(CHUNK)
+    ]
+    assert rest == chunks[2:]
+    resumed.close()
+
+
+def _stream_once(capture, tmp_path, tag, *, fastpath, shutdown_after=None):
+    monitor = create("dart", MonitorOptions())
+    engine = MonitorEngine()
+    csv = ResumableSink("csv", tmp_path / f"{tag}.csv")
+    engine.add_monitor(monitor, name="dart", sinks=[csv])
+    source = CaptureFileSource(capture, fastpath=fastpath)
+    stop = GracefulShutdown()
+    if shutdown_after is not None:
+        inner = source.chunks
+
+        def stopping(max_records):
+            for i, chunk in enumerate(inner(max_records)):
+                yield chunk
+                if i == shutdown_after:
+                    stop.request()
+
+        source.chunks = stopping
+    runner = StreamRunner(
+        engine, source, shutdown=stop, sinks=[csv], chunk_size=256,
+        checkpoint_path=str(tmp_path / f"{tag}.ckpt"),
+    )
+    return runner.run()
+
+
+def _resume(capture, tmp_path, tag, *, fastpath):
+    loaded = read_checkpoint(tmp_path / f"{tag}.ckpt")
+    engine = MonitorEngine()
+    csv = ResumableSink.resume(loaded.header["sinks"][0])
+    engine.add_monitor(loaded.payload["monitors"]["dart"], name="dart",
+                       sinks=[csv])
+    source = CaptureFileSource(
+        capture,
+        capture_format=loaded.header["source"]["format"],
+        resume_offset=loaded.header["source"]["offset"],
+        fastpath=fastpath,
+    )
+    runner = StreamRunner(engine, source, sinks=[csv], chunk_size=256,
+                          checkpoint_path=str(tmp_path / f"{tag}.ckpt"))
+    runner.restore(loaded.header)
+    return runner.run()
+
+
+def test_uninterrupted_stream_csv_and_checkpoint_identical(
+    campus_records, tmp_path
+):
+    capture = tmp_path / "campus.pcap"
+    write_packets(capture, campus_records)
+    ref = _stream_once(capture, tmp_path, "obj", fastpath=False)
+    got = _stream_once(capture, tmp_path, "fast", fastpath=True)
+    assert got.records == ref.records == len(campus_records)
+    assert ((tmp_path / "fast.csv").read_bytes()
+            == (tmp_path / "obj.csv").read_bytes())
+    # Checkpoints match apart from their creation wall-clock stamp and
+    # the (deliberately different) sink file names.
+    ref_header = read_header(tmp_path / "obj.ckpt")
+    got_header = read_header(tmp_path / "fast.ckpt")
+    for header in (ref_header, got_header):
+        header.pop("created_unix_ns")
+        for sink in header["sinks"]:
+            sink["path"] = "csv"
+    assert got_header == ref_header
+    # Identical payload bytes, not merely equivalent state: the header
+    # hashes the pickled monitors, so this pins that no decode-path
+    # artifact (cache fills and the like) leaks into the checkpoint.
+    assert (got_header["payload_sha256"] == ref_header["payload_sha256"])
+
+
+@pytest.mark.parametrize("first,second", [(True, True), (True, False),
+                                          (False, True)])
+def test_kill_resume_across_paths_is_byte_identical(
+    campus_records, tmp_path, first, second
+):
+    """A checkpoint written under one decode path resumes under the
+    other — offsets are path-independent, so the stitched CSV matches
+    an uninterrupted object-path run byte for byte."""
+    capture = tmp_path / "campus.pcap"
+    write_packets(capture, campus_records)
+    _stream_once(capture, tmp_path, "ref", fastpath=False)
+
+    segment = _stream_once(capture, tmp_path, "out", fastpath=first,
+                           shutdown_after=1)
+    assert segment.stopped
+    final = _resume(capture, tmp_path, "out", fastpath=second)
+    assert final.finalized
+    assert final.records == len(campus_records)
+    assert ((tmp_path / "out.csv").read_bytes()
+            == (tmp_path / "ref.csv").read_bytes())
