@@ -18,8 +18,13 @@ Runs the per-packet hot loop over a *pinned* synthetic campus trace
   ``process_batch`` number from the same run;
 * **serial_engine_telemetry** — the same engine pass with a live
   :class:`~repro.obs.TelemetryEmitter` (JSON mode, os.devnull);
-  perfgate asserts telemetry-on costs at most 3% over telemetry-off.
-  These three legs are measured *interleaved* within each repeat
+  perfgate asserts telemetry-on costs at most 3% over telemetry-off;
+* **serial_hist** — the same engine pass with the histogram+sketch
+  distribution stage (:class:`~repro.core.hist.DistributionAnalytics`,
+  32 log bins keyed per destination /24) swapped in for the default
+  sample retention — the deployed shape; perfgate asserts the stage
+  costs at most 5% over the plain engine leg.
+  These four legs are measured *interleaved* within each repeat
   (``measure_serial_trio``) because perfgate bounds their ratios —
   sequential blocks let machine-speed drift masquerade as overhead;
 * **cluster_4shard** — packets/sec through a 4-shard process-mode
@@ -54,6 +59,7 @@ quick report can never silently stand in for the committed baseline.
 from __future__ import annotations
 
 import argparse
+import gc
 import io
 import json
 import os
@@ -73,8 +79,12 @@ from repro.cluster import (  # noqa: E402
     ShardedDart,
 )
 from repro.core import Dart, DartConfig  # noqa: E402
-from repro.core.analytics import MinFilterAnalytics  # noqa: E402
+from repro.core.analytics import (  # noqa: E402
+    DstPrefixKey,
+    MinFilterAnalytics,
+)
 from repro.core.flow import flow_of  # noqa: E402
+from repro.core.hist import DistributionFactory, HistogramSpec  # noqa: E402
 from repro.engine import MonitorEngine, MonitorOptions, create  # noqa: E402
 from repro.fleet import (  # noqa: E402
     FleetCollector,
@@ -115,6 +125,17 @@ FLEET_WINDOW_SAMPLES = 8
 #: format-write cycles — the measured overhead includes emission, not
 #: just the per-chunk interval checks.
 TELEMETRY_INTERVAL_S = 0.05
+#: The serial_hist leg's distribution stage — the dart-replay
+#: acceptance configuration: 32 log-spaced bins keyed per destination
+#: /24, deployed shape (no inner stage).  In production the stage
+#: *replaces* per-sample retention — holding every sample is exactly
+#: what a data plane cannot do — so the gated delta is
+#: histogram+sketch accumulation versus the plain leg's CollectAll
+#: retention, the swap an operator actually makes.
+HIST_FACTORY = DistributionFactory(
+    spec=HistogramSpec.log_bins(32),
+    key_fn=DstPrefixKey(24),
+)
 
 
 def _percentile(sorted_values: List[int], percent: float) -> int:
@@ -126,48 +147,72 @@ def _percentile(sorted_values: List[int], percent: float) -> int:
 
 
 def measure_serial_trio(records, repeats: int) -> dict:
-    """The three serial legs — direct ``process_batch``, the engine,
-    the engine with telemetry — interleaved best-of-N.
+    """The serial legs — direct ``process_batch``, the engine, the
+    engine with telemetry, the engine with the distribution stage —
+    interleaved best-of-N.
 
-    perfgate bounds the *ratios* between these legs (engine and
-    telemetry overhead), so they must sample the same machine
-    conditions: measured as three sequential best-of-N blocks, a
+    perfgate bounds the *ratios* between these legs (engine, telemetry
+    and hist overhead), so they must sample the same machine
+    conditions: measured as sequential best-of-N blocks, a
     noisy-neighbour phase during one block shows up as a fake 20%
     overhead in a 1-core container.  Interleaving the legs within
     each repeat — exactly as ``measure_serial_fastpath`` does — makes
-    a slow phase hit all three legs alike.
+    a slow phase hit all legs alike.
+
+    The collector is disabled across each repeat (``timeit``'s
+    convention): a generational sweep landing inside one leg but not
+    its ratio partner would add multi-percent noise to exactly the
+    ratios perfgate bounds at the few-percent level.
     """
-    best_direct = best_engine = best_telemetry = 0.0
+    best_direct = best_engine = best_telemetry = best_hist = 0.0
     samples = emissions = 0
+    hist_count = 0
     for _ in range(repeats):
-        dart = Dart(CONFIG)
-        start = time.perf_counter()
-        dart.process_batch(records)
-        elapsed = time.perf_counter() - start
-        best_direct = max(best_direct, len(records) / elapsed)
-        samples = dart.stats.samples
+        gc.collect()
+        gc.disable()
+        try:
+            dart = Dart(CONFIG)
+            start = time.perf_counter()
+            dart.process_batch(records)
+            elapsed = time.perf_counter() - start
+            best_direct = max(best_direct, len(records) / elapsed)
+            samples = dart.stats.samples
 
-        engine = MonitorEngine()
-        engine.add_monitor(Dart(CONFIG), name="dart")
-        start = time.perf_counter()
-        engine.run(records)
-        elapsed = time.perf_counter() - start
-        best_engine = max(best_engine, len(records) / elapsed)
-
-        # Telemetry leg: JSON mode writing to os.devnull — pays the
-        # full collect-snapshot-format-serialize cycle per emission
-        # but not terminal/disk I/O, which would measure the machine.
-        with open(os.devnull, "w") as sink:
-            emitter = TelemetryEmitter(
-                "json", interval_s=TELEMETRY_INTERVAL_S, stream=sink
-            )
-            engine = MonitorEngine(telemetry=emitter)
+            engine = MonitorEngine()
             engine.add_monitor(Dart(CONFIG), name="dart")
             start = time.perf_counter()
             engine.run(records)
             elapsed = time.perf_counter() - start
-        best_telemetry = max(best_telemetry, len(records) / elapsed)
-        emissions = emitter.emissions
+            best_engine = max(best_engine, len(records) / elapsed)
+
+            # Telemetry leg: JSON mode writing to os.devnull — pays the
+            # full collect-snapshot-format-serialize cycle per emission
+            # but not terminal/disk I/O, which would measure the machine.
+            with open(os.devnull, "w") as sink:
+                emitter = TelemetryEmitter(
+                    "json", interval_s=TELEMETRY_INTERVAL_S, stream=sink
+                )
+                engine = MonitorEngine(telemetry=emitter)
+                engine.add_monitor(Dart(CONFIG), name="dart")
+                start = time.perf_counter()
+                engine.run(records)
+                elapsed = time.perf_counter() - start
+            best_telemetry = max(best_telemetry, len(records) / elapsed)
+            emissions = emitter.emissions
+
+            # Distribution leg: the same engine pass with the stage
+            # swapped in for retention (HIST_FACTORY has no inner —
+            # the deployed shape; see the constant's comment).
+            hist_dart = Dart(CONFIG, analytics=HIST_FACTORY())
+            engine = MonitorEngine()
+            engine.add_monitor(hist_dart, name="dart")
+            start = time.perf_counter()
+            engine.run(records)
+            elapsed = time.perf_counter() - start
+            best_hist = max(best_hist, len(records) / elapsed)
+            hist_count = hist_dart.analytics.count
+        finally:
+            gc.enable()
     # Per-packet latency: time each process() call.  The timer calls
     # themselves add ~100ns/packet, so these numbers are comparable only
     # with each other — which is all the gate needs.
@@ -196,6 +241,11 @@ def measure_serial_trio(records, repeats: int) -> dict:
             "packets_per_second": round(best_telemetry, 1),
             "emissions": emissions,
             "interval_s": TELEMETRY_INTERVAL_S,
+        },
+        "serial_hist": {
+            "packets_per_second": round(best_hist, 1),
+            "hist_bins": HIST_FACTORY.spec.bins,
+            "hist_samples": hist_count,
         },
     }
 
@@ -551,6 +601,13 @@ def run(repeats: int, parallel: str, skip_cluster: bool, *,
           f"({(engine_pps - telemetry_pps) / engine_pps * 100.0:+.1f}% vs "
           "telemetry-off, "
           f"{results['serial_engine_telemetry']['emissions']} emissions)",
+          file=sys.stderr)
+    results["serial_hist"] = trio["serial_hist"]
+    hist_pps = results["serial_hist"]["packets_per_second"]
+    print(f"serial_hist: {hist_pps:,.0f} pps "
+          f"({(engine_pps - hist_pps) / engine_pps * 100.0:+.1f}% vs "
+          "plain engine, "
+          f"{results['serial_hist']['hist_samples']} hist samples)",
           file=sys.stderr)
     if not skip_cluster:
         cluster_reps = max(1, min(repeats, 2))

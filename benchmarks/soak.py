@@ -37,6 +37,8 @@ from typing import List, Optional
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.cluster import ClusterPartialResultWarning, ShardedMonitor  # noqa: E402
+from repro.core.analytics import CollectAllAnalytics, DstPrefixKey  # noqa: E402
+from repro.core.hist import DistributionFactory, HistogramSpec  # noqa: E402
 from repro.engine import (  # noqa: E402
     MonitorEngine,
     MonitorOptions,
@@ -60,6 +62,14 @@ from repro.traces import CampusTraceConfig, generate_campus_trace  # noqa: E402
 DEFAULT_CONNECTIONS = int(os.environ.get("REPRO_BENCH_CONNECTIONS", "5000"))
 SEED = 19
 SHARDS = 4
+#: The --hist axis distribution stage: dart-replay's acceptance shape
+#: (32 log bins keyed per destination /24), with a CollectAll inner so
+#: check_samples still sees every monitor's samples.
+HIST_FACTORY = DistributionFactory(
+    spec=HistogramSpec.log_bins(32),
+    key_fn=DstPrefixKey(24),
+    inner_factory=CollectAllAnalytics,
+)
 
 
 def build_records(connections: int):
@@ -77,7 +87,8 @@ def build_records(connections: int):
     return trace, quic_trace, merged
 
 
-def build_engine(trace, emitter, fastpath: bool = False) -> MonitorEngine:
+def build_engine(trace, emitter, options: MonitorOptions,
+                 fastpath: bool = False) -> MonitorEngine:
     """All five registered monitors on one engine; Dart sharded.
 
     With ``fastpath`` the sharded Dart's process workers decode their
@@ -88,9 +99,6 @@ def build_engine(trace, emitter, fastpath: bool = False) -> MonitorEngine:
     here and the full columnar ingest in the streaming leg.
     """
     engine = MonitorEngine(telemetry=emitter)
-    options = MonitorOptions(
-        is_client=lambda addr: trace.is_internal(addr)
-    )
     for name in available():
         spec = get_spec(name)
         if name == "dart":
@@ -135,6 +143,36 @@ def check_snapshot(path: str, failures: List[str]) -> None:
     partial = snapshot.get("dart_cluster_partial_shards_total")
     if partial is not None and sum(partial.values.values()) != 0:
         failures.append("telemetry recorded partial shards")
+
+
+def check_hist_merge(engine, records, options: MonitorOptions,
+                     failures: List[str]) -> None:
+    """The --hist axis invariant: merged-across-shards == serial.
+
+    The soaked Dart is flow-sharded across :data:`SHARDS` process
+    workers; its merged distribution (per-shard snapshots folded by
+    addition) must equal — bin for bin and sketch bucket for sketch
+    bucket — the distribution a single serial monitor builds over the
+    same records.  A second single-monitor engine pass provides that
+    reference.
+    """
+    merged = engine["dart"].monitor.distribution
+    if merged is None:
+        failures.append("hist axis: sharded Dart exposes no distribution")
+        return
+    serial_monitor = monitor_factory("dart", options)()
+    spec = get_spec("dart")
+    reference = MonitorEngine()
+    reference.add_monitor(serial_monitor, name="dart",
+                          record_kind=spec.record_kind)
+    reference.run(records)
+    serial = serial_monitor.analytics.distribution_snapshot()
+    if merged.histogram != serial.histogram:
+        failures.append("hist axis: merged shard histograms differ from "
+                        "the serial reference")
+    if merged.sketch != serial.sketch:
+        failures.append("hist axis: merged shard sketches differ from "
+                        "the serial reference")
 
 
 def check_streaming_kill_resume(tcp_records, failures: List[str],
@@ -237,6 +275,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "ingests columns — same samples required; "
                              "falls back to the object path when numpy "
                              "is unavailable (default: off)")
+    parser.add_argument("--hist", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="distribution axis: attach the histogram + "
+                             "sketch stage (32 log bins per dst /24) to "
+                             "the sharded Dart and require its merged "
+                             "distribution to equal a serial reference "
+                             "bin for bin (default: off)")
     args = parser.parse_args(argv)
 
     fastpath = args.fastpath
@@ -257,7 +302,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     emitter = TelemetryEmitter(
         "prom", interval_s=args.telemetry_interval, path=args.telemetry_out
     )
-    engine = build_engine(trace, emitter, fastpath)
+    options = MonitorOptions(
+        is_client=lambda addr: trace.is_internal(addr),
+        analytics_factory=HIST_FACTORY if args.hist else None,
+    )
+    engine = build_engine(trace, emitter, options, fastpath)
 
     failures: List[str] = []
     started = time.perf_counter()
@@ -272,6 +321,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     check_cluster_health(engine, failures)
     check_samples(engine, failures)
     check_snapshot(args.telemetry_out, failures)
+    if args.hist:
+        print("hist merge-vs-serial leg...", file=sys.stderr)
+        # TCP records only: the mixed trace's QUIC datagrams route to
+        # spinbit in the soaked engine, so Dart never saw them.
+        check_hist_merge(engine, trace.records, options, failures)
     print("streaming kill/resume leg...", file=sys.stderr)
     check_streaming_kill_resume(trace.records, failures, fastpath)
 

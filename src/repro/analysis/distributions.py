@@ -14,10 +14,18 @@ import numpy as np
 
 
 def percentile(values: Sequence[float], p: float) -> float:
-    """The p-th percentile (0..100) of a non-empty sample."""
+    """The p-th percentile (0..100) of a non-empty sample.
+
+    Delegates to :func:`repro.core.hist.exact_quantile` — the one
+    exact-percentile implementation in the tree (linear interpolation,
+    numpy-compatible), which the sketch accuracy guarantee is also
+    checked against.
+    """
+    from ..core.hist import exact_quantile
+
     if len(values) == 0:
         raise ValueError("percentile of empty sample")
-    return float(np.percentile(np.asarray(values, dtype=float), p))
+    return exact_quantile(values, p)
 
 
 def cdf(values: Sequence[float]) -> Tuple[List[float], List[float]]:

@@ -86,7 +86,10 @@ from typing import Dict, List, Optional
 #: vs object-path ``process_batch`` over identical wire bytes, sample
 #: parity asserted by the harness) with the fastpath-floor check, and
 #: pinned ``quick``/``fastpath`` into the workload identity.
-SCHEMA = "dart-perf-baseline/6"
+#: v7 added the ``serial_hist`` section (the same engine pass with the
+#: histogram+sketch distribution stage attached, interleaved with the
+#: plain engine leg) and the hist-overhead check.
+SCHEMA = "dart-perf-baseline/7"
 
 DEFAULT_THRESHOLD = 0.15
 #: Allowed fractional throughput cost of the engine layer vs calling
@@ -95,6 +98,11 @@ ENGINE_OVERHEAD_THRESHOLD = 0.05
 #: Allowed fractional throughput cost of telemetry-on vs telemetry-off
 #: for the same engine pass (DESIGN §9's overhead budget).
 TELEMETRY_OVERHEAD_THRESHOLD = 0.03
+#: Allowed fractional throughput cost of the histogram+sketch
+#: distribution stage vs the plain engine pass (DESIGN §16's budget:
+#: the stage is two bisects and a handful of adds per sample, and
+#: samples are far rarer than packets).
+HIST_OVERHEAD_THRESHOLD = 0.05
 #: Minimum 8-shard speedup over serial the cluster_scaling section must
 #: show (within-report) — deliberately below the ≥3× local target so CI
 #: runners with exactly the minimum core count pass with headroom for
@@ -300,6 +308,27 @@ def check_telemetry_overhead(
     if plain is None or telemetry is None:
         return None
     return EngineOverhead(direct_pps=plain, engine_pps=telemetry,
+                          threshold=threshold)
+
+
+def check_hist_overhead(
+    report: dict, *, threshold: float = HIST_OVERHEAD_THRESHOLD
+) -> Optional[EngineOverhead]:
+    """Compare ``serial_hist`` against ``serial_engine``.
+
+    A within-report check like :func:`check_telemetry_overhead`: the
+    two legs are interleaved in one run, so shared-machine noise
+    cancels.  Returns ``None`` (check skipped) when the report has no
+    ``serial_hist`` section — pre-v7 reports stay valid.
+    """
+    if not 0 < threshold < 1:
+        raise PerfGateError("hist-overhead threshold must be in (0, 1)")
+    flat = _flatten(report)
+    plain = flat.get("serial_engine.packets_per_second")
+    hist = flat.get("serial_hist.packets_per_second")
+    if plain is None or hist is None:
+        return None
+    return EngineOverhead(direct_pps=plain, engine_pps=hist,
                           threshold=threshold)
 
 
@@ -526,6 +555,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         default=TELEMETRY_OVERHEAD_THRESHOLD, metavar="FRAC",
                         help="allowed telemetry-on-vs-off throughput cost "
                              f"(default {TELEMETRY_OVERHEAD_THRESHOLD})")
+    parser.add_argument("--hist-overhead", type=float,
+                        default=HIST_OVERHEAD_THRESHOLD, metavar="FRAC",
+                        help="allowed distribution-stage-vs-plain engine "
+                             f"throughput cost (default "
+                             f"{HIST_OVERHEAD_THRESHOLD})")
     parser.add_argument("--scaling-only", action="store_true",
                         help="check only the cluster_scaling floor of one "
                              "report (no baseline comparison)")
@@ -620,6 +654,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         telemetry_overhead = check_telemetry_overhead(
             fresh, threshold=args.telemetry_overhead
         )
+        hist_overhead = check_hist_overhead(
+            fresh, threshold=args.hist_overhead
+        )
         scaling = check_cluster_scaling(
             fresh, floor=args.scaling_floor,
             min_cores=args.scaling_min_cores,
@@ -662,6 +699,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 "perfgate: telemetry costs more than "
                 f"{args.telemetry_overhead:.0%} over a telemetry-off run",
+                file=sys.stderr,
+            )
+            failed = True
+    if hist_overhead is not None:
+        verdict = "FAIL" if hist_overhead.exceeded else "ok"
+        print(f"hist overhead: "
+              f"{hist_overhead.overhead_percent:+.1f}% "
+              f"vs plain engine pass (limit "
+              f"{hist_overhead.threshold:.0%})  {verdict}")
+        if hist_overhead.exceeded:
+            print(
+                "perfgate: the distribution stage costs more than "
+                f"{args.hist_overhead:.0%} over a plain engine run",
                 file=sys.stderr,
             )
             failed = True

@@ -100,6 +100,58 @@ class QuantileSketch:
     def bucket_count(self) -> int:
         return len(self._buckets) + (1 if self._zero_count else 0)
 
+    # -- state (JSON-safe; fleet wire + checkpoint transport) ----------------
+
+    def state_dict(self) -> Dict:
+        """Freeze the sketch into plain JSON-safe data."""
+        return {
+            "alpha": self.alpha,
+            "max_buckets": self._max_buckets,
+            "buckets": [[index, self._buckets[index]]
+                        for index in sorted(self._buckets)],
+            "zero_count": self._zero_count,
+            "count": self.count,
+            "min": self._min,
+            "max": self._max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "QuantileSketch":
+        """Rebuild a sketch from :meth:`state_dict` output."""
+        sketch = cls(alpha=state["alpha"], max_buckets=state["max_buckets"])
+        sketch._buckets = {int(index): int(weight)
+                           for index, weight in state["buckets"]}
+        sketch._zero_count = int(state["zero_count"])
+        sketch.count = int(state["count"])
+        sketch._min = state["min"]
+        sketch._max = state["max"]
+        return sketch
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            abs(other.alpha - self.alpha) <= 1e-12
+            and self._max_buckets == other._max_buckets
+            and self._buckets == other._buckets
+            and self._zero_count == other._zero_count
+            and self.count == other.count
+            and self._min == other._min
+            and self._max == other._max
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __getstate__(self) -> Dict:
+        # Canonical bucket order: insertion order varies with merge and
+        # flush grouping, and checkpoint bytes must not depend on when
+        # (or whether) the sketch was read mid-run.
+        state = dict(self.__dict__)
+        state["_buckets"] = {
+            index: self._buckets[index] for index in sorted(self._buckets)
+        }
+        return state
+
     # -- composition ----------------------------------------------------------------
 
     def merge(self, other: "QuantileSketch") -> None:

@@ -30,6 +30,12 @@ from ..engine import (
 )
 from ..obs import add_telemetry_arguments, emitter_from_args
 from ..traces import CampusTraceConfig, generate_campus_trace, replay
+from .distargs import (
+    add_distribution_arguments,
+    distribution_factory_from_args,
+    distribution_rows,
+    monitor_distribution,
+)
 
 LARGE_RT = 1 << 18
 
@@ -73,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "columnar engine — same metrics, higher "
                              "throughput; falls back to the object path "
                              "when numpy is unavailable (default: off)")
+    add_distribution_arguments(parser)
     add_telemetry_arguments(parser)
     return parser
 
@@ -124,15 +131,25 @@ def main(argv: Optional[list] = None) -> int:
                   "installed); using the object path", file=sys.stderr)
             fastpath = False
 
+    from ..core.analytics import CollectAllAnalytics
+
+    # evaluate_dart reads per-sample RTTs, so the distribution stage
+    # wraps a CollectAll inner (same arrangement as dart-replay).
+    dist_factory = distribution_factory_from_args(
+        args, inner_factory=CollectAllAnalytics
+    )
+
     def build_monitor(config):
         if args.shards > 1:
             from ..cluster import ShardedDart
 
             return ShardedDart(config, shards=args.shards,
                                parallel=args.parallel,
+                               analytics_factory=dist_factory,
                                transport=args.transport, leg_filter=leg(),
                                fastpath=fastpath)
-        return Dart(config, leg_filter=leg())
+        analytics = dist_factory() if dist_factory is not None else None
+        return Dart(config, analytics=analytics, leg_filter=leg())
 
     extra = list(dict.fromkeys(args.monitors or ()))
     emitter = emitter_from_args(args)
@@ -225,6 +242,18 @@ def main(argv: Optional[list] = None) -> int:
                   if args.shards > 1 else "")),
         float_format="{:.3f}",
     ))
+    if dist_factory is not None and points:
+        # One distribution table per sweep — each point carries its own
+        # histogram/sketch stage over the identical trace.
+        print()
+        for label, dart in points:
+            distribution = monitor_distribution(dart)
+            if distribution is None:
+                continue
+            print(render_table(
+                ["quantity", "value"], distribution_rows(distribution),
+                title=f"distribution @ {args.sweep}={label}",
+            ))
     return 0
 
 

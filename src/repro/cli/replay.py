@@ -26,6 +26,12 @@ from ..core import DartConfig, make_leg_filter
 from ..engine import MonitorEngine, MonitorOptions, available, create, get_spec
 from ..net.inet import ipv4_to_int, prefix_of
 from ..obs import add_telemetry_arguments, emitter_from_args
+from .distargs import (
+    add_distribution_arguments,
+    distribution_factory_from_args,
+    distribution_rows,
+    monitor_distribution,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--flows", type=int, metavar="N", default=0,
                         help="print per-flow summaries for the N busiest "
                              "flows")
+    add_distribution_arguments(parser)
     add_telemetry_arguments(parser)
     return parser
 
@@ -122,6 +129,8 @@ def build_options(args) -> MonitorOptions:
         def is_client(addr: int) -> bool:
             return prefix_of(addr, length) == network
 
+    from ..core.analytics import CollectAllAnalytics
+
     return MonitorOptions(
         config=DartConfig(
             rt_slots=args.rt_slots,
@@ -133,6 +142,11 @@ def build_options(args) -> MonitorOptions:
         leg_filter=build_leg_filter(args),
         track_handshake=args.handshake,
         is_client=is_client,
+        # The distribution stage wraps a CollectAll inner so the replay
+        # summary's per-sample reads (`monitor.samples`) keep working.
+        analytics_factory=distribution_factory_from_args(
+            args, inner_factory=CollectAllAnalytics
+        ),
     )
 
 
@@ -277,6 +291,9 @@ def main(argv: Optional[list] = None) -> int:
     ignored_syn = getattr(stats, "ignored_syn", None)
     if ignored_syn is not None:
         rows.append(["SYNs ignored", ignored_syn])
+    distribution = monitor_distribution(primary)
+    if distribution is not None:
+        rows += distribution_rows(distribution)
     title = "dart-replay" if len(monitors) == 1 else (
         f"dart-replay ({monitors[0]})"
     )

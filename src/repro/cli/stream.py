@@ -44,6 +44,7 @@ from ..engine import (
 from ..net.inet import ipv4_to_int, prefix_of
 from ..net.packet import NS_PER_MS
 from ..obs import add_telemetry_arguments, emitter_from_args
+from .distargs import add_distribution_arguments, build_distribution
 from ..stream import (
     AnalyticsTap,
     CaptureFileSource,
@@ -162,11 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="--follow: give up (and finalize) after this "
                              "long with no new records (default: wait "
                              "forever)")
+    add_distribution_arguments(parser)
     add_telemetry_arguments(parser)
     return parser
 
 
-def build_analytics(args) -> Optional[MinFilterAnalytics]:
+def build_analytics(args):
+    """Min-filter windows, a distribution stage wrapping them, or None.
+
+    With ``--hist-bins``/``--hist-edges``/``--quantiles`` the min-filter
+    (when configured) becomes the distribution stage's delegated inner,
+    so windows, checkpoints, and drains all keep working unchanged.
+    """
     if args.window_samples is None and args.window_ms is None:
         if args.window_prefix is not None:
             raise SystemExit(
@@ -176,13 +184,13 @@ def build_analytics(args) -> Optional[MinFilterAnalytics]:
             raise SystemExit(
                 "--windows requires --window-samples or --window-ms"
             )
-        return None
+        return build_distribution(args)
     key_fn = (
         DstPrefixKey(args.window_prefix)
         if args.window_prefix is not None
         else None
     )
-    return MinFilterAnalytics(
+    min_filter = MinFilterAnalytics(
         window_samples=args.window_samples,
         window_ns=(
             int(args.window_ms * NS_PER_MS)
@@ -192,6 +200,7 @@ def build_analytics(args) -> Optional[MinFilterAnalytics]:
         key_fn=key_fn,
         retain_windows=args.retain_windows,
     )
+    return build_distribution(args, inner=min_filter)
 
 
 def build_leg_filter(args) -> Optional[PrefixLegFilter]:
@@ -379,6 +388,16 @@ def main(argv: Optional[list] = None) -> int:
     ending = "stopped by signal" if report.stopped else "source exhausted"
     print(f"dart-stream: {ending} after {report.records} records "
           f"({report.wall_seconds:.1f}s)")
+    snapshot = getattr(analytics, "distribution_snapshot", None)
+    if callable(snapshot):
+        distribution = snapshot()
+        if distribution.count:
+            quantiles = "  ".join(
+                f"p{q:g}={rtt_ns / 1e6:.3f}ms"
+                for q, rtt_ns in distribution.percentiles().items()
+            )
+            print(f"  distribution: {distribution.count} samples  "
+                  f"{quantiles}")
     print(f"  rotations: {report.rotations}  "
           f"checkpoints: {report.checkpoints}  "
           f"windows shipped: {report.windows_shipped}")

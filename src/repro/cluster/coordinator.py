@@ -400,6 +400,21 @@ class ShardedDart:
         return self._require_merged().window_history
 
     @property
+    def distribution(self) -> Optional[Any]:
+        """Merged histogram/sketch distribution (None when not enabled).
+
+        Like :attr:`stats`, reading this finalizes the cluster if the
+        trace has not been finalized yet.  Per-shard snapshots merge by
+        addition; flow-consistent sharding makes the result equal a
+        serial monitor's distribution bin for bin.
+        """
+        if self.dart is not None:
+            analytics = getattr(self.dart, "analytics", None)
+            snapshot = getattr(analytics, "distribution_snapshot", None)
+            return snapshot() if callable(snapshot) else None
+        return self._require_merged().distribution
+
+    @property
     def shard_results(self) -> List[ShardResult]:
         """Per-shard results (shard id order); finalizes if needed."""
         if self.dart is not None:
@@ -482,6 +497,10 @@ class ShardedDart:
         ).set_cumulative((name, ""), self._merged.windows_lost)
         if self._merged.telemetry is not None:
             registry.absorb(self._merged.telemetry)
+        if self._merged.distribution is not None:
+            from ..obs.collect import collect_distribution
+
+            collect_distribution(registry, self._merged.distribution, name)
 
     def range_collapses(self) -> int:
         """Total Range Tracker collapses across shards.

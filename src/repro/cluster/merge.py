@@ -109,6 +109,26 @@ def absorb_window_history(
     return analytics
 
 
+def merge_distributions(results: Sequence[ShardResult]) -> Optional[Any]:
+    """Fold the shards' distribution snapshots by addition.
+
+    Seeds the fold with a deep copy (distribution stages carry
+    configuration — bin edges, alpha — so there is no zero-argument
+    construction) and merges the rest in, leaving every shard's own
+    snapshot untouched.  ``None`` when no shard carried one.
+    """
+    distributions = [r.distribution for r in results
+                     if r.distribution is not None]
+    if not distributions:
+        return None
+    from copy import deepcopy
+
+    merged = deepcopy(distributions[0])
+    for distribution in distributions[1:]:
+        merged.merge(distribution)
+    return merged
+
+
 def merge_telemetry(results: Sequence[ShardResult]) -> Optional[Any]:
     """Sum the shards' obs snapshots (None when no shard carried one)."""
     snapshots = [r.telemetry for r in results if r.telemetry is not None]
@@ -152,4 +172,5 @@ def merge_results(results: Iterable[ShardResult]) -> ShardResult:
         partial=any(r.partial for r in ordered),
         windows_lost=sum(r.windows_lost for r in ordered),
         telemetry=merge_telemetry(ordered),
+        distribution=merge_distributions(ordered),
     )

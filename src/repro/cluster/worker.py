@@ -133,6 +133,12 @@ class ShardResult:
     #: Worker-side :class:`repro.obs.Snapshot`; plain data, so it ships
     #: across the process boundary and merges by summation.
     telemetry: Optional[Any] = None
+    #: Distribution analytics snapshot
+    #: (:class:`repro.core.hist.DistributionAnalytics` without its inner
+    #: module) when the shard's monitor carried one; merges by addition
+    #: — flow-consistent sharding makes the merged histogram equal a
+    #: serial run's bin for bin.
+    distribution: Optional[Any] = None
 
 
 def harvest(
@@ -176,7 +182,22 @@ def harvest(
         partial=partial,
         windows_lost=windows_lost,
         telemetry=_shard_telemetry(shard_id, monitor),
+        distribution=_shard_distribution(monitor),
     )
+
+
+def _shard_distribution(monitor: Any) -> Optional[Any]:
+    """The monitor's distribution analytics snapshot, if it keeps one.
+
+    Duck-typed like the other harvest surfaces: any analytics exposing
+    ``distribution_snapshot()`` ships its histogram/sketch state home
+    inside the ShardResult; everything else harvests ``None``.
+    """
+    analytics = getattr(monitor, "analytics", None)
+    snapshot = getattr(analytics, "distribution_snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    return None
 
 
 def _open_window_count(monitor: Any) -> int:

@@ -19,6 +19,16 @@ from .analytics import (
 )
 from .config import DartConfig, ideal_config, paper_default_config
 from .flow import FlowKey, ack_target_flow, flow_of
+from .hist import (
+    DistributionAnalytics,
+    DistributionFactory,
+    HistogramSpec,
+    RttHistogram,
+    RttHistogramAnalytics,
+    RttSketchAnalytics,
+    describe_key,
+    exact_quantile,
+)
 from .packet_tracker import (
     AssociativePacketTable,
     InsertStatus,
@@ -56,8 +66,11 @@ __all__ = [
     "Dart",
     "DartConfig",
     "DartStats",
+    "DistributionAnalytics",
+    "DistributionFactory",
     "EXTERNAL_LEG",
     "FlowKey",
+    "HistogramSpec",
     "INTERNAL_LEG",
     "InsertStatus",
     "MinFilterAnalytics",
@@ -67,7 +80,10 @@ __all__ = [
     "PtRecord",
     "RangeEntry",
     "RangeTracker",
+    "RttHistogram",
+    "RttHistogramAnalytics",
     "RttSample",
+    "RttSketchAnalytics",
     "SampleCollector",
     "SeqVerdict",
     "StagedPacketTable",
@@ -77,7 +93,9 @@ __all__ = [
     "WindowMinimum",
     "ack_target_flow",
     "arithmetic_payload_size",
+    "describe_key",
     "dst_prefix_key",
+    "exact_quantile",
     "flow_of",
     "ideal_config",
     "make_leg_filter",

@@ -39,6 +39,13 @@ class MonitorOptions:
     leg_filter: Optional[Callable] = None  # dart, tcptrace, strawman, dapper
     target_filter: Optional[Callable] = None  # dart
     analytics: Optional[object] = None  # dart
+    #: Builds a fresh analytics instance per monitor — required when one
+    #: options bundle configures several shard workers (a shared
+    #: ``analytics`` instance would double-count under thread/serial
+    #: sharding).  Takes precedence over ``analytics``.  Must be
+    #: picklable for process-mode shards (a frozen-dataclass callable
+    #: like :class:`repro.core.hist.DistributionFactory`).
+    analytics_factory: Optional[Callable[[], object]] = None  # dart
     track_handshake: bool = False  # tcptrace, strawman, dapper
     table_slots: Optional[int] = None  # strawman
     timeout_ns: Optional[int] = None  # strawman
@@ -107,9 +114,14 @@ def monitor_factory(
 
 
 def _build_dart(opts: MonitorOptions) -> Dart:
+    analytics = (
+        opts.analytics_factory()
+        if opts.analytics_factory is not None
+        else opts.analytics
+    )
     return Dart(
         opts.config or DartConfig(),
-        analytics=opts.analytics,
+        analytics=analytics,
         leg_filter=opts.leg_filter,
         target_filter=opts.target_filter,
     )

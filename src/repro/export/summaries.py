@@ -13,6 +13,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.sketch import QuantileSketch
 from ..core.flow import FlowKey
+from ..core.hist import DEFAULT_QUANTILES
 from ..core.samples import RttSample
 
 
@@ -52,14 +53,25 @@ class FlowSummary:
         return (self._m2 / (self.count - 1)) ** 0.5
 
     def percentile_ns(self, p: float) -> float:
+        """Sketch-estimated percentile — the one percentile entry point
+        here; exact percentiles (when per-sample data exists) live in
+        :func:`repro.core.hist.exact_quantile`."""
         return self._sketch.quantile(p)
 
+    def percentiles_ns(
+        self, qs: tuple = DEFAULT_QUANTILES
+    ) -> Dict[float, float]:
+        return {q: self.percentile_ns(q) for q in qs}
+
     def describe(self) -> str:
+        quantiles = "  ".join(
+            f"p{q:g}={rtt_ns / 1e6:.2f}ms"
+            for q, rtt_ns in self.percentiles_ns((50.0, 95.0)).items()
+        )
         return (
             f"{self.flow.describe()}  n={self.count}  "
             f"min={self.min_ns / 1e6:.2f}ms  "
-            f"p50={self.percentile_ns(50) / 1e6:.2f}ms  "
-            f"p95={self.percentile_ns(95) / 1e6:.2f}ms  "
+            f"{quantiles}  "
             f"max={self.max_ns / 1e6:.2f}ms"
         )
 

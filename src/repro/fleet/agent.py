@@ -38,7 +38,13 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..core.analytics import WindowMinimum
 from ..core.flow import FlowKey
 from ..stream.runner import StreamHook
-from .wire import encode_frame, key_to_wire, stats_to_wire, window_to_wire
+from .wire import (
+    distribution_to_wire,
+    encode_frame,
+    key_to_wire,
+    stats_to_wire,
+    window_to_wire,
+)
 
 __all__ = [
     "CollectorClient",
@@ -356,8 +362,15 @@ class FleetExporter(StreamHook):
                 sequence=self.telemetry.emissions
             ).to_wire()
         windows_closed = 0
+        distribution_wire = None
         if self.analytics is not None:
-            windows_closed = self.analytics.windows_closed
+            # The analytics may be a bare MinFilterAnalytics, a bare
+            # distribution stage, or a distribution wrapping a min
+            # filter — read both surfaces through guards.
+            windows_closed = getattr(self.analytics, "windows_closed", 0)
+            snapshot = getattr(self.analytics, "distribution_snapshot", None)
+            if callable(snapshot):
+                distribution_wire = distribution_to_wire(snapshot())
         return {
             "monitor": self.monitor_name,
             "records": records,
@@ -369,6 +382,7 @@ class FleetExporter(StreamHook):
             "windows": [window_to_wire(w) for w in self._pending_windows],
             "windows_closed": windows_closed,
             "telemetry": telemetry_wire,
+            "distribution": distribution_wire,
             "final": final,
         }
 

@@ -53,6 +53,7 @@ from .wire import (
     Frame,
     FrameCorrupt,
     WireError,
+    distribution_from_wire,
     key_from_wire,
     key_to_wire,
     read_frame,
@@ -86,6 +87,11 @@ class AgentState:
     records: Dict[str, int] = field(default_factory=dict)
     #: Latest cumulative telemetry snapshot (None until one arrives).
     telemetry: Optional[Snapshot] = None
+    #: Latest cumulative distribution snapshot per monitor name
+    #: (histogram + sketch stages, wire-decoded).  Replacement under
+    #: the (epoch, seq) guard, like ``stats`` — cumulative deltas make
+    #: a resumed agent replace rather than double-count itself.
+    distribution: Dict[str, Any] = field(default_factory=dict)
     #: Agent-reported cumulative closed-window count.
     windows_closed: int = 0
     #: Deduped windows actually merged from this agent.
@@ -210,6 +216,10 @@ class FleetCollector:
                 state.records[monitor] = int(payload["records"])
             if payload.get("telemetry") is not None:
                 state.telemetry = Snapshot.from_wire(payload["telemetry"])
+            if payload.get("distribution") is not None:
+                state.distribution[monitor] = distribution_from_wire(
+                    payload["distribution"]
+                )
             if "windows_closed" in payload:
                 state.windows_closed = int(payload["windows_closed"])
             for wire_flow in payload.get("flows", ()):
@@ -271,6 +281,29 @@ class FleetCollector:
             for monitor, items in sorted(by_monitor.items())
         }
 
+    def merged_distribution(self) -> Dict[str, Any]:
+        """Per-monitor distributions summed across agents' latest deltas.
+
+        Addition across agents is exact because every agent's snapshot
+        is cumulative and the (epoch, seq) guard already collapsed each
+        agent to its newest self — the same replacement-then-sum rule as
+        :meth:`merged_stats`.
+        """
+        from copy import deepcopy
+
+        with self._lock:
+            by_monitor: Dict[str, List[Any]] = {}
+            for state in self._agents.values():
+                for monitor, distribution in state.distribution.items():
+                    by_monitor.setdefault(monitor, []).append(distribution)
+        merged: Dict[str, Any] = {}
+        for monitor, items in sorted(by_monitor.items()):
+            folded = deepcopy(items[0])
+            for item in items[1:]:
+                folded.merge(item)
+            merged[monitor] = folded
+        return merged
+
     def merged_telemetry(self) -> Optional[Snapshot]:
         with self._lock:
             snapshots = [a.telemetry for a in self._agents.values()
@@ -304,6 +337,7 @@ class FleetCollector:
         from .wire import stats_to_wire, window_to_wire
 
         merged = self.merged_stats()
+        merged_distribution = self.merged_distribution()
         detector = self.run_detector()
         with self._lock:
             agents = {
@@ -333,6 +367,16 @@ class FleetCollector:
             "stale_deltas_dropped": stale,
             "corrupt_frames": corrupt,
             "stats": {m: stats_to_wire(s) for m, s in merged.items()},
+            "distribution": {
+                m: {
+                    "samples": d.count,
+                    "quantiles_ns": {
+                        f"p{q:g}": rtt_ns
+                        for q, rtt_ns in d.percentiles().items()
+                    },
+                }
+                for m, d in merged_distribution.items()
+            },
             "windows": len(self.merged_windows()),
             "windows_lost": sum(a["windows_lost"] for a in agents.values()),
             "flows": {
@@ -425,6 +469,10 @@ class FleetCollector:
         telemetry, in a single scrape body."""
         registry = MetricsRegistry()
         self.collect_telemetry(registry)
+        from ..obs.collect import collect_distribution
+
+        for monitor, distribution in self.merged_distribution().items():
+            collect_distribution(registry, distribution, monitor)
         text = to_prometheus(registry.snapshot())
         merged = self.merged_telemetry()
         if merged is not None:

@@ -39,11 +39,18 @@ import struct
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Dict, List, Optional, Tuple, Type
 
+from ..analysis.sketch import QuantileSketch
 from ..baselines.dapper import DapperStats
 from ..baselines.strawman import StrawmanStats
 from ..baselines.tcptrace import TcpTraceStats
-from ..core.analytics import WindowMinimum
+from ..core.analytics import DstPrefixKey, WindowMinimum, flow_key
 from ..core.flow import FlowKey, intern_flow
+from ..core.hist import (
+    DistributionAnalytics,
+    RttHistogram,
+    RttHistogramAnalytics,
+    RttSketchAnalytics,
+)
 from ..core.pipeline import DartStats
 from ..core.range_tracker import AckVerdict, SeqVerdict
 from ..quic.monitor import SpinBitStats
@@ -263,6 +270,104 @@ def window_from_wire(wire: Dict[str, Any]) -> WindowMinimum:
         sample_count=int(wire["samples"]),
         closed_at_ns=int(wire["closed_at_ns"]),
     )
+
+
+# -- distribution codec -------------------------------------------------------
+#
+# Histogram/sketch analytics snapshots ride delta payloads as cumulative
+# state: the collector keeps the latest per agent (replacement under the
+# (epoch, seq) stamp) and sums across agents, exactly like stats.  The
+# key function crosses as a small tagged object because the receiving
+# side must rebuild a *mergeable* stage — merging stages keyed
+# differently is refused, and that check needs the key function.
+
+def _key_fn_to_wire(key_fn: Any) -> Dict[str, Any]:
+    if key_fn is flow_key:
+        return {"t": "flow_fn"}
+    if isinstance(key_fn, DstPrefixKey):
+        return {"t": "prefix_fn", "len": key_fn.prefix_len}
+    raise ValueError(
+        f"cannot encode key function {key_fn!r} (flow_key and "
+        "DstPrefixKey cross the wire)"
+    )
+
+
+def _key_fn_from_wire(wire: Dict[str, Any]) -> Any:
+    tag = wire.get("t")
+    if tag == "flow_fn":
+        return flow_key
+    if tag == "prefix_fn":
+        return DstPrefixKey(int(wire["len"]))
+    raise FrameCorrupt(f"unknown key-function tag {tag!r}")
+
+
+def _sorted_keyed_states(per_key: Dict[Any, Any]) -> List[List[Any]]:
+    """Deterministic [[key_wire, state], ...] (sorted by encoded key)."""
+    entries = [
+        (key_to_wire(key), value.state_dict())
+        for key, value in per_key.items()
+    ]
+    entries.sort(key=lambda e: json.dumps(e[0], sort_keys=True))
+    return [list(e) for e in entries]
+
+
+def distribution_to_wire(distribution: Any) -> Dict[str, Any]:
+    """Encode a distribution snapshot as a JSON-safe object."""
+    flush = getattr(distribution, "_flush", None)
+    if callable(flush):
+        flush()  # fold any buffered per-key deltas before reading state
+    hist_stage = distribution.histogram
+    sketch_stage = distribution.sketch
+    return {
+        "quantiles": list(distribution.quantiles),
+        "key_fn": _key_fn_to_wire(hist_stage.key_fn),
+        "hist": {
+            "total": hist_stage.total.state_dict(),
+            "per_key": _sorted_keyed_states(hist_stage.per_key),
+        },
+        "sketch": {
+            "alpha": sketch_stage.alpha,
+            "max_buckets": sketch_stage.max_buckets,
+            "total": sketch_stage.total.state_dict(),
+            "per_key": _sorted_keyed_states(sketch_stage.per_key),
+        },
+    }
+
+
+def distribution_from_wire(wire: Dict[str, Any]) -> DistributionAnalytics:
+    """Decode :func:`distribution_to_wire` output into a mergeable stage."""
+    try:
+        key_fn = _key_fn_from_wire(wire["key_fn"])
+        hist_wire = wire["hist"]
+        sketch_wire = wire["sketch"]
+        total_hist = RttHistogram.from_state(hist_wire["total"])
+        histogram = RttHistogramAnalytics(total_hist.spec, key_fn=key_fn)
+        histogram.total = total_hist
+        for key_wire, state in hist_wire["per_key"]:
+            histogram.per_key[key_from_wire(key_wire)] = \
+                RttHistogram.from_state(state)
+        sketch = RttSketchAnalytics(
+            alpha=float(sketch_wire["alpha"]),
+            max_buckets=sketch_wire["max_buckets"],
+            key_fn=key_fn,
+        )
+        sketch.total = QuantileSketch.from_state(sketch_wire["total"])
+        for key_wire, state in sketch_wire["per_key"]:
+            sketch.per_key[key_from_wire(key_wire)] = \
+                QuantileSketch.from_state(state)
+        distribution = DistributionAnalytics.__new__(DistributionAnalytics)
+        distribution.histogram = histogram
+        distribution.sketch = sketch
+        distribution.quantiles = tuple(
+            float(q) for q in wire["quantiles"]
+        )
+        distribution._inner = None
+        distribution._rebind_caches()
+        return distribution
+    except FrameCorrupt:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrameCorrupt(f"malformed distribution payload: {exc}") from exc
 
 
 # -- stats codec --------------------------------------------------------------

@@ -1,16 +1,22 @@
 """Tofino resource model (Table 1)."""
 
 from .estimate import (
+    HIST_COUNTER_BITS,
+    HW_HIST_KEYS,
     PAPER_TABLE1,
     Component,
     ResourceUsage,
     dart_components,
+    estimate_histogram,
     estimate_resources,
+    histogram_component,
 )
 from .tofino import TARGETS, TOFINO1, TOFINO2, TofinoModel
 
 __all__ = [
     "Component",
+    "HIST_COUNTER_BITS",
+    "HW_HIST_KEYS",
     "PAPER_TABLE1",
     "ResourceUsage",
     "TARGETS",
@@ -18,5 +24,7 @@ __all__ = [
     "TOFINO2",
     "TofinoModel",
     "dart_components",
+    "estimate_histogram",
     "estimate_resources",
+    "histogram_component",
 ]

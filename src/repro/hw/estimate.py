@@ -41,6 +41,18 @@ PT_RECORD_BITS = 96
 HW_RT_SLOTS = 1 << 13
 HW_PT_SLOTS = 1 << 13
 
+#: Histogram stage (repro.core.hist): bits per bin counter register.
+#: 32-bit saturating counters survive line rate between collector
+#: harvests; the collector's per-emission copy resets nothing, so the
+#: counters are cumulative like the rest of the data-plane state.
+HIST_COUNTER_BITS = 32
+#: Per-key running-sum register (ns sums need the wide pair).
+HIST_SUM_BITS = 64
+#: Tracked keys in the deployed per-prefix configuration (/24s behind
+#: a campus border see ~1k active prefixes; the table is hash-indexed
+#: like the RT/PT, so overflow degrades to the aggregate histogram).
+HW_HIST_KEYS = 1 << 10
+
 
 @dataclass(frozen=True)
 class Component:
@@ -118,6 +130,71 @@ def _classification(
         hash_units=hash_units,
         sram_bits=logical_tables * 4 * 1024,  # action/indirection memory
     )
+
+
+def histogram_component(
+    bins: int,
+    *,
+    keys: int = HW_HIST_KEYS,
+    counter_bits: int = HIST_COUNTER_BITS,
+) -> Component:
+    """The fixed-bin RTT histogram stage (repro.core.hist) as hardware.
+
+    Structure mirrors the software stage exactly: a range-match table
+    maps the computed RTT to a bin index (one TCAM-free logical table —
+    log-spaced edges compile to a ternary range ladder held in SRAM
+    action memory), then one register array of ``bins`` counters per
+    tracked key plus the aggregate row, and a sum/count register pair
+    per key for the ``_sum``/``_count`` series.  Cost is dominated by
+    ``bins x keys x counter_bits`` of SRAM; one hash unit indexes the
+    key row (same hash path the RT already computes, but budgeted
+    separately so the what-if stays conservative).
+    """
+    if bins < 1:
+        raise ValueError("bins must be positive")
+    if keys < 0:
+        raise ValueError("keys must be non-negative")
+    rows = keys + 1  # per-key rows + the key="" aggregate row
+    bin_bits = bins * rows * counter_bits
+    sum_count_bits = rows * (HIST_SUM_BITS + counter_bits)
+    return Component(
+        name=f"rtt histogram ({bins} bins x {keys} keys)",
+        sram_bits=bin_bits + sum_count_bits,
+        # bin-index range ladder + counter update + sum/count update.
+        logical_tables=3,
+        hash_units=1,
+        crossbar_bytes=8,
+    )
+
+
+def estimate_histogram(
+    target: str,
+    *,
+    bins: int,
+    keys: int = HW_HIST_KEYS,
+    counter_bits: int = HIST_COUNTER_BITS,
+) -> Dict[str, ResourceUsage]:
+    """Incremental cost of the histogram stage against one target.
+
+    The DESIGN §16 cost table is generated from this: usage is the
+    stage alone (not Dart plus the stage), answering "what does turning
+    the histogram on add?".
+    """
+    model: TofinoModel = TARGETS[target]
+    component = histogram_component(
+        bins, keys=keys, counter_bits=counter_bits
+    )
+    totals = {
+        "TCAM": (component.tcam_bits, model.tcam_bits),
+        "SRAM": (component.sram_bits, model.sram_bits),
+        "Hash Units": (component.hash_units, model.hash_units),
+        "Logical Tables": (component.logical_tables, model.logical_tables),
+        "Input Crossbars": (component.crossbar_bytes, model.crossbar_bytes),
+    }
+    return {
+        name: ResourceUsage(resource=name, used=used, capacity=capacity)
+        for name, (used, capacity) in totals.items()
+    }
 
 
 def dart_components(

@@ -24,7 +24,14 @@ Layers:
   and the shared ``--telemetry`` CLI flag family.
 """
 
-from .collect import MONITOR_LABELS, VERDICT_LABELS, collect_monitor, collect_stats
+from .collect import (
+    DISTRIBUTION_LABELS,
+    MONITOR_LABELS,
+    VERDICT_LABELS,
+    collect_distribution,
+    collect_monitor,
+    collect_stats,
+)
 from .emitter import (
     DEFAULT_INTERVAL_S,
     TELEMETRY_MODES,
@@ -60,6 +67,7 @@ __all__ = [
     "DEFAULT_TIME_BUCKETS",
     "Gauge",
     "Histogram",
+    "DISTRIBUTION_LABELS",
     "MONITOR_LABELS",
     "MetricSnapshot",
     "MetricsRegistry",
@@ -71,6 +79,7 @@ __all__ = [
     "VERDICT_LABELS",
     "absorb_into_registry",
     "add_telemetry_arguments",
+    "collect_distribution",
     "collect_monitor",
     "collect_stats",
     "emitter_from_args",

@@ -26,6 +26,13 @@ from .metrics import MetricsRegistry
 #: Labels every per-monitor metric carries.
 MONITOR_LABELS: Tuple[str, ...] = ("monitor", "shard")
 VERDICT_LABELS: Tuple[str, ...] = ("monitor", "shard", "verdict")
+#: Distribution metrics add the aggregation key (flow or prefix);
+#: ``key=""`` is the all-traffic aggregate.
+DISTRIBUTION_LABELS: Tuple[str, ...] = ("monitor", "shard", "key")
+
+#: Per-key labelsets emitted per distribution metric (the aggregate
+#: rides on top).  Bounds scrape size when the stage keys per flow.
+DISTRIBUTION_TOP_KEYS = 16
 
 
 def _verdict_name(verdict: Any) -> str:
@@ -64,6 +71,76 @@ def collect_stats(registry: MetricsRegistry, stats: Any,
                 )
 
 
+def _quantile_suffix(q: float) -> str:
+    """``50.0`` -> ``"50"``, ``99.9`` -> ``"99_9"`` (metric-name safe)."""
+    if q == int(q):
+        return str(int(q))
+    return str(q).replace(".", "_")
+
+
+def collect_distribution(registry: MetricsRegistry, distribution: Any,
+                         monitor: str, shard: str = "",
+                         top_keys: int = DISTRIBUTION_TOP_KEYS) -> None:
+    """Sample a distribution analytics stage into the registry.
+
+    Emits ``dart_rtt_hist`` (rendered by the Prometheus exporter as
+    cumulative ``dart_rtt_hist_bucket``/``_sum``/``_count`` series, in
+    seconds) and sketch-derived ``dart_rtt_p<q>`` gauges.  Each metric
+    carries the all-traffic aggregate under ``key=""`` plus the
+    ``top_keys`` busiest per-key series — copied with one
+    :meth:`~repro.obs.metrics.Histogram.set_state` per labelset, so
+    telemetry stays zero-cost per packet.
+    """
+    flush = getattr(distribution, "_flush", None)
+    if callable(flush):
+        flush()  # fold any buffered per-key deltas before reading state
+    hist_stage = distribution.histogram
+    if hist_stage.total.count == 0:
+        return
+    buckets_s = tuple(edge / 1e9 for edge in hist_stage.spec.edges_ns)
+    hist = registry.histogram(
+        "dart_rtt_hist",
+        "RTT distribution (seconds) from the fixed-bin analytics stage",
+        DISTRIBUTION_LABELS, buckets=buckets_s,
+    )
+
+    def busiest(per_key):
+        ranked = sorted(
+            per_key.items(),
+            key=lambda kv: (-kv[1].count, distribution.key_label(kv[0])),
+        )
+        return ranked[:top_keys]
+
+    hist.set_state(
+        (monitor, shard, ""),
+        hist_stage.total.counts,
+        hist_stage.total.sum_ns / 1e9,
+        hist_stage.total.count,
+    )
+    for key, per_key_hist in busiest(hist_stage.per_key):
+        hist.set_state(
+            (monitor, shard, distribution.key_label(key)),
+            per_key_hist.counts,
+            per_key_hist.sum_ns / 1e9,
+            per_key_hist.count,
+        )
+
+    sketch_stage = distribution.sketch
+    for q in distribution.quantiles:
+        gauge = registry.gauge(
+            f"dart_rtt_p{_quantile_suffix(q)}",
+            f"Sketch-estimated p{q:g} RTT (seconds)",
+            DISTRIBUTION_LABELS,
+        )
+        if sketch_stage.total.count:
+            gauge.set((monitor, shard, ""),
+                      sketch_stage.total.quantile(q) / 1e9)
+        for key, sketch in busiest(sketch_stage.per_key):
+            if sketch.count:
+                gauge.set((monitor, shard, distribution.key_label(key)),
+                          sketch.quantile(q) / 1e9)
+
+
 def collect_monitor(registry: MetricsRegistry, monitor: Any,
                     name: str, shard: str = "") -> None:
     """Sample one monitor's observable state into the registry.
@@ -84,6 +161,10 @@ def collect_monitor(registry: MetricsRegistry, monitor: Any,
         return
     labels = (name, shard)
     collect_stats(registry, monitor.stats, name, shard)
+    analytics = getattr(monitor, "analytics", None)
+    snapshot = getattr(analytics, "distribution_snapshot", None)
+    if callable(snapshot):
+        collect_distribution(registry, snapshot(), name, shard)
     range_tracker = getattr(monitor, "range_tracker", None)
     if range_tracker is not None:
         collect_stats(registry, range_tracker.stats, name, shard,

@@ -168,6 +168,26 @@ class Histogram(_Metric):
         self.sums[labels] = self.sums.get(labels, 0.0) + value
         self.counts[labels] = self.counts.get(labels, 0) + 1
 
+    def set_state(self, labels: LabelValues, bucket_counts: List[int],
+                  sum: float, count: int) -> None:
+        """Overwrite one labelset from externally maintained bins.
+
+        The histogram twin of :meth:`Counter.set_cumulative`: analytics
+        stages (:class:`repro.core.hist.RttHistogram`) already maintain
+        per-bin counts on their own hot path, so a collector samples
+        them with one copy per emission instead of re-observing every
+        value.  ``bucket_counts`` are per-bin (non-cumulative) counts,
+        one per finite bound plus the +Inf overflow.
+        """
+        if len(bucket_counts) != len(self.buckets) + 1:
+            raise ValueError(
+                f"{self.name}: expected {len(self.buckets) + 1} bin "
+                f"counts, got {len(bucket_counts)}"
+            )
+        self.bucket_counts[labels] = list(bucket_counts)
+        self.sums[labels] = sum
+        self.counts[labels] = count
+
     def count(self, labels: LabelValues = _NO_LABELS) -> int:
         return self.counts.get(labels, 0)
 

@@ -1,0 +1,139 @@
+"""Distribution snapshots over the fleet wire.
+
+The codec must round-trip a histogram+sketch snapshot through JSON
+exactly (the decoded stage merges bin-for-bin like the original), and
+the collector must apply the replacement-under-epoch rule per agent
+with addition across agents — a restarted agent can never
+double-count its distribution.
+"""
+
+import copy
+import io
+import json
+
+import pytest
+
+from repro.core.analytics import DstPrefixKey
+from repro.core.flow import FlowKey
+from repro.core.hist import DistributionAnalytics, HistogramSpec
+from repro.core.samples import RttSample
+from repro.fleet import FleetCollector, encode_frame, read_frame
+from repro.fleet.wire import (
+    FrameCorrupt,
+    distribution_from_wire,
+    distribution_to_wire,
+)
+
+MS = 1_000_000
+
+
+def _sample(i, rtt_ns):
+    flow = FlowKey(src_ip=0x0A000001, dst_ip=0x10000005 + (i % 3) * 256,
+                   src_port=10, dst_port=443)
+    return RttSample(flow=flow, rtt_ns=rtt_ns, timestamp_ns=i, eack=0)
+
+
+def _distribution(count=20, offset=0):
+    dist = DistributionAnalytics(
+        HistogramSpec.log_bins(8),
+        key_fn=DstPrefixKey(24),
+        quantiles=(50.0, 99.0),
+    )
+    for i in range(count):
+        dist.add(_sample(i, (offset + (i * 13) % 40 + 1) * MS))
+    return dist
+
+
+def test_roundtrip_is_exact_and_json_safe():
+    original = _distribution()
+    wire = json.loads(json.dumps(distribution_to_wire(original)))
+    decoded = distribution_from_wire(wire)
+    assert decoded == original
+    assert decoded.histogram == original.histogram
+    assert decoded.sketch == original.sketch
+
+
+def test_decoded_stage_is_mergeable():
+    a, b = _distribution(15), _distribution(25, offset=7)
+    serial = _distribution(15)
+    serial.merge(_distribution(25, offset=7))
+    decoded = distribution_from_wire(distribution_to_wire(a))
+    decoded.merge(distribution_from_wire(distribution_to_wire(b)))
+    assert decoded == serial
+
+
+def test_encode_flushes_buffered_state():
+    dist = _distribution(10)
+    _ = dist.count
+    dist.add(_sample(99, 30 * MS))  # buffered, not yet flushed
+    wire = distribution_to_wire(dist)
+    assert wire["hist"]["total"]["count"] == 11
+
+
+def test_flow_keyed_distribution_crosses_too():
+    dist = DistributionAnalytics(HistogramSpec.log_bins(8),
+                                 quantiles=(50.0,))
+    for i in range(10):
+        dist.add(_sample(i, (i + 1) * MS))
+    decoded = distribution_from_wire(
+        json.loads(json.dumps(distribution_to_wire(dist)))
+    )
+    assert decoded == dist
+
+
+def test_malformed_payload_refused():
+    wire = distribution_to_wire(_distribution())
+    del wire["hist"]
+    with pytest.raises(FrameCorrupt):
+        distribution_from_wire(wire)
+    with pytest.raises(FrameCorrupt):
+        distribution_from_wire({"key_fn": {"t": "martian"}})
+
+
+def _frame(agent, epoch, seq, distribution):
+    payload = {
+        "monitor": "dart",
+        "records": 0,
+        "stats": None,
+        "flows": [],
+        "windows": [],
+        "windows_closed": 0,
+        "telemetry": None,
+        "final": False,
+        "distribution": distribution_to_wire(distribution),
+    }
+    return read_frame(io.BytesIO(encode_frame(
+        "delta", agent=agent, epoch=epoch, seq=seq, payload=payload
+    )))
+
+
+class TestCollectorMergeRules:
+    def test_replacement_within_agent_addition_across(self):
+        collector = FleetCollector()
+        stale = _distribution(5)
+        fresh_a = _distribution(20)
+        fresh_b = _distribution(30, offset=3)
+        collector.handle_frame(_frame("a1", 1, 1, stale))
+        collector.handle_frame(_frame("a1", 1, 2, fresh_a))  # replaces
+        collector.handle_frame(_frame("a2", 1, 1, fresh_b))  # adds
+        merged = collector.merged_distribution()["dart"]
+        expected = copy.deepcopy(fresh_a)
+        expected.merge(fresh_b)
+        assert merged == expected
+
+    def test_agent_restart_cannot_double_count(self):
+        collector = FleetCollector()
+        before = _distribution(40)
+        after_restart = _distribution(12)
+        collector.handle_frame(_frame("a1", 1, 9, before))
+        # Restart: epoch bumps, cumulative state restarts smaller.
+        collector.handle_frame(_frame("a1", 2, 1, after_restart))
+        merged = collector.merged_distribution()["dart"]
+        assert merged == after_restart
+
+    def test_stale_delta_dropped(self):
+        collector = FleetCollector()
+        newest = _distribution(25)
+        collector.handle_frame(_frame("a1", 1, 5, newest))
+        collector.handle_frame(_frame("a1", 1, 3, _distribution(99)))
+        assert collector.merged_distribution()["dart"] == newest

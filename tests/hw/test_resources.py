@@ -4,12 +4,16 @@ import pytest
 
 from repro.core.config import DartConfig
 from repro.hw import (
+    HIST_COUNTER_BITS,
+    HW_HIST_KEYS,
     PAPER_TABLE1,
     TARGETS,
     TOFINO1,
     TOFINO2,
     dart_components,
+    estimate_histogram,
     estimate_resources,
+    histogram_component,
 )
 from repro.hw.estimate import HW_PT_SLOTS, HW_RT_SLOTS
 
@@ -79,3 +83,44 @@ class TestEstimates:
         usage = estimate_resources("tofino1", rt_slots=1 << 15,
                                    pt_slots=1 << 15)
         assert usage["SRAM"].used > estimate_resources("tofino1")["SRAM"].used
+
+
+class TestHistogramCosting:
+    def test_sram_dominated_by_bins_times_keys(self):
+        c = histogram_component(32)
+        rows = HW_HIST_KEYS + 1
+        assert c.sram_bits >= 32 * rows * HIST_COUNTER_BITS
+        assert c.tcam_bits == 0  # range ladder compiles to SRAM action memory
+
+    def test_cost_scales_linearly_in_bins(self):
+        small = histogram_component(8, keys=1024)
+        large = histogram_component(64, keys=1024)
+        rows = 1024 + 1
+        delta = large.sram_bits - small.sram_bits
+        assert delta == (64 - 8) * rows * HIST_COUNTER_BITS
+        # Structural costs are bin-independent.
+        assert large.logical_tables == small.logical_tables
+        assert large.hash_units == small.hash_units
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_component(0)
+        with pytest.raises(ValueError):
+            histogram_component(32, keys=-1)
+
+    @pytest.mark.parametrize("target", ["tofino1", "tofino2"])
+    def test_default_stage_fits_alongside_dart(self, target):
+        dart = estimate_resources(target)
+        hist = estimate_histogram(target, bins=32)
+        for resource, usage in hist.items():
+            combined = dart[resource].used + usage.used
+            assert combined < usage.capacity, (
+                f"{target} {resource}: Dart + 32-bin histogram "
+                f"exceeds capacity"
+            )
+
+    def test_incremental_usage_is_stage_alone(self):
+        usage = estimate_histogram("tofino2", bins=32)
+        component = histogram_component(32)
+        assert usage["SRAM"].used == component.sram_bits
+        assert usage["Logical Tables"].used == component.logical_tables

@@ -101,3 +101,33 @@ class TestRejection:
         path.write_bytes(MAGIC + struct.pack(">I", 1 << 30))
         with pytest.raises(CheckpointCorrupt):
             read_header(path)
+
+
+class TestDistributionPayload:
+    def test_round_trip_payload_sha256_is_stable(self, tmp_path):
+        # The distribution stage's pickle must be canonical: re-writing
+        # a read-back checkpoint yields the same payload digest, even
+        # when one side was read (flushed) mid-run and the other never
+        # was.  Resumed daemons checkpoint the restored state — a
+        # history-dependent pickle would make their digests drift.
+        from repro.core.flow import FlowKey
+        from repro.core.hist import DistributionAnalytics, HistogramSpec
+        from repro.core.samples import RttSample
+
+        dist = DistributionAnalytics(HistogramSpec.log_bins(8),
+                                     quantiles=(50.0, 99.0))
+        for i in range(200):
+            flow = FlowKey(src_ip=0x0A000001, dst_ip=0x10000005 + i % 5,
+                           src_port=1, dst_port=443)
+            dist.add(RttSample(flow=flow, rtt_ns=(i % 37 + 1) * 1_000_000,
+                               timestamp_ns=i, eack=0))
+            if i == 77:
+                _ = dist.percentiles()  # mid-run read flushes the buffer
+
+        first = tmp_path / "first.ckpt"
+        write_checkpoint(first, {"analytics": dist}, {"finalized": False})
+        loaded = read_checkpoint(first)
+        second = tmp_path / "second.ckpt"
+        write_checkpoint(second, loaded.payload, {"finalized": False})
+        assert (read_header(first)["payload_sha256"]
+                == read_header(second)["payload_sha256"])

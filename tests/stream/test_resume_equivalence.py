@@ -115,6 +115,54 @@ def test_fresh_process_resume_is_byte_identical(
     assert out_win.read_bytes() == ref_win.read_bytes()
 
 
+def test_distribution_survives_fresh_process_resume(campus_records, tmp_path):
+    """The histogram+sketch stage rides the checkpoint.
+
+    A SIGTERM'd run resumed in a fresh interpreter must converge on the
+    exact distribution summary of an uninterrupted run — count and
+    sketch percentiles alike.  Any stage state living only in the dead
+    process (buffered per-key deltas included) would show up here.
+    """
+    dist_flags = ["--hist-bins", "8", "--quantiles", "50,99"]
+    half = len(campus_records) // 2
+    full = tmp_path / "full.pcap"
+    write_packets(full, campus_records)
+
+    done = run_cli(full, *dist_flags)
+    assert done.returncode == 0, done.stderr
+    ref_line = next(line for line in done.stdout.splitlines()
+                    if "distribution:" in line)
+
+    live = tmp_path / "live.pcap"
+    write_packets(live, campus_records[:half])
+    ckpt = tmp_path / "state.ckpt"
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli.stream", str(live), "--follow",
+         "--poll-interval", "0.05", *dist_flags,
+         "--checkpoint", str(ckpt), "--checkpoint-interval", "0.2"],
+        env=cli_env(), stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        wait_for(caught_up(ckpt, live), "daemon to catch up to the capture")
+        daemon.send_signal(signal.SIGTERM)
+        _, stderr = daemon.communicate(timeout=DEADLINE_S)
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+    assert daemon.returncode == 0, stderr
+
+    append_packets(live, campus_records[half:])
+    resumed = run_cli(live, "--follow", "--poll-interval", "0.05",
+                      "--idle-timeout", "0.3",
+                      "--checkpoint", ckpt, "--resume")
+    assert resumed.returncode == 0, resumed.stderr
+    resumed_line = next(line for line in resumed.stdout.splitlines()
+                        if "distribution:" in line)
+    assert resumed_line == ref_line
+
+
 class TestRejection:
     """A damaged or spent checkpoint refuses to resume — loudly."""
 

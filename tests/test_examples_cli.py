@@ -117,6 +117,69 @@ class TestReplayCli:
         assert records and records[0].rtt_ns > 0
 
 
+class TestDistributionCli:
+    def test_replay_summary_rows(self, small_pcap, capsys):
+        from repro.cli.replay import main
+
+        assert main([str(small_pcap), "--hist-bins", "16",
+                     "--quantiles", "50,95,99"]) == 0
+        out = capsys.readouterr().out
+        assert "histogram bins" in out
+        assert "sketch p50 RTT (ms)" in out
+        assert "sketch p99 RTT (ms)" in out
+        assert "hist mean RTT (ms)" in out
+
+    def test_replay_prom_exposition_carries_histogram(self, small_pcap,
+                                                      tmp_path):
+        # The acceptance shape: histogram + quantile series in a
+        # well-formed Prometheus exposition a sidecar can scrape.
+        from repro.cli.replay import main
+        from repro.obs import parse_prometheus
+
+        prom = tmp_path / "metrics.prom"
+        assert main([str(small_pcap), "--hist-bins", "32",
+                     "--quantiles", "50,95,99",
+                     "--telemetry", "prom",
+                     "--telemetry-out", str(prom)]) == 0
+        text = prom.read_text()
+        assert "dart_rtt_hist_bucket{" in text
+        assert 'le="+Inf"' in text
+        for q in (50, 95, 99):
+            assert f"dart_rtt_p{q}{{" in text
+        parse_prometheus(text)  # parses back: exposition is well-formed
+
+    def test_hist_edges_and_prefix(self, small_pcap, capsys):
+        from repro.cli.replay import main
+
+        assert main([str(small_pcap), "--hist-edges", "1,10,100",
+                     "--hist-prefix", "0"]) == 0
+        out = capsys.readouterr().out
+        # 3 explicit edges -> 4 bins including the +Inf overflow bin.
+        assert "histogram bins" in out
+
+    @pytest.mark.parametrize("flags", [
+        ["--quantiles", "nope"],
+        ["--quantiles", ""],
+        ["--hist-bins", "0"],
+        ["--hist-edges", "10,1"],
+        ["--hist-bins", "8", "--hist-prefix", "40"],
+        ["--hist-bins", "8", "--sketch-alpha", "2.0"],
+    ])
+    def test_malformed_flags_rejected(self, small_pcap, flags):
+        from repro.cli.replay import main
+
+        with pytest.raises(SystemExit):
+            main([str(small_pcap), *flags])
+
+    def test_bench_reports_distribution(self, capsys):
+        from repro.cli.bench import main
+
+        assert main(["--sweep", "stages", "--connections", "120",
+                     "--pt-slots", "128", "--hist-bins", "8",
+                     "--quantiles", "50,99"]) == 0
+        assert "dart-bench sweep: stages" in capsys.readouterr().out
+
+
 class TestDetectCli:
     @pytest.fixture(scope="class")
     def attack_pcap(self, tmp_path_factory):
