@@ -1,5 +1,11 @@
 """Analysis tooling: distributions, §6.2 metrics, plain-text reports."""
 
+from .accuracy import (
+    ERROR_PERCENTILES,
+    PairedAccuracy,
+    compare_samples,
+    pair_samples,
+)
 from .distributions import (
     ccdf,
     cdf,
@@ -23,6 +29,10 @@ from .sketch import QuantileSketch, QuantileSketchAnalytics, SketchWindow
 
 __all__ = [
     "DartPerformance",
+    "ERROR_PERCENTILES",
+    "PairedAccuracy",
+    "compare_samples",
+    "pair_samples",
     "QuantileSketch",
     "QuantileSketchAnalytics",
     "REPORTED_PERCENTILES",

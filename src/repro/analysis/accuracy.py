@@ -1,0 +1,133 @@
+"""Per-sample Dart-vs-oracle accuracy comparison.
+
+The §6.2 metrics (:mod:`repro.analysis.metrics`) compare *distributions*
+— percentile collection error over everything each monitor reported.
+The validation matrix needs something sharper: for every sample both
+monitors emitted about the *same acknowledged byte*, how far apart are
+the two RTT values?
+
+Samples pair naturally on ``(flow, eack)``: ``flow`` is the
+data-direction flow key (which also separates the internal and external
+legs of one connection) and ``eack`` anchors the measurement to one
+byte of the sequence space.  A tcptrace-style oracle emits at most one
+sample per (flow, eack) — Karn's algorithm discards retransmitted
+segments — so the reference side of the pairing is collision-free in
+practice; duplicates are counted and the first occurrence wins.
+
+Errors are *relative* (``|candidate - reference| / reference``) and
+aggregated through the same DDSketch-style
+:class:`~repro.analysis.sketch.QuantileSketch` the data-plane analytics
+use, so the report's error percentiles carry a known relative accuracy
+instead of depending on sample retention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from ..core.samples import RttSample
+from .sketch import QuantileSketch
+
+#: Error percentiles every accuracy report carries.
+ERROR_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+@dataclass
+class PairedAccuracy:
+    """How one monitor's samples compare against a reference monitor's."""
+
+    candidate_count: int
+    reference_count: int
+    paired: int
+    #: Reference-side (flow, eack) keys that appeared more than once.
+    reference_duplicates: int
+    #: candidate_count / reference_count (inf-safe: 0 refs -> 0 or inf).
+    sample_ratio: float
+    #: paired / reference_count.
+    paired_fraction: float
+    #: percentile (e.g. "p95") -> relative error in percent.
+    error_pct: Dict[str, float] = field(default_factory=dict)
+    max_error_pct: float = 0.0
+    #: Fraction of paired samples whose RTTs agree within 1%.
+    exact_fraction: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "candidate_count": self.candidate_count,
+            "reference_count": self.reference_count,
+            "paired": self.paired,
+            "reference_duplicates": self.reference_duplicates,
+            "sample_ratio": self.sample_ratio,
+            "paired_fraction": self.paired_fraction,
+            "error_pct": dict(self.error_pct),
+            "max_error_pct": self.max_error_pct,
+            "exact_fraction": self.exact_fraction,
+        }
+
+
+def pair_samples(
+    candidate: Iterable[RttSample],
+    reference: Iterable[RttSample],
+) -> Tuple[List[Tuple[RttSample, RttSample]], int, int, int]:
+    """Match candidate samples to reference samples on ``(flow, eack)``.
+
+    Returns ``(pairs, candidate_count, reference_count, duplicates)``
+    where ``pairs`` holds ``(candidate, reference)`` tuples in candidate
+    emission order.
+    """
+    index: Dict[Tuple, RttSample] = {}
+    duplicates = 0
+    reference_count = 0
+    for sample in reference:
+        reference_count += 1
+        key = (sample.flow, sample.eack)
+        if key in index:
+            duplicates += 1
+            continue
+        index[key] = sample
+    pairs: List[Tuple[RttSample, RttSample]] = []
+    candidate_count = 0
+    for sample in candidate:
+        candidate_count += 1
+        match = index.get((sample.flow, sample.eack))
+        if match is not None:
+            pairs.append((sample, match))
+    return pairs, candidate_count, reference_count, duplicates
+
+
+def compare_samples(
+    candidate: Iterable[RttSample],
+    reference: Iterable[RttSample],
+    *,
+    alpha: float = 0.005,
+) -> PairedAccuracy:
+    """Score ``candidate`` against ``reference`` per paired sample."""
+    pairs, n_cand, n_ref, duplicates = pair_samples(candidate, reference)
+    sketch = QuantileSketch(alpha=alpha)
+    max_error = 0.0
+    exact = 0
+    for cand, ref in pairs:
+        if ref.rtt_ns <= 0:
+            continue
+        error = abs(cand.rtt_ns - ref.rtt_ns) / ref.rtt_ns * 100.0
+        sketch.add(error)
+        if error > max_error:
+            max_error = error
+        if error <= 1.0:
+            exact += 1
+    error_pct = {}
+    if sketch.count:
+        for p in ERROR_PERCENTILES:
+            error_pct[f"p{p:g}"] = sketch.quantile(p)
+    return PairedAccuracy(
+        candidate_count=n_cand,
+        reference_count=n_ref,
+        paired=len(pairs),
+        reference_duplicates=duplicates,
+        sample_ratio=(n_cand / n_ref) if n_ref else (float("inf") if n_cand else 0.0),
+        paired_fraction=(len(pairs) / n_ref) if n_ref else 0.0,
+        error_pct=error_pct,
+        max_error_pct=max_error,
+        exact_fraction=(exact / len(pairs)) if pairs else 0.0,
+    )

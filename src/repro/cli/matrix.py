@@ -1,0 +1,137 @@
+"""``dart-matrix``: the Dart-vs-oracle accuracy matrix from the CLI.
+
+Sweeps congestion control × loss × reordering × workload, runs Dart and
+the tcptrace oracle over each cell's synthetic trace in one engine
+pass, prints the accuracy table, and (optionally) writes the
+machine-readable JSON report CI archives and gates on.
+
+Examples::
+
+    dart-matrix --quick                       # the 18-cell PR gate
+    dart-matrix --output matrix.json          # full matrix + report file
+    dart-matrix --workload incast --cc bbr    # one regime, all loss/reorder
+    dart-matrix --quick --no-check            # report only, never exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from ..validate import (
+    CC_AXIS,
+    FULL_WORKLOADS,
+    LOSS_AXIS,
+    REORDER_AXIS,
+    Thresholds,
+    build_matrix,
+    build_report,
+    filter_matrix,
+    quick_matrix,
+    render_report,
+    run_matrix,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dart-matrix",
+        description="Dart-vs-tcptrace-oracle accuracy over a scenario matrix.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="PR-gate matrix: the bulk workload only "
+             "(still the full CC x loss x reorder grid)",
+    )
+    parser.add_argument("--seed", type=int, default=1,
+                        help="base seed; each cell derives its own from it")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the JSON report here ('-' for stdout)")
+    parser.add_argument(
+        "--workload", action="append", dest="workloads",
+        choices=FULL_WORKLOADS, metavar="NAME",
+        help=f"restrict to these workloads (repeatable; {FULL_WORKLOADS})",
+    )
+    parser.add_argument(
+        "--cc", action="append", dest="ccs", choices=CC_AXIS, metavar="NAME",
+        help=f"restrict to these congestion controls ({CC_AXIS})",
+    )
+    parser.add_argument(
+        "--loss", action="append", dest="losses", type=float, metavar="RATE",
+        help=f"restrict to these loss rates ({LOSS_AXIS})",
+    )
+    parser.add_argument(
+        "--reorder", action="append", dest="reorders", type=float,
+        metavar="RATE",
+        help=f"restrict to these reorder rates ({REORDER_AXIS})",
+    )
+    parser.add_argument(
+        "--no-check", action="store_true",
+        help="report without gating (exit 0 even past thresholds)",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, metavar="R",
+        help="replace the pinned per-regime floors with one flat "
+             "sample-ratio floor",
+    )
+    parser.add_argument(
+        "--max-p95-error", type=float, default=2.0, metavar="PCT",
+        help="max p95 paired relative RTT error, percent (default 2.0)",
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    specs = (quick_matrix(base_seed=args.seed) if args.quick
+             else build_matrix(base_seed=args.seed))
+    specs = filter_matrix(
+        specs,
+        workloads=args.workloads,
+        ccs=args.ccs,
+        losses=args.losses,
+        reorders=args.reorders,
+    )
+    if not specs:
+        print("dart-matrix: the filters matched no cells", file=sys.stderr)
+        return 2
+    if args.min_ratio is not None:
+        thresholds = Thresholds.uniform(
+            args.min_ratio, max_p95_error_pct=args.max_p95_error
+        )
+    else:
+        thresholds = Thresholds(max_p95_error_pct=args.max_p95_error)
+
+    print(f"running {len(specs)} cells (base seed {args.seed})...",
+          file=sys.stderr)
+
+    def progress(spec, result):
+        acc = result.accuracy
+        print(
+            f"  {spec.name:42s} ratio={acc.sample_ratio:5.2f} "
+            f"p95err={acc.error_pct.get('p95', float('nan')):5.2f}% "
+            f"({result.wall_seconds:.1f}s)",
+            file=sys.stderr,
+        )
+
+    results = run_matrix(specs, progress=progress)
+    report = build_report(results, thresholds=thresholds,
+                          base_seed=args.seed)
+    print(render_report(report))
+    if args.output:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.output == "-":
+            print(payload)
+        else:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"report written to {args.output}", file=sys.stderr)
+    if report["failures"] and not args.no_check:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

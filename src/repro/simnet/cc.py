@@ -1,0 +1,440 @@
+"""Pluggable congestion control for the simulated TCP sender.
+
+The paper's accuracy claims must hold under *real* TCP dynamics, and
+different congestion controllers stress a passive monitor differently:
+
+* **Reno** (RFC 5681) — ACK-clocked slow start and AIMD congestion
+  avoidance; bursts a full window per RTT, so loss arrives in clumps
+  and fast retransmits collapse Dart's measurement range.
+* **Cubic** (RFC 9438) — window growth is a cubic function of the time
+  since the last loss, concave while recovering toward the previous
+  maximum and convex beyond it; produces the sawtooth-and-plateau
+  pacing of today's default Linux sender.
+* **BBR-style pacing** — a model-based sender that paces at an
+  estimated bottleneck bandwidth instead of filling a window; packets
+  arrive evenly spaced, duplicate ACKs are rarer, and loss is largely
+  ignored by the controller, so ambiguity comes from queueing rather
+  than retransmission storms.
+
+Every controller implements the same small surface the endpoint calls
+into (:class:`CongestionControl`): event hooks (``on_ack`` /
+``on_dupack`` / ``on_fast_retransmit`` / ``on_retransmit_timeout`` /
+``on_send``) and outputs (``cwnd_segments``, ``ssthresh_segments``,
+``pacing_gap_ns``).  Units: windows are in *segments* (the endpoint
+multiplies by MSS), rates in bits per second, time in integer
+nanoseconds of virtual clock.
+
+Controllers are deterministic: the same event sequence produces the
+same windows, which keeps whole-trace reproducibility (a scenario seed
+pins every packet).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+SEC = 1_000_000_000
+
+
+@runtime_checkable
+class CongestionControl(Protocol):
+    """What the endpoint needs from a congestion controller."""
+
+    name: str
+
+    def on_ack(self, *, acked_bytes: int, rtt_ns: Optional[int],
+               now_ns: int, in_flight_bytes: int) -> None:
+        """An ACK advanced ``snd_una`` by ``acked_bytes``.
+
+        ``rtt_ns`` carries a Karn-valid RTT measurement when the ACK
+        completed the endpoint's timing probe, else ``None``.
+        """
+        ...
+
+    def on_dupack(self, now_ns: int) -> None:
+        """A duplicate ACK arrived (below the fast-retransmit threshold)."""
+        ...
+
+    def on_fast_retransmit(self, now_ns: int) -> None:
+        """Three duplicate ACKs: the endpoint is fast-retransmitting."""
+        ...
+
+    def on_retransmit_timeout(self, now_ns: int) -> None:
+        """The RTO fired: the endpoint is retransmitting from snd_una."""
+        ...
+
+    def on_send(self, payload_bytes: int, now_ns: int) -> None:
+        """New data left the endpoint (not retransmissions)."""
+        ...
+
+    @property
+    def cwnd_segments(self) -> int:
+        """Current congestion window, in segments (always >= 1)."""
+        ...
+
+    @property
+    def ssthresh_segments(self) -> int:
+        """Current slow-start threshold, in segments."""
+        ...
+
+    def pacing_gap_ns(self, mss: int) -> Optional[int]:
+        """Inter-segment pacing gap, or ``None`` for ACK-clocked bursts."""
+        ...
+
+
+class RenoCC:
+    """RFC 5681 Reno: slow start, AIMD, window halving on loss.
+
+    Byte-for-byte the behaviour the endpoint had before congestion
+    control became pluggable: +1 segment per ACK *event* in slow start,
+    +1 per window in congestion avoidance (an ACK counter, not byte
+    counting), ``ssthresh = cwnd/2`` and ``cwnd = ssthresh`` on fast
+    retransmit, ``cwnd = 1`` on RTO.
+    """
+
+    name = "reno"
+
+    def __init__(self, *, init_cwnd: int = 10, init_ssthresh: int = 64,
+                 max_cwnd: int = 256) -> None:
+        self._cwnd = init_cwnd
+        self._ssthresh = init_ssthresh
+        self._max_cwnd = max_cwnd
+        self._ca_counter = 0
+
+    def on_ack(self, *, acked_bytes: int, rtt_ns: Optional[int],
+               now_ns: int, in_flight_bytes: int) -> None:
+        if self._cwnd < self._ssthresh:
+            self._cwnd += 1
+        else:
+            self._ca_counter += 1
+            if self._ca_counter >= self._cwnd:
+                self._ca_counter = 0
+                self._cwnd += 1
+        self._cwnd = min(self._cwnd, self._max_cwnd)
+
+    def on_dupack(self, now_ns: int) -> None:
+        return
+
+    def on_fast_retransmit(self, now_ns: int) -> None:
+        self._ssthresh = max(self._cwnd // 2, 2)
+        self._cwnd = self._ssthresh
+
+    def on_retransmit_timeout(self, now_ns: int) -> None:
+        self._ssthresh = max(self._cwnd // 2, 2)
+        self._cwnd = 1
+
+    def on_send(self, payload_bytes: int, now_ns: int) -> None:
+        return
+
+    @property
+    def cwnd_segments(self) -> int:
+        return max(1, self._cwnd)
+
+    @property
+    def ssthresh_segments(self) -> int:
+        return self._ssthresh
+
+    def pacing_gap_ns(self, mss: int) -> Optional[int]:
+        return None
+
+
+class CubicCC:
+    """RFC 9438 Cubic: time-based cubic window growth.
+
+    After a loss at window ``W_max`` the window is cut to
+    ``beta * W_max`` and then follows ``W(t) = C*(t-K)^3 + W_max``
+    where ``K = cbrt((W_max - cwnd)/C)`` — concave (fast, flattening)
+    while recovering toward ``W_max``, convex (slow, accelerating)
+    beyond it.  Growth is applied per ACK as ``(target - cwnd)/cwnd``,
+    the standard discretization.  Slow start below ``ssthresh`` is
+    unchanged from Reno.
+    """
+
+    name = "cubic"
+
+    #: RFC 9438 constants: aggressiveness and multiplicative decrease.
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, *, init_cwnd: int = 10, init_ssthresh: int = 64,
+                 max_cwnd: int = 256) -> None:
+        self._cwnd = float(init_cwnd)
+        self._ssthresh = init_ssthresh
+        self._max_cwnd = max_cwnd
+        self._w_max = 0.0
+        self._epoch_start_ns: Optional[int] = None
+        self._k_seconds = 0.0
+
+    # -- the cubic function (exposed for the convex/concave invariants) ------
+
+    def window_at(self, elapsed_seconds: float) -> float:
+        """``W(t)`` for the current epoch (segments)."""
+        return (self.C * (elapsed_seconds - self._k_seconds) ** 3
+                + self._w_max)
+
+    def _start_epoch(self, now_ns: int) -> None:
+        self._epoch_start_ns = now_ns
+        if self._w_max > self._cwnd:
+            self._k_seconds = ((self._w_max - self._cwnd) / self.C) ** (1 / 3)
+        else:
+            # No prior loss to recover toward: pure convex probing from
+            # the current window.
+            self._w_max = self._cwnd
+            self._k_seconds = 0.0
+
+    def on_ack(self, *, acked_bytes: int, rtt_ns: Optional[int],
+               now_ns: int, in_flight_bytes: int) -> None:
+        if self._cwnd < self._ssthresh:
+            self._cwnd += 1.0
+        else:
+            if self._epoch_start_ns is None:
+                self._start_epoch(now_ns)
+            t = (now_ns - self._epoch_start_ns) / SEC
+            target = self.window_at(t)
+            if target > self._cwnd:
+                self._cwnd += (target - self._cwnd) / self._cwnd
+            else:
+                # Below target (e.g. the epoch just started): creep so
+                # the window is never frozen.
+                self._cwnd += 0.01 / self._cwnd
+        self._cwnd = min(self._cwnd, float(self._max_cwnd))
+
+    def on_dupack(self, now_ns: int) -> None:
+        return
+
+    def _on_loss(self, now_ns: int) -> None:
+        if self._cwnd < self._w_max:
+            # Fast convergence (RFC 9438 §4.6): a second loss before
+            # reaching the old maximum means a new competitor; release
+            # more of the bottleneck.
+            self._w_max = self._cwnd * (1 + self.BETA) / 2
+        else:
+            self._w_max = self._cwnd
+        self._ssthresh = max(2, int(self._cwnd * self.BETA))
+        self._epoch_start_ns = None
+
+    def on_fast_retransmit(self, now_ns: int) -> None:
+        self._on_loss(now_ns)
+        self._cwnd = float(self._ssthresh)
+
+    def on_retransmit_timeout(self, now_ns: int) -> None:
+        self._on_loss(now_ns)
+        self._cwnd = 1.0
+
+    def on_send(self, payload_bytes: int, now_ns: int) -> None:
+        return
+
+    @property
+    def cwnd_segments(self) -> int:
+        return max(1, int(self._cwnd))
+
+    @property
+    def ssthresh_segments(self) -> int:
+        return self._ssthresh
+
+    def pacing_gap_ns(self, mss: int) -> Optional[int]:
+        return None
+
+
+class BbrCC:
+    """A BBR-style model-based paced sender.
+
+    Tracks a windowed-max delivery-rate estimate (the bottleneck
+    bandwidth) and a windowed-min RTT, paces at ``gain * btlbw``, and
+    caps in-flight data at ``cwnd_gain`` times the estimated BDP.
+    Phases follow BBRv1's shape: STARTUP (gain 2.885 until the rate
+    estimate plateaus), DRAIN (inverse gain until in-flight falls to
+    the BDP), then PROBE_BW (an eight-phase gain cycle).  Loss does not
+    feed the model — the endpoint still retransmits, but the controller
+    neither halves nor collapses, which is exactly the adversarial
+    property the accuracy matrix cares about: retransmissions keep
+    flowing at line rate instead of backing off.
+
+    Simplifications versus a kernel BBR (documented for reviewers):
+    delivery rate is measured ACK-to-ACK rather than per-packet
+    delivered-time sampling, there is no PROBE_RTT phase (traces are
+    seconds long; min-RTT samples never age out), and RTO recovery
+    relies on the endpoint's retransmission machinery alone.
+    """
+
+    name = "bbr"
+
+    STARTUP_GAIN = 2.885       # 2/ln2: fills the pipe in log2(BDP) RTTs
+    DRAIN_GAIN = 1 / 2.885
+    CWND_GAIN = 2.0
+    CYCLE = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+    BW_WINDOW = 10             # delivery-rate samples kept for the max
+    #: Minimum span of one delivery-rate sample.  ACK-to-ACK deltas are
+    #: useless here: delayed ACKs and ACK compression produce
+    #: back-to-back ACKs whose tiny time deltas read as petabit rates.
+    MIN_SAMPLE_NS = 1_000_000
+
+    def __init__(self, *, init_cwnd: int = 10, init_ssthresh: int = 64,
+                 max_cwnd: int = 256, mss: int = 1448) -> None:
+        self._init_cwnd = init_cwnd
+        self._max_cwnd = max_cwnd
+        self._mss = mss
+        self._mode = "startup"
+        self._bw_samples: list = []     # recent (bps) delivery rates
+        self._btlbw_bps = 0.0
+        self._min_rtt_ns: Optional[int] = None
+        self._rate_epoch_ns: Optional[int] = None
+        self._rate_acc_bytes = 0
+        self._full_bw_bps = 0.0
+        self._full_bw_rounds = 0
+        self._cycle_index = 0
+        self._cycle_start_ns = 0
+
+    # -- model ----------------------------------------------------------------
+
+    @property
+    def btlbw_bps(self) -> float:
+        """Current bottleneck-bandwidth estimate (0 until first sample)."""
+        return self._btlbw_bps
+
+    @property
+    def min_rtt_ns(self) -> Optional[int]:
+        return self._min_rtt_ns
+
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    def _bdp_bytes(self) -> Optional[float]:
+        if self._btlbw_bps <= 0 or self._min_rtt_ns is None:
+            return None
+        return self._btlbw_bps / 8 * (self._min_rtt_ns / SEC)
+
+    def pacing_gain(self) -> float:
+        if self._mode == "startup":
+            return self.STARTUP_GAIN
+        if self._mode == "drain":
+            return self.DRAIN_GAIN
+        return self.CYCLE[self._cycle_index]
+
+    def pacing_rate_bps(self) -> Optional[float]:
+        if self._btlbw_bps <= 0:
+            return None
+        return self.pacing_gain() * self._btlbw_bps
+
+    # -- event hooks ----------------------------------------------------------
+
+    def on_ack(self, *, acked_bytes: int, rtt_ns: Optional[int],
+               now_ns: int, in_flight_bytes: int) -> None:
+        if rtt_ns is not None and rtt_ns > 0:
+            if self._min_rtt_ns is None or rtt_ns < self._min_rtt_ns:
+                self._min_rtt_ns = rtt_ns
+        # Delivery rate: bytes acknowledged over an interval of at least
+        # max(MIN_SAMPLE_NS, min_rtt/2), so a sample always spans many
+        # ACKs and reflects the ACK clock, not ACK compression.
+        if self._rate_epoch_ns is None:
+            self._rate_epoch_ns = now_ns
+            self._rate_acc_bytes = 0
+            return
+        self._rate_acc_bytes += acked_bytes
+        interval = now_ns - self._rate_epoch_ns
+        span = self.MIN_SAMPLE_NS
+        if self._min_rtt_ns is not None:
+            span = max(span, self._min_rtt_ns // 2)
+        if interval < span:
+            return
+        rate = self._rate_acc_bytes * 8 * SEC / interval
+        self._rate_epoch_ns = now_ns
+        self._rate_acc_bytes = 0
+        self._bw_samples.append(rate)
+        if len(self._bw_samples) > self.BW_WINDOW:
+            self._bw_samples.pop(0)
+        self._btlbw_bps = max(self._bw_samples)
+
+        if self._mode == "startup":
+            # Full pipe: the rate estimate stopped growing >= 25% per
+            # sample three times in a row.
+            if self._btlbw_bps >= self._full_bw_bps * 1.25:
+                self._full_bw_bps = self._btlbw_bps
+                self._full_bw_rounds = 0
+            else:
+                self._full_bw_rounds += 1
+                if self._full_bw_rounds >= 3 and self._btlbw_bps > 0:
+                    self._mode = "drain"
+        elif self._mode == "drain":
+            bdp = self._bdp_bytes()
+            if bdp is not None and in_flight_bytes <= bdp:
+                self._mode = "probe_bw"
+                self._cycle_start_ns = now_ns
+        elif self._mode == "probe_bw":
+            # Advance the gain cycle once per min-RTT.
+            if (self._min_rtt_ns is not None
+                    and now_ns - self._cycle_start_ns >= self._min_rtt_ns):
+                self._cycle_index = (self._cycle_index + 1) % len(self.CYCLE)
+                self._cycle_start_ns = now_ns
+
+    def on_dupack(self, now_ns: int) -> None:
+        return
+
+    def on_fast_retransmit(self, now_ns: int) -> None:
+        return  # loss does not feed the model
+
+    def on_retransmit_timeout(self, now_ns: int) -> None:
+        # BBRv1 conservation: restart the rate probe from scratch so a
+        # genuinely vanished bottleneck (path change) is re-learned.
+        # The in-progress rate sample spans the timeout's idle gap and
+        # would only pollute the estimate — discard it.
+        self._full_bw_bps = 0.0
+        self._full_bw_rounds = 0
+        self._rate_epoch_ns = None
+        self._rate_acc_bytes = 0
+        self._mode = "startup"
+
+    def on_send(self, payload_bytes: int, now_ns: int) -> None:
+        return
+
+    # -- outputs ---------------------------------------------------------------
+
+    @property
+    def cwnd_segments(self) -> int:
+        bdp = self._bdp_bytes()
+        if bdp is None:
+            return max(1, self._init_cwnd)
+        gain = self.STARTUP_GAIN if self._mode == "startup" else self.CWND_GAIN
+        cwnd = int(gain * bdp / self._mss)
+        return max(4, min(cwnd, self._max_cwnd))
+
+    @property
+    def ssthresh_segments(self) -> int:
+        return self._max_cwnd  # BBR has no slow-start threshold
+
+    def pacing_gap_ns(self, mss: int) -> Optional[int]:
+        rate = self.pacing_rate_bps()
+        if rate is None or rate <= 0:
+            return None
+        return int(mss * 8 * SEC / rate)
+
+
+#: name -> factory taking the endpoint's TcpParams-shaped knobs.
+CC_ALGORITHMS: Dict[str, Callable[..., CongestionControl]] = {
+    "reno": RenoCC,
+    "cubic": CubicCC,
+    "bbr": BbrCC,
+}
+
+
+def available_cc() -> Tuple[str, ...]:
+    """Registered congestion-control names, sorted."""
+    return tuple(sorted(CC_ALGORITHMS))
+
+
+def make_cc(name: str, *, init_cwnd: int, init_ssthresh: int,
+            max_cwnd: int, mss: int) -> CongestionControl:
+    """Instantiate a controller by registry name."""
+    try:
+        factory = CC_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(available_cc())
+        raise ValueError(
+            f"unknown congestion control {name!r} (known: {known})"
+        ) from None
+    if factory is BbrCC:
+        return factory(init_cwnd=init_cwnd, init_ssthresh=init_ssthresh,
+                       max_cwnd=max_cwnd, mss=mss)
+    return factory(init_cwnd=init_cwnd, init_ssthresh=init_ssthresh,
+                   max_cwnd=max_cwnd)

@@ -1,0 +1,88 @@
+"""RFC 6298 retransmission-timeout estimation.
+
+Until this estimator existed the simulated sender used a fixed base RTO
+from :class:`~repro.simnet.tcp_endpoint.TcpParams` — a deliberate
+simplification that sidestepped RTT measurement entirely, at the cost
+of two real phenomena the paper's ambiguity analysis cares about:
+
+* a fixed RTO *below* the path RTT retransmits spuriously on every
+  window (Jain's timeout-divergence pathology) — the sender floods the
+  monitor with retransmission ambiguity even on a loss-free path;
+* a fixed RTO far *above* the path RTT recovers tail loss seconds late,
+  hiding the retransmission-storm dynamics of data-center incast
+  (the T-RACKs problem: RTO_min dominates recovery latency).
+
+The estimator follows RFC 6298 exactly: ``SRTT`` and ``RTTVAR`` are
+exponentially weighted (alpha 1/8, beta 1/4), ``RTO = SRTT +
+max(G, 4*RTTVAR)`` clamped to ``[min, max]``, the timer backs off by
+doubling on each expiry, and — per Karn's algorithm — only segments
+that were never retransmitted feed measurements (the *endpoint*
+enforces that; this class just receives valid samples).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: RFC 6298 §2 constants.
+ALPHA = 1 / 8
+BETA = 1 / 4
+K = 4
+
+#: Clock granularity G: 1 ms, matching a kernel's timer wheel (the
+#: simulator's virtual clock is exact; G only floors the variance term).
+GRANULARITY_NS = 1_000_000
+
+
+class RtoEstimator:
+    """SRTT/RTTVAR tracking with exponential timer backoff."""
+
+    __slots__ = ("_initial_ns", "_min_ns", "_max_ns", "srtt_ns",
+                 "rttvar_ns", "_rto_ns", "samples", "backoffs")
+
+    def __init__(self, *, initial_ns: int, min_ns: int, max_ns: int) -> None:
+        if initial_ns <= 0:
+            raise ValueError("initial RTO must be positive")
+        if not 0 < min_ns <= max_ns:
+            raise ValueError("need 0 < min_ns <= max_ns")
+        self._initial_ns = initial_ns
+        self._min_ns = min_ns
+        self._max_ns = max_ns
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns: Optional[int] = None
+        self._rto_ns = self._clamp(initial_ns)
+        self.samples = 0
+        self.backoffs = 0
+
+    def _clamp(self, rto_ns: int) -> int:
+        return max(self._min_ns, min(rto_ns, self._max_ns))
+
+    @property
+    def rto_ns(self) -> int:
+        """The current retransmission timeout."""
+        return self._rto_ns
+
+    def on_measurement(self, rtt_ns: int) -> int:
+        """Fold one Karn-valid RTT measurement; returns the new RTO."""
+        if rtt_ns < 0:
+            raise ValueError(f"negative RTT measurement: {rtt_ns}")
+        self.samples += 1
+        if self.srtt_ns is None:
+            # RFC 6298 §2.2: first measurement.
+            self.srtt_ns = rtt_ns
+            self.rttvar_ns = rtt_ns // 2
+        else:
+            # §2.3: RTTVAR before SRTT (the deviation uses the old SRTT).
+            self.rttvar_ns = int((1 - BETA) * self.rttvar_ns
+                                 + BETA * abs(self.srtt_ns - rtt_ns))
+            self.srtt_ns = int((1 - ALPHA) * self.srtt_ns + ALPHA * rtt_ns)
+        self._rto_ns = self._clamp(
+            self.srtt_ns + max(GRANULARITY_NS, K * self.rttvar_ns)
+        )
+        return self._rto_ns
+
+    def on_backoff(self) -> int:
+        """Double the timer after an expiry (§5.5); returns the new RTO."""
+        self.backoffs += 1
+        self._rto_ns = min(self._rto_ns * 2, self._max_ns)
+        return self._rto_ns

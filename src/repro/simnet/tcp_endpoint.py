@@ -6,8 +6,14 @@ the behaviours that matter to passive RTT measurement:
 * three-way handshake with SYN retransmission and backoff;
 * cumulative and *delayed* ACKs (ack-every-N plus a delayed-ACK timer);
 * duplicate ACKs on out-of-order arrivals, cumulative ACKs on hole fill;
-* a window-based sender with slow start, fast retransmit on three
-  duplicate ACKs, and RTO retransmission with exponential backoff;
+* a window-based sender whose slow-start / congestion-avoidance /
+  loss-response logic delegates to a pluggable congestion controller
+  (:mod:`repro.simnet.cc`: Reno, Cubic, or a BBR-style paced sender),
+  with fast retransmit on three duplicate ACKs and RTO retransmission
+  with exponential backoff;
+* an RFC 6298 SRTT/RTTVAR retransmission-timeout estimator
+  (:mod:`repro.simnet.rto`) fed by Karn-valid timing probes, with a
+  fixed-RTO escape hatch (``TcpParams.adaptive_rto=False``);
 * FIN teardown (FIN consumes one sequence number, like SYN);
 * optional *keepalive straggler* behaviour: the final cumulative ACK
   bypasses the monitored path (asymmetric routing) and a duplicate
@@ -18,7 +24,12 @@ Deliberate simplifications (documented for reviewers): no receive-window
 flow control (cwnd is the only limit), no SACK-based recovery (SACK loss
 recovery would *reduce* the retransmission ambiguity Dart must handle,
 so the simulation errs toward more ambiguity), and payload bytes are
-never materialized (only lengths travel).
+never materialized (only lengths travel).  A historical simplification
+was the *static* base RTO (``TcpParams.rto_ns`` with no RTT feedback) —
+retained behind ``adaptive_rto=False`` for experiments that need the
+old behaviour (e.g. reproducing Jain's timeout-divergence pathology by
+pinning the RTO below the path RTT), but real stacks adapt, and so does
+the default.
 """
 
 from __future__ import annotations
@@ -28,9 +39,11 @@ from typing import Callable, List, Optional, Tuple
 
 from ..net import tcp as tcpf
 from ..core.seqspace import SEQ_MASK, seq_sub
+from .cc import make_cc
 from .engine import EventLoop
 from .link import Link
 from .rng import SimRandom
+from .rto import RtoEstimator
 from .segment import SimSegment
 
 MS = 1_000_000
@@ -39,13 +52,21 @@ SEC = 1_000_000_000
 
 @dataclass
 class TcpParams:
-    """Endpoint behaviour knobs (one instance may be shared)."""
+    """Endpoint behaviour knobs (one instance may be shared).
+
+    ``rto_ns`` is the *initial* RTO (RFC 6298 §2.1) when
+    ``adaptive_rto`` is on; with ``adaptive_rto=False`` it is the fixed
+    base timeout the endpoint historically used (backoff still doubles
+    it, and progress resets it).
+    """
 
     mss: int = 1448
     init_cwnd: int = 10          # segments
     max_cwnd: int = 256          # segments
     init_ssthresh: int = 64      # segments
-    rto_ns: int = 250 * MS       # base retransmission timeout
+    cc: str = "reno"             # congestion control (repro.simnet.cc)
+    rto_ns: int = 250 * MS       # initial (or fixed) retransmission timeout
+    adaptive_rto: bool = True    # RFC 6298 estimator; False = fixed rto_ns
     rto_min_ns: int = 200 * MS
     rto_max_ns: int = 60 * SEC
     syn_rto_ns: int = 1 * SEC
@@ -63,11 +84,13 @@ class EndpointStats:
     retransmissions: int = 0
     fast_retransmits: int = 0
     timeouts: int = 0
+    partial_ack_retransmits: int = 0
     acks_sent: int = 0
     dup_acks_sent: int = 0
     delayed_acks_fired: int = 0
     bytes_received: int = 0
     keepalive_acks_sent: int = 0
+    rtt_samples: int = 0
 
 
 class TcpEndpoint:
@@ -120,11 +143,31 @@ class TcpEndpoint:
         self._fin_queued = False
         self._fin_sent = False
         self._send_done_signalled = False
-        self._cwnd = self.params.init_cwnd
-        self._ssthresh = self.params.init_ssthresh
+        self._cc = make_cc(
+            self.params.cc,
+            init_cwnd=self.params.init_cwnd,
+            init_ssthresh=self.params.init_ssthresh,
+            max_cwnd=self.params.max_cwnd,
+            mss=self.params.mss,
+        )
+        self._rto_est: Optional[RtoEstimator] = None
+        if self.params.adaptive_rto:
+            self._rto_est = RtoEstimator(
+                initial_ns=self.params.rto_ns,
+                min_ns=self.params.rto_min_ns,
+                max_ns=self.params.rto_max_ns,
+            )
+            self._rto_ns = self._rto_est.rto_ns
+        else:
+            self._rto_ns = self.params.rto_ns
         self._dup_acks = 0
-        self._ca_counter = 0
-        self._rto_ns = self.params.rto_ns
+        #: Karn timing probe: ``(rel_end, sent_ns)`` for one in-flight
+        #: segment that has never been retransmitted, or None.
+        self._rtt_probe: Optional[Tuple[int, int]] = None
+        # NewReno-style recovery: high-water mark at the last loss
+        # event; partial ACKs below it retransmit the next hole at once
+        # instead of waiting out one (backed-off) RTO per hole.
+        self._recover_point = 0
         self._timer_gen = 0
         self._syn_attempts = 0
         self._next_send_ns = 0  # pacing cursor: keeps bursts in seq order
@@ -180,6 +223,31 @@ class TcpEndpoint:
     @property
     def bytes_unacked(self) -> int:
         return self._snd_nxt - self._snd_una
+
+    @property
+    def congestion_control(self):
+        """The live congestion controller (for inspection and tests)."""
+        return self._cc
+
+    @property
+    def cwnd(self) -> int:
+        """Current congestion window, in segments."""
+        return self._cc.cwnd_segments
+
+    @property
+    def ssthresh(self) -> int:
+        """Current slow-start threshold, in segments."""
+        return self._cc.ssthresh_segments
+
+    @property
+    def srtt_ns(self) -> Optional[int]:
+        """Smoothed RTT (None until the first Karn-valid measurement)."""
+        return self._rto_est.srtt_ns if self._rto_est is not None else None
+
+    @property
+    def rto_ns(self) -> int:
+        """The current retransmission timeout."""
+        return self._rto_ns
 
     # -- sequence mapping ---------------------------------------------------------
 
@@ -453,10 +521,35 @@ class TcpEndpoint:
         if rel > self._total_send_len():
             return  # not an ACK for anything we sent (e.g. weird overlap)
         if rel > self._snd_una:
+            now = self._loop.now_ns
+            acked = rel - self._snd_una
             self._snd_una = rel
             self._dup_acks = 0
-            self._rto_ns = self.params.rto_ns  # backoff resets on progress
-            self._grow_cwnd()
+            rtt_ns: Optional[int] = None
+            if self._rtt_probe is not None and rel >= self._rtt_probe[0]:
+                # The probe segment (never retransmitted — Karn) is now
+                # cumulatively acknowledged: one valid RTT measurement.
+                rtt_ns = now - self._rtt_probe[1]
+                self._rtt_probe = None
+                self.stats.rtt_samples += 1
+                if self._rto_est is not None:
+                    self._rto_ns = self._rto_est.on_measurement(rtt_ns)
+            if self._rto_est is None:
+                self._rto_ns = self.params.rto_ns  # backoff resets on progress
+            self._cc.on_ack(
+                acked_bytes=acked,
+                rtt_ns=rtt_ns,
+                now_ns=now,
+                in_flight_bytes=self._snd_nxt - self._snd_una,
+            )
+            if rel < self._recover_point:
+                # Partial ACK (RFC 6582): everything up to the recovery
+                # point was sent before the loss event, so a gap at
+                # snd_una means that segment is lost, not in flight —
+                # retransmit it now.
+                self.stats.retransmissions += 1
+                self.stats.partial_ack_retransmits += 1
+                self._retransmit_head()
             if self._snd_una >= self._snd_nxt:
                 self._bump_timer()  # everything acked: stop RTO
             else:
@@ -466,24 +559,16 @@ class TcpEndpoint:
             return
         if pure and rel == self._snd_una and self._snd_nxt > self._snd_una:
             self._dup_acks += 1
+            self._cc.on_dupack(self._loop.now_ns)
             if self._dup_acks == self.params.dupack_threshold:
                 self._fast_retransmit()
-
-    def _grow_cwnd(self) -> None:
-        if self._cwnd < self._ssthresh:
-            self._cwnd += 1
-        else:
-            self._ca_counter += 1
-            if self._ca_counter >= self._cwnd:
-                self._ca_counter = 0
-                self._cwnd += 1
-        self._cwnd = min(self._cwnd, self.params.max_cwnd)
 
     def _fast_retransmit(self) -> None:
         self.stats.fast_retransmits += 1
         self.stats.retransmissions += 1
-        self._ssthresh = max(self._cwnd // 2, 2)
-        self._cwnd = self._ssthresh
+        self._rtt_probe = None  # Karn: retransmission voids the probe
+        self._recover_point = self._snd_nxt
+        self._cc.on_fast_retransmit(self._loop.now_ns)
         self._retransmit_head()
         self._arm_rto()
 
@@ -492,7 +577,7 @@ class TcpEndpoint:
         end = min(start + self.params.mss, self._total_send_len())
         if end <= start:
             return
-        self._emit_range(start, end)
+        self._emit_range(start, end, retransmit=True)
 
     def _rto_fire(self, gen: int) -> None:
         if gen != self._timer_gen:
@@ -501,9 +586,13 @@ class TcpEndpoint:
             return
         self.stats.timeouts += 1
         self.stats.retransmissions += 1
-        self._ssthresh = max(self._cwnd // 2, 2)
-        self._cwnd = 1
-        self._rto_ns = min(self._rto_ns * 2, self.params.rto_max_ns)
+        self._rtt_probe = None  # Karn: retransmission voids the probe
+        self._recover_point = self._snd_nxt
+        self._cc.on_retransmit_timeout(self._loop.now_ns)
+        if self._rto_est is not None:
+            self._rto_ns = self._rto_est.on_backoff()
+        else:
+            self._rto_ns = min(self._rto_ns * 2, self.params.rto_max_ns)
         self._retransmit_head()
         self._arm_rto()
 
@@ -521,9 +610,11 @@ class TcpEndpoint:
         """Send as much new data as the congestion window allows."""
         if self.state not in ("ESTABLISHED", "CLOSING"):
             return
-        limit = self._snd_una + self._cwnd * self.params.mss
+        limit = self._snd_una + self._cc.cwnd_segments * self.params.mss
         total = self._total_send_len()
         send_at = max(self._loop.now_ns, self._next_send_ns)
+        pacing_gap = self._cc.pacing_gap_ns(self.params.mss)
+        gap = max(self.params.segment_gap_ns, pacing_gap or 0)
         burst = 0
         while self._snd_nxt < total and self._snd_nxt < limit:
             start = self._snd_nxt
@@ -533,13 +624,13 @@ class TcpEndpoint:
                 self._emit_range(start, end)
             else:
                 self._loop.schedule_at(send_at, self._emit_range, start, end)
-            send_at += self.params.segment_gap_ns
+            send_at += gap
             burst += 1
         if burst:
             self._next_send_ns = send_at
             self._arm_rto()
 
-    def _emit_range(self, start: int, end: int) -> None:
+    def _emit_range(self, start: int, end: int, retransmit: bool = False) -> None:
         """Send bytes [start, end); the last unit may be the FIN."""
         total = self._total_send_len()
         has_fin = self._fin_queued and end >= total
@@ -553,6 +644,12 @@ class TcpEndpoint:
             flags |= tcpf.FLAG_PSH
         if payload == 0 and not has_fin:
             return
+        now = self._loop.now_ns
+        if retransmit:
+            self._rtt_probe = None  # Karn: never time a retransmitted range
+        elif payload > 0 and self._rtt_probe is None:
+            self._rtt_probe = (end, now)
+        self._cc.on_send(payload, now)
         self.stats.data_segments_sent += 1
         # Data segments always carry the current cumulative ACK, so any
         # pending delayed-ACK obligation is satisfied by piggybacking.

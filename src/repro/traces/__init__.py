@@ -15,12 +15,25 @@ from .campus import (
     CampusTraceConfig,
     generate_campus_trace,
 )
+from .datacenter import (
+    DC_INTERNAL_PREFIXES,
+    FileTransferTraceConfig,
+    IncastTraceConfig,
+    VideoTraceConfig,
+    WorkloadTrace,
+    generate_file_transfer_trace,
+    generate_incast_trace,
+    generate_video_trace,
+)
 from .replay import ReplayReport, replay, replay_pcap, split_by_leg
 from .workloads import (
     CampusWorkload,
     DelayMixture,
+    FileTransferShape,
     FlowSizeModel,
+    IncastShape,
     PathImpairmentModel,
+    VideoCallShape,
 )
 
 __all__ = [
@@ -29,13 +42,24 @@ __all__ = [
     "CampusTrace",
     "CampusTraceConfig",
     "CampusWorkload",
+    "DC_INTERNAL_PREFIXES",
     "DelayMixture",
+    "FileTransferShape",
+    "FileTransferTraceConfig",
     "FlowSizeModel",
     "INTERNAL_PREFIXES",
+    "IncastShape",
+    "IncastTraceConfig",
     "PathImpairmentModel",
     "ReplayReport",
+    "VideoCallShape",
+    "VideoTraceConfig",
+    "WorkloadTrace",
     "generate_attack_trace",
     "generate_campus_trace",
+    "generate_file_transfer_trace",
+    "generate_incast_trace",
+    "generate_video_trace",
     "replay",
     "replay_pcap",
     "split_by_leg",

@@ -67,6 +67,10 @@ class CampusTraceConfig:
     #: Defaults to 0 so the paper-calibrated IPv4 benchmarks are
     #: unaffected; the IPv6 integration tests set it explicitly.
     ipv6_fraction: float = 0.0
+    #: Congestion control for every endpoint (see :mod:`repro.simnet.cc`).
+    cc: str = "reno"
+    #: RFC 6298 adaptive RTO; False pins the historical fixed RTO.
+    adaptive_rto: bool = True
     seed: int = 1
     workload: CampusWorkload = field(default_factory=CampusWorkload)
     #: Cap on simulated virtual time (stragglers schedule events far out).
@@ -177,11 +181,15 @@ def generate_campus_trace(
                 external_delay = workload.external_delay.sample_ns(mix_rng)
         loss, reorder = workload.impairments.sample(mix_rng)
 
-        # A real sender's RTO adapts to the measured RTT; a fixed RTO
-        # below the path RTT would fire spuriously on every window.
+        # The initial RTO scales with the drawn path RTT; with
+        # adaptive_rto the RFC 6298 estimator takes over after the
+        # first valid measurement, and in fixed mode this guard keeps
+        # the RTO above the path RTT (no spurious fires every window).
         path_rtt = 2 * (internal_delay + external_delay)
         tcp = TcpParams(
             rto_ns=max(int(2.5 * path_rtt) + 120 * MS, 250 * MS),
+            cc=config.cc,
+            adaptive_rto=config.adaptive_rto,
         )
 
         spec = ConnectionSpec(

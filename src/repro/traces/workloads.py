@@ -125,6 +125,86 @@ class PathImpairmentModel:
 
 
 @dataclass
+class IncastShape:
+    """Partition/aggregate fan-in (data-center incast).
+
+    An aggregator fans a small request out to ``senders`` workers whose
+    synchronized responses converge on one shallow-buffered bottleneck —
+    the classic incast collapse.  With the buffer sized well below
+    ``senders * response_bytes``, recovery is dominated by RTO expiry
+    rather than fast retransmit (the T-RACKs observation: RTO_min, not
+    the path RTT, sets the recovery latency), which floods the monitor
+    with retransmission ambiguity in a short burst.
+    """
+
+    senders: int = 24
+    request_bytes: int = 256
+    response_bytes: int = 64_000
+    #: How tightly worker responses are synchronized (request spacing).
+    sync_jitter_ns: int = 40_000
+    #: Shared fan-in bottleneck toward the aggregator.
+    bottleneck_bandwidth_bps: float = 1e9
+    #: Shallow switch buffer expressed as max queueing delay
+    #: (500 us at 1 Gbps is ~62 KB — far below senders*response_bytes).
+    queue_limit_ns: int = 500_000
+    #: One ToR hop from the tap to the aggregator.
+    fanin_delay_ns: int = 50_000
+    #: Per-worker access-link one-way delay.
+    access_delay_ns: int = 100_000
+    #: Barrier-synchronized request rounds.
+    rounds: int = 2
+    round_gap_ns: int = 60 * MS
+
+
+@dataclass
+class VideoCallShape:
+    """Bidirectional video-conference media flow.
+
+    Both sides push a frame every ``frame_interval_ns`` over one
+    long-lived connection (no FIN until the call ends); every
+    ``keyframe_every``-th frame is a keyframe several times larger.
+    The application is rate-limited, so cwnd rarely binds — what this
+    shape stresses is *paced, thin-stream* traffic where Dart gets few
+    clean SEQ/ACK matches per second and delayed ACKs dominate.
+    """
+
+    duration_ns: int = 6 * SEC
+    frame_interval_ns: int = 33 * MS          # ~30 fps
+    frame_bytes: int = 12_000                 # ~2.9 Mbit/s mean
+    keyframe_every: int = 60
+    keyframe_multiplier: float = 4.0
+    #: Per-frame size jitter (encoder rate-control noise).
+    size_jitter: float = 0.25
+
+    def frame_size(self, rng: SimRandom, index: int) -> int:
+        base = self.frame_bytes
+        if self.keyframe_every and index % self.keyframe_every == 0:
+            base = int(base * self.keyframe_multiplier)
+        lo = max(200, int(base * (1 - self.size_jitter)))
+        hi = int(base * (1 + self.size_jitter))
+        return rng.randint(lo, hi)
+
+    def frame_count(self) -> int:
+        return max(1, self.duration_ns // self.frame_interval_ns)
+
+
+@dataclass
+class FileTransferShape:
+    """Bulk download through a bandwidth-limited, deep-buffered path.
+
+    A single elephant per connection saturates the bottleneck, so the
+    congestion controller's steady-state behaviour — Reno/Cubic sawtooth
+    filling the buffer versus BBR pacing near the BDP — shows up
+    directly in the RTT samples the monitor collects (bufferbloat).
+    """
+
+    transfer_bytes: int = 2_000_000
+    bottleneck_bandwidth_bps: float = 40e6
+    #: Deep buffer: tens of ms of queueing before tail drop.
+    queue_limit_ns: int = 25 * MS
+
+
+@dataclass
 class CampusWorkload:
     """Bundle of all distribution models with paper-calibrated defaults."""
 

@@ -1,0 +1,53 @@
+"""Scenario-matrix validation: Dart vs the tcptrace oracle.
+
+Sweeps congestion control × loss × reordering × workload
+(:mod:`.scenario`), runs each cell's synthetic trace through Dart and
+the tcptrace oracle in one engine pass (:mod:`.harness`), and emits a
+machine-readable accuracy report with pinned regression thresholds
+(:mod:`.report`).  The ``dart-matrix`` console script
+(:mod:`repro.cli.matrix`) is the frontend; CI runs the quick matrix on
+every PR and the full matrix nightly.
+"""
+
+from .harness import CellResult, build_trace, run_cell, run_matrix
+from .report import (
+    DEFAULT_FLOORS,
+    SCHEMA,
+    Thresholds,
+    build_report,
+    check_cell,
+    render_report,
+)
+from .scenario import (
+    CC_AXIS,
+    FULL_WORKLOADS,
+    LOSS_AXIS,
+    QUICK_WORKLOADS,
+    REORDER_AXIS,
+    ScenarioSpec,
+    build_matrix,
+    filter_matrix,
+    quick_matrix,
+)
+
+__all__ = [
+    "CC_AXIS",
+    "CellResult",
+    "DEFAULT_FLOORS",
+    "FULL_WORKLOADS",
+    "LOSS_AXIS",
+    "QUICK_WORKLOADS",
+    "REORDER_AXIS",
+    "SCHEMA",
+    "ScenarioSpec",
+    "Thresholds",
+    "build_matrix",
+    "build_report",
+    "build_trace",
+    "check_cell",
+    "filter_matrix",
+    "quick_matrix",
+    "render_report",
+    "run_cell",
+    "run_matrix",
+]

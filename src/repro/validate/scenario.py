@@ -1,0 +1,122 @@
+"""Scenario matrix: CC × loss × reordering × workload.
+
+One :class:`ScenarioSpec` names a single matrix cell and pins every
+degree of freedom, including the RNG seed: the cell's seed is derived
+from the base seed and the cell's *name* (CRC-32), so one JSON row is
+enough to re-create the cell's packet trace bit-for-bit — adding or
+removing other cells never shifts a cell's randomness.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: The axes of the standard matrix.
+CC_AXIS: Tuple[str, ...] = ("reno", "cubic", "bbr")
+LOSS_AXIS: Tuple[float, ...] = (0.0, 0.01, 0.05)
+REORDER_AXIS: Tuple[float, ...] = (0.0, 0.02)
+#: Workloads (see :mod:`repro.traces.datacenter`): the quick matrix runs
+#: only ``bulk``; the full matrix sweeps all of them.
+QUICK_WORKLOADS: Tuple[str, ...] = ("bulk",)
+FULL_WORKLOADS: Tuple[str, ...] = ("bulk", "incast", "video")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the validation matrix."""
+
+    workload: str
+    cc: str
+    loss: float
+    reorder: float
+    base_seed: int = 1
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable cell id, e.g. ``bulk/reno/loss-1%/reorder-2%``."""
+        return (
+            f"{self.workload}/{self.cc}"
+            f"/loss-{self.loss * 100:g}%"
+            f"/reorder-{self.reorder * 100:g}%"
+        )
+
+    @property
+    def seed(self) -> int:
+        """The cell's RNG seed: base seed mixed with the cell name.
+
+        Name-derived, so every cell draws an independent stream and the
+        stream survives matrix reshapes (adding an axis value does not
+        reseed existing cells).
+        """
+        return (self.base_seed * 0x9E3779B1 + zlib.crc32(self.name.encode())) & 0x7FFFFFFF
+
+    def to_dict(self) -> Dict:
+        row = asdict(self)
+        row["name"] = self.name
+        row["seed"] = self.seed
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Dict) -> "ScenarioSpec":
+        spec = cls(
+            workload=row["workload"],
+            cc=row["cc"],
+            loss=row["loss"],
+            reorder=row["reorder"],
+            base_seed=row.get("base_seed", 1),
+        )
+        if "seed" in row and row["seed"] != spec.seed:
+            raise ValueError(
+                f"scenario row {row.get('name', '?')!r} carries seed "
+                f"{row['seed']} but derives {spec.seed} — the row was "
+                "edited inconsistently"
+            )
+        return spec
+
+
+def build_matrix(
+    *,
+    workloads: Sequence[str] = FULL_WORKLOADS,
+    ccs: Sequence[str] = CC_AXIS,
+    losses: Sequence[float] = LOSS_AXIS,
+    reorders: Sequence[float] = REORDER_AXIS,
+    base_seed: int = 1,
+) -> List[ScenarioSpec]:
+    """Every combination of the given axes, in a stable order."""
+    return [
+        ScenarioSpec(workload=w, cc=c, loss=l, reorder=r, base_seed=base_seed)
+        for w in workloads
+        for c in ccs
+        for l in losses
+        for r in reorders
+    ]
+
+
+def quick_matrix(*, base_seed: int = 1) -> List[ScenarioSpec]:
+    """The PR-gate matrix: one workload over the full CC/loss/reorder grid."""
+    return build_matrix(workloads=QUICK_WORKLOADS, base_seed=base_seed)
+
+
+def filter_matrix(
+    specs: Iterable[ScenarioSpec],
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    ccs: Optional[Sequence[str]] = None,
+    losses: Optional[Sequence[float]] = None,
+    reorders: Optional[Sequence[float]] = None,
+) -> List[ScenarioSpec]:
+    """Keep the cells matching every given axis restriction."""
+    out = []
+    for spec in specs:
+        if workloads is not None and spec.workload not in workloads:
+            continue
+        if ccs is not None and spec.cc not in ccs:
+            continue
+        if losses is not None and spec.loss not in losses:
+            continue
+        if reorders is not None and spec.reorder not in reorders:
+            continue
+        out.append(spec)
+    return out

@@ -1,0 +1,78 @@
+"""Per-sample pairing and accuracy scoring tests."""
+
+from repro.analysis.accuracy import compare_samples, pair_samples
+from repro.core.flow import FlowKey
+from repro.core.samples import RttSample
+
+MS = 1_000_000
+
+FLOW_A = FlowKey(src_ip=1, dst_ip=2, src_port=10, dst_port=20)
+FLOW_B = FlowKey(src_ip=3, dst_ip=4, src_port=30, dst_port=40)
+
+
+def sample(flow, eack, rtt_ms):
+    return RttSample(flow=flow, rtt_ns=rtt_ms * MS,
+                     timestamp_ns=eack * MS, eack=eack)
+
+
+class TestPairing:
+    def test_pairs_on_flow_and_eack(self):
+        cand = [sample(FLOW_A, 100, 10), sample(FLOW_A, 200, 12)]
+        ref = [sample(FLOW_A, 100, 10), sample(FLOW_A, 300, 9)]
+        pairs, n_cand, n_ref, dups = pair_samples(cand, ref)
+        assert (n_cand, n_ref, dups) == (2, 2, 0)
+        assert len(pairs) == 1
+        assert pairs[0][0].eack == pairs[0][1].eack == 100
+
+    def test_same_eack_different_flow_does_not_pair(self):
+        pairs, *_ = pair_samples([sample(FLOW_A, 100, 10)],
+                                 [sample(FLOW_B, 100, 10)])
+        assert pairs == []
+
+    def test_reference_duplicates_first_wins(self):
+        ref = [sample(FLOW_A, 100, 10), sample(FLOW_A, 100, 99)]
+        pairs, _, n_ref, dups = pair_samples([sample(FLOW_A, 100, 10)], ref)
+        assert n_ref == 2
+        assert dups == 1
+        assert pairs[0][1].rtt_ns == 10 * MS  # not the duplicate's 99 ms
+
+
+class TestCompare:
+    def test_exact_agreement(self):
+        cand = [sample(FLOW_A, i, 10) for i in range(100)]
+        acc = compare_samples(cand, list(cand))
+        assert acc.sample_ratio == 1.0
+        assert acc.paired_fraction == 1.0
+        assert acc.error_pct["p95"] == 0.0
+        assert acc.max_error_pct == 0.0
+        assert acc.exact_fraction == 1.0
+
+    def test_relative_error_percentiles(self):
+        ref = [sample(FLOW_A, i, 100) for i in range(100)]
+        cand = [sample(FLOW_A, i, 100) for i in range(99)]
+        cand.append(sample(FLOW_A, 99, 150))  # one 50% outlier
+        acc = compare_samples(cand, ref)
+        assert acc.error_pct["p50"] < 1.0
+        assert acc.max_error_pct > 49.0
+        assert 0.98 <= acc.exact_fraction < 1.0
+
+    def test_missing_candidate_samples_lower_ratio(self):
+        ref = [sample(FLOW_A, i, 10) for i in range(10)]
+        acc = compare_samples(ref[:4], ref)
+        assert acc.sample_ratio == 0.4
+        assert acc.paired_fraction == 0.4
+
+    def test_empty_reference_is_inf_safe(self):
+        acc = compare_samples([sample(FLOW_A, 1, 10)], [])
+        assert acc.sample_ratio == float("inf")
+        assert acc.paired_fraction == 0.0
+        assert acc.error_pct == {}
+        acc = compare_samples([], [])
+        assert acc.sample_ratio == 0.0
+
+    def test_zero_rtt_reference_skipped(self):
+        ref = [sample(FLOW_A, 1, 0), sample(FLOW_A, 2, 10)]
+        cand = [sample(FLOW_A, 1, 5), sample(FLOW_A, 2, 10)]
+        acc = compare_samples(cand, ref)
+        assert acc.paired == 2
+        assert acc.max_error_pct == 0.0  # the zero-RTT pair is unscoreable

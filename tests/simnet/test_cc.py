@@ -1,0 +1,233 @@
+"""Congestion-control invariants (property-based where it matters)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.cc import (
+    BbrCC,
+    CC_ALGORITHMS,
+    CubicCC,
+    RenoCC,
+    available_cc,
+    make_cc,
+)
+
+MS = 1_000_000
+SEC = 1_000_000_000
+MSS = 1448
+
+
+# An abstract event stream: what the endpoint could throw at a
+# controller in any order.  Each event advances virtual time.
+EVENTS = st.lists(
+    st.sampled_from(["ack", "ack_rtt", "dupack", "fast_rtx", "rto", "send"]),
+    min_size=1,
+    max_size=200,
+)
+
+
+def drive(cc, events):
+    now = 0
+    for event in events:
+        now += 1 * MS
+        if event == "ack":
+            cc.on_ack(acked_bytes=MSS, rtt_ns=None, now_ns=now,
+                      in_flight_bytes=8 * MSS)
+        elif event == "ack_rtt":
+            cc.on_ack(acked_bytes=2 * MSS, rtt_ns=20 * MS, now_ns=now,
+                      in_flight_bytes=8 * MSS)
+        elif event == "dupack":
+            cc.on_dupack(now)
+        elif event == "fast_rtx":
+            cc.on_fast_retransmit(now)
+        elif event == "rto":
+            cc.on_retransmit_timeout(now)
+        elif event == "send":
+            cc.on_send(MSS, now)
+    return now
+
+
+class TestRegistry:
+    def test_available_names(self):
+        assert available_cc() == ("bbr", "cubic", "reno")
+
+    @pytest.mark.parametrize("name", sorted(CC_ALGORITHMS))
+    def test_make_cc_builds_each(self, name):
+        cc = make_cc(name, init_cwnd=10, init_ssthresh=64,
+                     max_cwnd=256, mss=MSS)
+        assert cc.name == name
+        assert cc.cwnd_segments >= 1
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            make_cc("vegas", init_cwnd=10, init_ssthresh=64,
+                    max_cwnd=256, mss=MSS)
+
+
+class TestUniversalInvariants:
+    """Hold for every registered controller under any event sequence."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(name=st.sampled_from(sorted(CC_ALGORITHMS)), events=EVENTS)
+    def test_cwnd_bounds(self, name, events):
+        cc = make_cc(name, init_cwnd=10, init_ssthresh=64,
+                     max_cwnd=256, mss=MSS)
+        now = 0
+        for event in events:
+            now += 1 * MS
+            drive(cc, [event])
+            assert 1 <= cc.cwnd_segments <= 256
+            gap = cc.pacing_gap_ns(MSS)
+            assert gap is None or gap >= 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(name=st.sampled_from(["reno", "cubic"]), events=EVENTS)
+    def test_loss_reduces_ssthresh_from_cwnd(self, name, events):
+        # On every loss event the new ssthresh must come from the
+        # *current* window (multiplicative decrease), never exceed it.
+        cc = make_cc(name, init_cwnd=10, init_ssthresh=64,
+                     max_cwnd=256, mss=MSS)
+        for event in events:
+            before = cc.cwnd_segments
+            drive(cc, [event])
+            if event in ("fast_rtx", "rto"):
+                assert cc.ssthresh_segments <= max(before, 2)
+                assert cc.cwnd_segments <= max(before, 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(events=EVENTS)
+    def test_consecutive_losses_never_raise_ssthresh(self, events):
+        cc = RenoCC(init_cwnd=64, init_ssthresh=64)
+        last_loss_ssthresh = None
+        for event in events:
+            drive(cc, [event])
+            if event in ("fast_rtx", "rto"):
+                if last_loss_ssthresh is not None:
+                    assert cc.ssthresh_segments <= last_loss_ssthresh
+                last_loss_ssthresh = cc.ssthresh_segments
+            elif event in ("ack", "ack_rtt"):
+                last_loss_ssthresh = None  # growth between losses resets
+
+
+class TestReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = RenoCC(init_cwnd=2, init_ssthresh=64)
+        drive(cc, ["ack"] * 2)
+        assert cc.cwnd_segments == 4
+
+    def test_congestion_avoidance_linear(self):
+        cc = RenoCC(init_cwnd=10, init_ssthresh=10)
+        drive(cc, ["ack"] * 10)  # one full window of ACK events
+        assert cc.cwnd_segments == 11
+
+    def test_rto_collapses_to_one(self):
+        cc = RenoCC(init_cwnd=40, init_ssthresh=64)
+        cc.on_retransmit_timeout(0)
+        assert cc.cwnd_segments == 1
+        assert cc.ssthresh_segments == 20
+
+
+class TestCubic:
+    def test_concave_before_k_convex_after(self):
+        cc = CubicCC(init_cwnd=100, init_ssthresh=1)
+        cc.on_fast_retransmit(0)          # W_max = 100, window cut
+        cc.on_ack(acked_bytes=MSS, rtt_ns=None, now_ns=1, in_flight_bytes=0)
+        k = cc._k_seconds
+        assert k > 0
+
+        def second_diff(t, h=0.05):
+            return (cc.window_at(t + h) - 2 * cc.window_at(t)
+                    + cc.window_at(t - h))
+
+        # Concave while recovering toward W_max, convex past it.
+        assert second_diff(k * 0.5) < 0
+        assert second_diff(k * 1.5) > 0
+
+    def test_window_at_reaches_w_max_at_k(self):
+        cc = CubicCC(init_cwnd=100, init_ssthresh=1)
+        cc.on_fast_retransmit(0)
+        cc.on_ack(acked_bytes=MSS, rtt_ns=None, now_ns=1, in_flight_bytes=0)
+        assert cc.window_at(cc._k_seconds) == pytest.approx(100.0)
+
+    def test_fast_convergence_releases_bandwidth(self):
+        cc = CubicCC(init_cwnd=100, init_ssthresh=1)
+        cc.on_fast_retransmit(0)          # first loss: W_max = 100
+        first_w_max = cc._w_max
+        cc.on_fast_retransmit(1)          # second loss below W_max
+        assert cc._w_max < first_w_max
+
+    def test_growth_is_monotone_under_acks(self):
+        cc = CubicCC(init_cwnd=20, init_ssthresh=10)
+        now = 0
+        last = cc.cwnd_segments
+        for _ in range(300):
+            now += 10 * MS
+            cc.on_ack(acked_bytes=MSS, rtt_ns=None, now_ns=now,
+                      in_flight_bytes=0)
+            assert cc.cwnd_segments >= last
+            last = cc.cwnd_segments
+
+
+class TestBbr:
+    @staticmethod
+    def feed_steady_rate(cc, *, rate_bps, rtt_ns, duration_ns):
+        """ACK a steady stream at ``rate_bps`` for ``duration_ns``."""
+        step = rtt_ns // 4
+        bytes_per_step = int(rate_bps / 8 * step / SEC)
+        now = 0
+        while now < duration_ns:
+            now += step
+            cc.on_ack(acked_bytes=bytes_per_step, rtt_ns=rtt_ns, now_ns=now,
+                      in_flight_bytes=4 * bytes_per_step)
+        return now
+
+    def test_btlbw_converges_to_offered_rate(self):
+        cc = BbrCC(mss=MSS)
+        self.feed_steady_rate(cc, rate_bps=40e6, rtt_ns=20 * MS,
+                              duration_ns=2 * SEC)
+        assert cc.btlbw_bps == pytest.approx(40e6, rel=0.05)
+        assert cc.min_rtt_ns == 20 * MS
+
+    def test_pacing_rate_bounded_by_gain_times_btlbw(self):
+        cc = BbrCC(mss=MSS)
+        self.feed_steady_rate(cc, rate_bps=40e6, rtt_ns=20 * MS,
+                              duration_ns=2 * SEC)
+        rate = cc.pacing_rate_bps()
+        assert rate is not None
+        assert rate <= BbrCC.STARTUP_GAIN * cc.btlbw_bps + 1e-6
+        gap = cc.pacing_gap_ns(MSS)
+        assert gap is not None
+        # The pacing gap encodes exactly mss/rate.
+        assert gap == int(MSS * 8 * SEC / rate)
+
+    def test_startup_exits_when_rate_plateaus(self):
+        cc = BbrCC(mss=MSS)
+        self.feed_steady_rate(cc, rate_bps=40e6, rtt_ns=20 * MS,
+                              duration_ns=3 * SEC)
+        assert cc.mode in ("drain", "probe_bw")
+
+    def test_ack_compression_does_not_inflate_btlbw(self):
+        # A burst of back-to-back ACKs (1 us apart) must not register
+        # as a petabit-rate sample: the estimator accumulates until the
+        # sample spans at least max(1 ms, min_rtt/2).
+        cc = BbrCC(mss=MSS)
+        self.feed_steady_rate(cc, rate_bps=40e6, rtt_ns=20 * MS,
+                              duration_ns=1 * SEC)
+        now = 2 * SEC
+        for _ in range(50):
+            now += 1_000
+            cc.on_ack(acked_bytes=MSS, rtt_ns=None, now_ns=now,
+                      in_flight_bytes=0)
+        assert cc.btlbw_bps < 100e6
+
+    def test_loss_blind_until_rto(self):
+        cc = BbrCC(mss=MSS)
+        self.feed_steady_rate(cc, rate_bps=40e6, rtt_ns=20 * MS,
+                              duration_ns=2 * SEC)
+        before = cc.cwnd_segments
+        cc.on_dupack(2 * SEC)
+        cc.on_fast_retransmit(2 * SEC)
+        assert cc.cwnd_segments == before  # fast retransmit: no reaction
+        cc.on_retransmit_timeout(2 * SEC)
+        assert cc.mode == "startup"        # RTO restarts the rate probe

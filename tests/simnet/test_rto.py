@@ -1,0 +1,89 @@
+"""RFC 6298 RTO estimator tests."""
+
+import pytest
+
+from repro.simnet.rto import GRANULARITY_NS, RtoEstimator
+
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def make(initial=250 * MS, min_ns=1 * MS, max_ns=60 * SEC):
+    return RtoEstimator(initial_ns=initial, min_ns=min_ns, max_ns=max_ns)
+
+
+class TestValidation:
+    def test_initial_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_ns=0, min_ns=1, max_ns=2)
+
+    def test_min_max_ordering(self):
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_ns=1, min_ns=10, max_ns=5)
+        with pytest.raises(ValueError):
+            RtoEstimator(initial_ns=1, min_ns=0, max_ns=5)
+
+    def test_negative_measurement_rejected(self):
+        with pytest.raises(ValueError):
+            make().on_measurement(-1)
+
+
+class TestMeasurement:
+    def test_first_measurement_rfc_6298_2_2(self):
+        est = make()
+        rto = est.on_measurement(40 * MS)
+        assert est.srtt_ns == 40 * MS
+        assert est.rttvar_ns == 20 * MS
+        # RTO = SRTT + max(G, 4*RTTVAR) = 40 + 80 = 120 ms.
+        assert rto == 120 * MS
+        assert est.samples == 1
+
+    def test_later_measurements_rfc_6298_2_3(self):
+        est = make()
+        est.on_measurement(40 * MS)
+        est.on_measurement(60 * MS)
+        # RTTVAR first, using the OLD srtt: 3/4*20 + 1/4*|40-60| = 20 ms.
+        assert est.rttvar_ns == 20 * MS
+        # SRTT after: 7/8*40 + 1/8*60 = 42.5 ms.
+        assert est.srtt_ns == int(42.5 * MS)
+
+    def test_steady_rtt_converges_and_floors_on_granularity(self):
+        est = make()
+        for _ in range(200):
+            rto = est.on_measurement(30 * MS)
+        assert est.srtt_ns == pytest.approx(30 * MS, rel=0.01)
+        # Variance decays to ~0; the granularity floor keeps RTO > SRTT.
+        assert rto >= est.srtt_ns + GRANULARITY_NS
+
+    def test_clamped_to_min(self):
+        est = make(min_ns=200 * MS)
+        assert est.on_measurement(1 * MS) == 200 * MS
+
+    def test_clamped_to_max(self):
+        est = make(max_ns=1 * SEC)
+        assert est.on_measurement(10 * SEC) == 1 * SEC
+
+
+class TestBackoff:
+    def test_backoff_doubles(self):
+        est = make()
+        est.on_measurement(40 * MS)  # RTO 120 ms
+        assert est.on_backoff() == 240 * MS
+        assert est.on_backoff() == 480 * MS
+        assert est.backoffs == 2
+
+    def test_backoff_capped_at_max(self):
+        est = make(max_ns=1 * SEC)
+        est.on_measurement(100 * MS)
+        for _ in range(20):
+            rto = est.on_backoff()
+        assert rto == 1 * SEC
+
+    def test_measurement_after_backoff_recomputes(self):
+        est = make()
+        est.on_measurement(40 * MS)
+        est.on_backoff()
+        est.on_backoff()
+        # A fresh Karn-valid sample collapses the timer back to the
+        # SRTT-based value instead of the backed-off one.
+        assert est.on_measurement(40 * MS) < 240 * MS

@@ -1,6 +1,8 @@
 """Tests for the simulated TCP endpoints and connection wiring."""
 
 
+import pytest
+
 from repro.core import Dart, ideal_config
 from repro.net import tcp as tcpf
 from repro.simnet.connection import Connection, ConnectionSpec, LegProfile
@@ -190,10 +192,83 @@ class TestRtoBehaviour:
                                  tcp=TcpParams(rto_ns=250 * MS))
         assert conn.client.app_bytes_delivered == 30_000
 
-    def test_backoff_resets_after_progress(self):
+    def test_backoff_resets_after_progress_fixed_mode(self):
         external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
                               loss_rate=0.10)
+        conn, _ = run_connection(
+            response=100_000, external=external, seed=14,
+            tcp=TcpParams(rto_ns=250 * MS, adaptive_rto=False))
+        # After a completed transfer the fixed RTO is back at its base value.
+        assert conn.server._rto_ns == 250 * MS
+
+    def test_adaptive_rto_tracks_path_rtt(self):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0)
         conn, _ = run_connection(response=100_000, external=external, seed=14,
                                  tcp=TcpParams(rto_ns=250 * MS))
-        # After a completed transfer the RTO is back at its base value.
-        assert conn.server._rto_ns == 250 * MS
+        srtt = conn.server.srtt_ns
+        assert srtt is not None
+        # Path RTT is ~2 legs * (10ms internal-ish + 10ms external); the
+        # smoothed estimate must land in the same order of magnitude and
+        # the RTO must sit above it.
+        assert MS <= srtt <= 200 * MS
+        assert conn.server.rto_ns >= srtt
+        assert conn.server.stats.rtt_samples > 0
+
+
+class TestPluggableCongestionControl:
+    @pytest.mark.parametrize("cc", ["reno", "cubic", "bbr"])
+    def test_clean_transfer_completes(self, cc):
+        conn, _ = run_connection(response=200_000, tcp=TcpParams(cc=cc),
+                                 seed=21)
+        assert conn.client.app_bytes_delivered == 200_000
+        assert conn.server.congestion_control.name == cc
+
+    @pytest.mark.parametrize("cc", ["reno", "cubic", "bbr"])
+    def test_lossy_transfer_completes(self, cc):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0.05,
+                              loss_rate=0.03)
+        conn, _ = run_connection(response=300_000, external=external,
+                                 tcp=TcpParams(cc=cc), seed=22)
+        assert conn.client.app_bytes_delivered == 300_000
+        assert conn.server.stats.retransmissions > 0
+
+    @pytest.mark.parametrize("cc", ["reno", "cubic"])
+    def test_dupacks_trigger_fast_retransmit(self, cc):
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.03)
+        conn, _ = run_connection(response=400_000, external=external,
+                                 tcp=TcpParams(cc=cc), seed=9)
+        assert conn.server.stats.fast_retransmits > 0
+        # Loss must have cut the window below its configured ceiling.
+        assert conn.server.ssthresh < TcpParams().max_cwnd
+
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            run_connection(response=1000, tcp=TcpParams(cc="vegas"))
+
+    def test_partial_ack_recovery_fills_holes(self):
+        # Heavy loss on a large window creates multi-hole recovery
+        # rounds; NewReno partial ACKs must retransmit the next hole
+        # immediately instead of waiting out a backed-off RTO each time.
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.10)
+        conn, _ = run_connection(response=400_000, external=external,
+                                 tcp=TcpParams(), seed=17)
+        assert conn.client.app_bytes_delivered == 400_000
+        assert conn.server.stats.partial_ack_retransmits > 0
+
+    @pytest.mark.parametrize("cc", ["reno", "cubic", "bbr"])
+    def test_rto_backoff_survives_blackout(self, cc):
+        # 40% loss forces repeated timeouts; every controller must both
+        # back the timer off and eventually deliver.
+        external = LegProfile(delay_ns=10 * MS, jitter_fraction=0,
+                              loss_rate=0.40)
+        conn, _ = run_connection(response=20_000, external=external,
+                                 tcp=TcpParams(cc=cc), seed=23)
+        assert conn.server.stats.timeouts > 0
+        assert conn.client.app_bytes_delivered == 20_000
+
+    def test_cwnd_property_reflects_controller(self):
+        conn, _ = run_connection(response=100_000, seed=24)
+        assert conn.server.cwnd >= 1
+        assert conn.server.cwnd == conn.server.congestion_control.cwnd_segments

@@ -1,0 +1,51 @@
+"""``dart-matrix`` CLI tests (single-cell runs keep them fast)."""
+
+import json
+
+import pytest
+
+from repro.cli.matrix import build_parser, main
+
+ONE_CELL = ["--workload", "bulk", "--cc", "reno",
+            "--loss", "0", "--reorder", "0"]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert not args.quick
+        assert args.seed == 1
+        assert args.workloads is None
+
+    def test_axis_filters_accumulate(self):
+        args = build_parser().parse_args(
+            ["--cc", "reno", "--cc", "bbr", "--loss", "0.05"])
+        assert args.ccs == ["reno", "bbr"]
+        assert args.losses == [0.05]
+
+
+class TestMain:
+    def test_single_cell_run_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "matrix.json"
+        rc = main(ONE_CELL + ["--output", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "dart-accuracy-matrix/1"
+        assert len(report["cells"]) == 1
+        assert report["cells"][0]["scenario"]["name"] \
+            == "bulk/reno/loss-0%/reorder-0%"
+        assert report["failures"] == []
+        text = capsys.readouterr().out
+        assert "accuracy matrix" in text
+
+    def test_empty_filter_is_a_usage_error(self):
+        assert main(["--quick", "--workload", "video"]) == 2
+
+    def test_impossible_threshold_fails_unless_no_check(self):
+        strict = ONE_CELL + ["--min-ratio", "1.01"]
+        assert main(strict) == 1
+        assert main(strict + ["--no-check"]) == 0
+
+    def test_unknown_cc_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--cc", "vegas"])

@@ -1,0 +1,66 @@
+"""Matrix harness tests: trace dispatch and one-cell runs."""
+
+import pytest
+
+from repro.validate import ScenarioSpec, build_trace, run_cell, run_matrix
+
+
+def spec(workload="bulk", cc="reno", loss=0.0, reorder=0.0):
+    return ScenarioSpec(workload=workload, cc=cc, loss=loss, reorder=reorder)
+
+
+class TestBuildTrace:
+    @pytest.mark.parametrize("workload,kind", [
+        ("bulk", "file-transfer"),
+        ("incast", "incast"),
+        ("video", "video"),
+    ])
+    def test_dispatches_by_workload(self, workload, kind):
+        trace = build_trace(spec(workload=workload))
+        assert trace.kind == kind
+        assert trace.packets > 0
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_trace(spec(workload="voip"))
+
+    def test_trace_is_seeded_from_spec(self):
+        a = build_trace(spec())
+        b = build_trace(spec())
+        assert [(r.timestamp_ns, r.seq) for r in a.records] \
+            == [(r.timestamp_ns, r.seq) for r in b.records]
+
+
+class TestRunCell:
+    def test_clean_bulk_cell_scores_high(self):
+        result = run_cell(spec())
+        assert result.spec.name == "bulk/reno/loss-0%/reorder-0%"
+        assert result.packets > 1000
+        assert result.completed == result.connections
+        acc = result.accuracy
+        assert acc.reference_count > 100
+        assert acc.sample_ratio > 0.9
+        # Paired samples agree exactly: both monitors subtract the same
+        # two packet timestamps.
+        assert acc.error_pct["p95"] == 0.0
+
+    def test_lossy_cell_still_pairs(self):
+        result = run_cell(spec(loss=0.05))
+        assert result.retransmissions > 0
+        assert 0.0 < result.accuracy.sample_ratio <= 1.2
+
+    def test_to_dict_round_trips_the_scenario(self):
+        result = run_cell(spec())
+        row = result.to_dict()
+        assert row["scenario"]["seed"] == result.spec.seed
+        assert row["trace"]["packets"] == result.packets
+        assert "sample_ratio" in row["accuracy"]
+        assert row["wall_seconds"] > 0
+
+    def test_run_matrix_preserves_order_and_reports_progress(self):
+        specs = [spec(), spec(loss=0.01)]
+        seen = []
+        results = run_matrix(specs,
+                             progress=lambda s, r: seen.append(s.name))
+        assert [r.spec for r in results] == specs
+        assert seen == [s.name for s in specs]

@@ -1,0 +1,100 @@
+"""Accuracy report and threshold-gate tests."""
+
+from repro.analysis.accuracy import PairedAccuracy
+from repro.validate import (
+    DEFAULT_FLOORS,
+    SCHEMA,
+    ScenarioSpec,
+    Thresholds,
+    build_report,
+    check_cell,
+    render_report,
+)
+from repro.validate.harness import CellResult
+
+
+def cell(workload="bulk", cc="reno", *, ratio=0.9, paired=None,
+         p95=0.0, refs=1000):
+    paired = ratio if paired is None else paired
+    acc = PairedAccuracy(
+        candidate_count=int(refs * ratio),
+        reference_count=refs,
+        paired=int(refs * paired),
+        reference_duplicates=0,
+        sample_ratio=ratio,
+        paired_fraction=paired,
+        error_pct={"p50": 0.0, "p95": p95, "p99": p95},
+        max_error_pct=p95,
+        exact_fraction=1.0,
+    )
+    return CellResult(
+        spec=ScenarioSpec(workload=workload, cc=cc, loss=0.0, reorder=0.0),
+        packets=5000, connections=3, completed=3,
+        retransmissions=10, timeouts=1,
+        accuracy=acc, wall_seconds=0.2,
+    )
+
+
+class TestThresholds:
+    def test_floor_is_regime_aware(self):
+        t = Thresholds()
+        bulk = ScenarioSpec(workload="bulk", cc="reno", loss=0, reorder=0)
+        video = ScenarioSpec(workload="video", cc="bbr", loss=0, reorder=0)
+        assert t.floor_for(bulk) == DEFAULT_FLOORS["bulk/reno"]
+        assert t.floor_for(video) == DEFAULT_FLOORS["video/bbr"]
+        unknown = ScenarioSpec(workload="voip", cc="reno", loss=0, reorder=0)
+        assert t.floor_for(unknown) == t.default_min_ratio
+
+    def test_uniform_overrides_every_floor(self):
+        t = Thresholds.uniform(0.5, max_p95_error_pct=1.0)
+        anything = ScenarioSpec(workload="bulk", cc="bbr", loss=0, reorder=0)
+        assert t.floor_for(anything) == 0.5
+        assert t.max_p95_error_pct == 1.0
+
+
+class TestCheckCell:
+    def test_healthy_cell_passes(self):
+        assert check_cell(cell(), Thresholds()) == []
+
+    def test_low_ratio_fails(self):
+        failures = check_cell(cell(ratio=0.05), Thresholds())
+        assert any("sample ratio" in f for f in failures)
+
+    def test_ratio_blowup_fails(self):
+        failures = check_cell(cell(ratio=2.0, paired=1.0), Thresholds())
+        assert any("> 1.5" in f for f in failures)
+
+    def test_rtt_error_fails(self):
+        failures = check_cell(cell(p95=5.0), Thresholds())
+        assert any("p95 RTT error" in f for f in failures)
+
+    def test_no_oracle_samples_fails(self):
+        failures = check_cell(cell(refs=0, ratio=0.0), Thresholds())
+        assert failures == ["bulk/reno/loss-0%/reorder-0%: "
+                            "oracle produced no samples"]
+
+
+class TestReport:
+    def test_build_report_schema(self):
+        report = build_report([cell(), cell(cc="cubic")], base_seed=1)
+        assert report["schema"] == SCHEMA
+        assert len(report["cells"]) == 2
+        assert report["failures"] == []
+        assert report["thresholds"]["cell_floors"] == dict(DEFAULT_FLOORS)
+
+    def test_failures_collected_across_cells(self):
+        report = build_report([cell(), cell(cc="cubic", ratio=0.01)])
+        assert len(report["failures"]) >= 1
+        assert all("cubic" in f for f in report["failures"])
+
+    def test_render_mentions_every_cell_and_verdict(self):
+        report = build_report([cell(), cell(cc="cubic")])
+        text = render_report(report)
+        assert "reno" in text and "cubic" in text
+        assert "all 2 cells within thresholds" in text
+
+    def test_render_lists_failures(self):
+        report = build_report([cell(ratio=0.01)])
+        text = render_report(report)
+        assert "FAILURES:" in text
+        assert "sample ratio" in text

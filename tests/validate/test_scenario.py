@@ -1,0 +1,86 @@
+"""Scenario-matrix spec tests: naming, seed derivation, filtering."""
+
+import pytest
+
+from repro.validate import (
+    CC_AXIS,
+    LOSS_AXIS,
+    REORDER_AXIS,
+    ScenarioSpec,
+    build_matrix,
+    filter_matrix,
+    quick_matrix,
+)
+
+
+class TestSpec:
+    def test_name_is_stable_and_readable(self):
+        spec = ScenarioSpec(workload="bulk", cc="reno",
+                            loss=0.01, reorder=0.02)
+        assert spec.name == "bulk/reno/loss-1%/reorder-2%"
+
+    def test_seed_derives_from_name_and_base(self):
+        a = ScenarioSpec(workload="bulk", cc="reno", loss=0.0, reorder=0.0)
+        b = ScenarioSpec(workload="bulk", cc="cubic", loss=0.0, reorder=0.0)
+        assert a.seed != b.seed
+        other_base = ScenarioSpec(workload="bulk", cc="reno",
+                                  loss=0.0, reorder=0.0, base_seed=2)
+        assert a.seed != other_base.seed
+        # Deterministic: same spec, same seed, forever.
+        assert a.seed == ScenarioSpec(workload="bulk", cc="reno",
+                                      loss=0.0, reorder=0.0).seed
+
+    def test_matrix_reshape_does_not_reseed(self):
+        # The seed depends only on the cell itself, never on which other
+        # cells exist.
+        small = build_matrix(workloads=("bulk",), losses=(0.0,))
+        large = build_matrix()
+        small_seeds = {s.name: s.seed for s in small}
+        large_seeds = {s.name: s.seed for s in large}
+        for name, seed in small_seeds.items():
+            assert large_seeds[name] == seed
+
+    def test_round_trip_through_dict(self):
+        spec = ScenarioSpec(workload="video", cc="bbr",
+                            loss=0.05, reorder=0.02, base_seed=7)
+        row = spec.to_dict()
+        assert row["name"] == spec.name
+        assert row["seed"] == spec.seed
+        assert ScenarioSpec.from_dict(row) == spec
+
+    def test_from_dict_rejects_inconsistent_seed(self):
+        row = ScenarioSpec(workload="bulk", cc="reno",
+                           loss=0.0, reorder=0.0).to_dict()
+        row["seed"] += 1
+        with pytest.raises(ValueError, match="edited inconsistently"):
+            ScenarioSpec.from_dict(row)
+
+
+class TestMatrix:
+    def test_full_matrix_shape(self):
+        specs = build_matrix()
+        assert len(specs) == 3 * len(CC_AXIS) * len(LOSS_AXIS) * len(REORDER_AXIS)
+        assert len({s.name for s in specs}) == len(specs)
+
+    def test_quick_matrix_covers_acceptance_grid(self):
+        # The PR gate must sweep {reno,cubic,bbr} x {0,1,5}% loss
+        # x {no reorder, reorder}.
+        specs = quick_matrix()
+        assert {s.workload for s in specs} == {"bulk"}
+        assert {s.cc for s in specs} == set(CC_AXIS)
+        assert {s.loss for s in specs} == set(LOSS_AXIS)
+        assert {s.reorder for s in specs} == set(REORDER_AXIS)
+        assert len(specs) == 18
+
+    def test_filter_by_each_axis(self):
+        specs = build_matrix()
+        assert all(s.cc == "bbr" for s in filter_matrix(specs, ccs=["bbr"]))
+        assert all(s.loss == 0.05
+                   for s in filter_matrix(specs, losses=[0.05]))
+        narrowed = filter_matrix(specs, workloads=["video"],
+                                 ccs=["reno"], losses=[0.0], reorders=[0.0])
+        assert [s.name for s in narrowed] == ["video/reno/loss-0%/reorder-0%"]
+
+    def test_filter_none_means_no_restriction(self):
+        specs = build_matrix()
+        assert filter_matrix(specs) == specs
